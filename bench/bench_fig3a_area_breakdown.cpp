@@ -1,0 +1,35 @@
+/// Regenerates Fig. 3a: RedMulE standalone area breakdown (H=4, L=8, P=3,
+/// 22 nm). Paper claim: 0.07 mm^2 total = 14 % of the 0.5 mm^2 cluster, with
+/// the FMA datapath dominating.
+#include "bench_util.hpp"
+
+using namespace redmule;
+using namespace redmule::bench;
+
+int main() {
+  print_header("Fig. 3a: RedMulE area breakdown",
+               "total 0.07 mm^2 (14% of cluster); datapath dominates");
+
+  const core::Geometry g{};
+  const auto a = model::redmule_area(g);
+
+  TablePrinter t({"Module", "Area[mm2]", "Share"});
+  t.add_row({"Datapath (32 FMAs)", TablePrinter::fmt(a.datapath, 4),
+             TablePrinter::percent(a.datapath / a.total())});
+  t.add_row({"X-Buffer", TablePrinter::fmt(a.x_buffer, 4),
+             TablePrinter::percent(a.x_buffer / a.total())});
+  t.add_row({"W-Buffer", TablePrinter::fmt(a.w_buffer, 4),
+             TablePrinter::percent(a.w_buffer / a.total())});
+  t.add_row({"Z-Buffer", TablePrinter::fmt(a.z_buffer, 4),
+             TablePrinter::percent(a.z_buffer / a.total())});
+  t.add_row({"Streamer (9 ports)", TablePrinter::fmt(a.streamer, 4),
+             TablePrinter::percent(a.streamer / a.total())});
+  t.add_row({"Controller+Scheduler", TablePrinter::fmt(a.control, 4),
+             TablePrinter::percent(a.control / a.total())});
+  t.add_row({"TOTAL", TablePrinter::fmt(a.total(), 4), "100%"});
+  t.print();
+
+  std::printf("\nCluster area: %.2f mm^2 -> RedMulE share %.1f%% (paper: 14%%)\n",
+              model::cluster_area(), 100.0 * a.total() / model::cluster_area());
+  return 0;
+}

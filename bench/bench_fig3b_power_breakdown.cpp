@@ -1,0 +1,47 @@
+/// Regenerates Fig. 3b: RedMulE standalone power breakdown at the peak-
+/// efficiency operating point (0.65 V / 476 MHz), plus the cluster-level
+/// split quoted in §III-A (RedMulE 69 %, TCDM+HCI 17.1 %).
+#include "bench_util.hpp"
+
+using namespace redmule;
+using namespace redmule::bench;
+
+int main() {
+  print_header("Fig. 3b: RedMulE power breakdown",
+               "cluster 43.5 mW @0.65V: RedMulE 69%, TCDM+HCI 17.1%");
+
+  // Measure real utilization on a large GEMM, then evaluate the model at it.
+  const core::JobStats stats = run_hw({"96x96x96", 96, 96, 96});
+  const core::Geometry g{};
+  const double util = stats.utilization(g);
+  const auto op = model::op_peak_efficiency();
+
+  const auto rp = model::redmule_power(g, op, util);
+  TablePrinter t({"Module", "Power[mW]", "Share"});
+  t.add_row({"Datapath", TablePrinter::fmt(rp.datapath, 2),
+             TablePrinter::percent(rp.datapath / rp.total())});
+  t.add_row({"Buffers (X/W/Z)", TablePrinter::fmt(rp.buffers, 2),
+             TablePrinter::percent(rp.buffers / rp.total())});
+  t.add_row({"Streamer", TablePrinter::fmt(rp.streamer, 2),
+             TablePrinter::percent(rp.streamer / rp.total())});
+  t.add_row({"Controller", TablePrinter::fmt(rp.control, 2),
+             TablePrinter::percent(rp.control / rp.total())});
+  t.add_row({"TOTAL RedMulE", TablePrinter::fmt(rp.total(), 2), "100%"});
+  t.print(stdout, "RedMulE-internal breakdown @0.65V, measured utilization");
+
+  const auto cp = model::cluster_power(g, op, util);
+  TablePrinter c({"Component", "Power[mW]", "Share"});
+  c.add_row({"RedMulE", TablePrinter::fmt(cp.redmule, 2),
+             TablePrinter::percent(cp.redmule / cp.total())});
+  c.add_row({"TCDM + HCI", TablePrinter::fmt(cp.tcdm_hci, 2),
+             TablePrinter::percent(cp.tcdm_hci / cp.total())});
+  c.add_row({"Cores/icache/rest", TablePrinter::fmt(cp.rest, 2),
+             TablePrinter::percent(cp.rest / cp.total())});
+  c.add_row({"TOTAL cluster", TablePrinter::fmt(cp.total(), 2), "100%"});
+  std::printf("\n");
+  c.print(stdout, "Cluster-level split (paper: 43.5 mW, 69% / 17.1% / 13.9%)");
+
+  std::printf("\nMeasured utilization: %.1f%% (%.2f MAC/cycle)\n", util * 100,
+              stats.macs_per_cycle());
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Regenerates Fig. 3d: throughput at maximum cluster frequency (666 MHz,
+/// 0.8 V) vs. matrix size. Paper claim: 42 GFLOPS peak (21.1 GMAC/s) at
+/// 31.6 MAC/cycle for large matrices.
+#include "bench_util.hpp"
+
+using namespace redmule;
+using namespace redmule::bench;
+
+int main() {
+  print_header("Fig. 3d: throughput at max cluster frequency vs matrix size",
+               "up to 42 GFLOPS (21.1 GMAC/s) at 666 MHz / 0.8 V");
+
+  const core::Geometry g{};
+  const auto op = model::op_peak_performance();
+  TablePrinter t({"Matrix", "Cycles", "MAC/cycle", "GMAC/s", "GFLOPS", "Utilization"});
+  for (uint32_t s : {4u, 8u, 12u, 16u, 24u, 32u, 48u, 64u, 96u, 128u, 160u, 192u}) {
+    const workloads::GemmShape shape{std::to_string(s), s, s, s};
+    const auto stats = run_hw(shape, s);
+    const double mpc = stats.macs_per_cycle();
+    t.add_row({shape.name + "^3", TablePrinter::fmt_int(stats.cycles),
+               TablePrinter::fmt(mpc, 2),
+               TablePrinter::fmt(mpc * op.freq_mhz * 1e-3, 2),
+               TablePrinter::fmt(model::gops(op, mpc), 1),
+               TablePrinter::percent(stats.utilization(g))});
+  }
+  t.print();
+
+  // Also sweep non-square shapes the figure family covers implicitly.
+  std::printf("\nRagged shapes (padding paths):\n");
+  TablePrinter r({"Matrix", "Cycles", "MAC/cycle", "GFLOPS"});
+  for (const auto& shape : workloads::ragged_sweep()) {
+    const auto stats = run_hw(shape, 77);
+    r.add_row({shape.name, TablePrinter::fmt_int(stats.cycles),
+               TablePrinter::fmt(stats.macs_per_cycle(), 2),
+               TablePrinter::fmt(model::gops(op, stats.macs_per_cycle()), 2)});
+  }
+  r.print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// Regenerates Fig. 4b: RedMulE area sweep as a function of H and L with
+/// P = 3. Paper claims: ~cluster area at 256 FMAs (H=8, L=32), ~2x cluster
+/// area at 512 FMAs (H=16, L=32); raising H from 4 to 5 adds two memory
+/// ports (bandwidth grows by 4x16 bit).
+#include "bench_util.hpp"
+
+using namespace redmule;
+using namespace redmule::bench;
+
+int main() {
+  print_header("Fig. 4b: RedMulE area sweep vs (H, L), P = 3",
+               "256 FMAs ~ cluster area; 512 FMAs ~ 2x cluster; H 4->5: +2 ports");
+
+  const double cluster = model::cluster_area();
+  TablePrinter t({"H", "L", "FMAs", "Area[mm2]", "vs cluster", "Mem ports",
+                  "Bandwidth[b/cyc]"});
+  for (unsigned h : {2u, 4u, 5u, 8u, 16u}) {
+    for (unsigned l : {4u, 8u, 16u, 32u}) {
+      const core::Geometry g{h, l, 3};
+      const auto a = model::redmule_area(g);
+      t.add_row({TablePrinter::fmt_int(h), TablePrinter::fmt_int(l),
+                 TablePrinter::fmt_int(g.n_fmas()), TablePrinter::fmt(a.total(), 3),
+                 TablePrinter::fmt(a.total() / cluster, 2) + "x",
+                 TablePrinter::fmt_int(g.mem_ports()),
+                 TablePrinter::fmt_int(g.data_width_bits())});
+    }
+  }
+  t.print();
+
+  const auto a256 = model::redmule_area(core::Geometry{8, 32, 3}).total();
+  const auto a512 = model::redmule_area(core::Geometry{16, 32, 3}).total();
+  std::printf("\nAnchors: 256 FMAs = %.2fx cluster (paper ~1x); "
+              "512 FMAs = %.2fx cluster (paper ~2x)\n",
+              a256 / cluster, a512 / cluster);
+  std::printf("Ports: H=4 -> %u, H=5 -> %u (paper: 9 -> 11)\n",
+              core::Geometry{4, 8, 3}.mem_ports(), core::Geometry{5, 8, 3}.mem_ports());
+  return 0;
+}

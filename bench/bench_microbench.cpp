@@ -1,0 +1,116 @@
+/// google-benchmark microbenchmarks of the simulator's own building blocks:
+/// soft-float throughput, datapath advance rate, ISS retirement rate, and
+/// HCI arbitration. These bound the wall-clock cost of the figure benches
+/// and catch performance regressions in the model itself.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "common/rng.hpp"
+#include "core/golden.hpp"
+#include "fp16/float16.hpp"
+#include "isa/assembler.hpp"
+#include "isa/kernels.hpp"
+#include "workloads/gemm.hpp"
+
+namespace {
+
+using namespace redmule;
+using fp16::Float16;
+
+void BM_Fp16Fma(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::vector<Float16> vals(4096);
+  for (auto& v : vals) v = Float16::from_double(rng.next_double(-2, 2));
+  size_t i = 0;
+  Float16 acc;
+  for (auto _ : state) {
+    acc = Float16::fma(vals[i % 4096], vals[(i + 1) % 4096], acc);
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fp16Fma);
+
+void BM_Fp16Add(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  std::vector<Float16> vals(4096);
+  for (auto& v : vals) v = Float16::from_bits(rng.next_u16());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Float16::add(vals[i % 4096], vals[(i + 1) % 4096]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fp16Add);
+
+void BM_GoldenGemm(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Xoshiro256 rng(3);
+  const auto x = workloads::random_matrix(n, n, rng);
+  const auto w = workloads::random_matrix(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(core::golden_gemm(x, w));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GoldenGemm)->Arg(16)->Arg(32);
+
+void BM_EngineGemmCycleRate(benchmark::State& state) {
+  // Simulated cycles per wall second for the full cluster running a GEMM.
+  const uint32_t s = static_cast<uint32_t>(state.range(0));
+  uint64_t sim_cycles = 0;
+  for (auto _ : state) {
+    cluster::Cluster cl;
+    cluster::RedmuleDriver drv(cl);
+    Xoshiro256 rng(4);
+    const auto x = workloads::random_matrix(s, s, rng);
+    const auto w = workloads::random_matrix(s, s, rng);
+    const auto res = drv.gemm(x, w);
+    sim_cycles += res.stats.cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineGemmCycleRate)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_IssRetireRate(benchmark::State& state) {
+  uint64_t instrs = 0;
+  for (auto _ : state) {
+    cluster::Cluster cl;
+    auto& core = cl.core(0);
+    core.load_program(isa::assemble(R"(
+      li t3, 10000
+      lp.setup t3, e
+        addi a0, a0, 1
+    e:
+      halt
+    )"));
+    while (!core.halted()) cl.step();
+    instrs += core.stats().retired;
+  }
+  state.counters["instrs/s"] =
+      benchmark::Counter(static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssRetireRate)->Unit(benchmark::kMillisecond);
+
+void BM_HciArbitration(benchmark::State& state) {
+  mem::Tcdm tcdm;
+  mem::Hci hci(tcdm, {});
+  const uint32_t base = tcdm.config().base_addr;
+  for (auto _ : state) {
+    for (unsigned p = 0; p < 8; ++p) {
+      mem::LogRequest r;
+      r.addr = base + 4 * p;
+      hci.post_log(p, r);
+    }
+    hci.tick();
+    hci.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_HciArbitration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/// \file bench_util.hpp
+/// \brief Shared helpers for the per-figure bench binaries.
+///
+/// Each bench binary regenerates one table or figure of the paper: it runs
+/// the cycle-accurate simulation (and, where the figure needs it, the
+/// software baseline on the ISS cores), feeds the measured throughput into
+/// the calibrated energy model, and prints the same rows/series the paper
+/// reports. Absolute agreement is expected at the calibration anchors;
+/// elsewhere the *shape* of the series is the reproduction target (see
+/// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "cluster/sw_gemm.hpp"
+#include "common/table.hpp"
+#include "core/golden.hpp"
+#include "model/energy.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::bench {
+
+/// Runs one GEMM on the accelerator in a fresh cluster; returns its counters.
+inline core::JobStats run_hw(const workloads::GemmShape& s, uint64_t seed = 1,
+                             cluster::ClusterConfig cfg = {}) {
+  // Size the TCDM to the problem (bank count stays 16: contention behaviour
+  // is unchanged; see EXPERIMENTS.md on capacity).
+  const uint64_t need = s.bytes() + 4096;
+  while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) < need)
+    cfg.tcdm.words_per_bank *= 2;
+  cluster::Cluster cl(cfg);
+  cluster::RedmuleDriver drv(cl);
+  Xoshiro256 rng(seed);
+  const auto x = workloads::random_matrix(s.m, s.n, rng);
+  const auto w = workloads::random_matrix(s.n, s.k, rng);
+  return drv.gemm(x, w).stats;
+}
+
+/// Runs the same GEMM on \p n_cores ISS cores (software baseline).
+inline cluster::SwGemmStats run_sw(const workloads::GemmShape& s, uint64_t seed = 1,
+                                   unsigned n_cores = 8,
+                                   cluster::ClusterConfig cfg = {}) {
+  const uint64_t need = s.bytes() + 4096;
+  while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) < need)
+    cfg.tcdm.words_per_bank *= 2;
+  cluster::Cluster cl(cfg);
+  cluster::RedmuleDriver drv(cl);
+  Xoshiro256 rng(seed);
+  const auto x = workloads::random_matrix(s.m, s.n, rng);
+  const auto w = workloads::random_matrix(s.n, s.k, rng);
+  const uint32_t xa = drv.place_matrix(x);
+  const uint32_t wa = drv.place_matrix(w);
+  const uint32_t za = drv.alloc(s.m * s.k * 2);
+  return cluster::run_sw_gemm(cl, xa, wa, za, s.m, s.n, s.k, n_cores);
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace redmule::bench

@@ -1,0 +1,58 @@
+/// Reproduces the §III-A textual claims: 31.6 MAC/cycle peak (98.8 % of the
+/// 32 MAC/cycle ideal) and the streamer port schedule sustaining the array
+/// (W line every P+1 cycles with X/Z interleaved in the gaps, Fig. 2c).
+#include "bench_util.hpp"
+
+using namespace redmule;
+using namespace redmule::bench;
+
+int main() {
+  print_header("Utilization & port-schedule microstudy (paper text, Fig. 2c)",
+               "31.6 MAC/cycle = 98.8% of ideal; single wide port sustains the array");
+
+  // Peak utilization on growing problem sizes.
+  TablePrinter t({"Matrix", "Cycles", "Ideal cycles", "MAC/cycle", "%ideal",
+                  "Stall cycles"});
+  const core::Geometry g{};
+  for (uint32_t s : {32u, 64u, 96u, 128u, 192u, 256u}) {
+    const workloads::GemmShape shape{std::to_string(s), s, s, s};
+    const auto stats = run_hw(shape, s);
+    const uint64_t ideal = shape.macs() / g.n_fmas();
+    t.add_row({shape.name + "^3", TablePrinter::fmt_int(stats.cycles),
+               TablePrinter::fmt_int(ideal),
+               TablePrinter::fmt(stats.macs_per_cycle(), 2),
+               TablePrinter::percent(stats.utilization(g)),
+               TablePrinter::fmt_int(stats.stall_cycles)});
+  }
+  t.print();
+
+  // Port accounting on one job: grants vs cycles.
+  cluster::ClusterConfig cfg;
+  cluster::Cluster cl(cfg);
+  cluster::RedmuleDriver drv(cl);
+  Xoshiro256 rng(3);
+  const uint32_t s = 64;
+  const auto x = workloads::random_matrix(s, s, rng);
+  const auto w = workloads::random_matrix(s, s, rng);
+  const uint32_t xa = drv.place_matrix(x);
+  const uint32_t wa = drv.place_matrix(w);
+  const uint32_t za = drv.alloc(s * s * 2);
+  cl.hci().reset_stats();
+  const auto stats = drv.run_gemm(xa, wa, za, s, s, s);
+
+  const auto& st = cl.redmule().streamer();
+  std::printf("\nPort schedule on 64^3 (%llu cycles):\n",
+              static_cast<unsigned long long>(stats.cycles));
+  std::printf("  shallow grants: %llu  (%.1f%% port occupancy)\n",
+              static_cast<unsigned long long>(cl.hci().shallow_grants()),
+              100.0 * cl.hci().shallow_grants() / stats.cycles);
+  std::printf("  loads issued:   %llu (W lines: one per P+1=4 cycles of compute)\n",
+              static_cast<unsigned long long>(st.issued_loads()));
+  std::printf("  stores issued:  %llu (Z rows, interleaved between W loads)\n",
+              static_cast<unsigned long long>(st.issued_stores()));
+  std::printf("  port idle:      %llu cycles\n",
+              static_cast<unsigned long long>(st.idle_port_cycles()));
+  std::printf("  retries:        %llu (lost arbitration)\n",
+              static_cast<unsigned long long>(st.retry_cycles()));
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// \file stationarity.cpp
+/// \brief Demonstrates the accelerator's symmetry (paper §II-B): "in DNN
+///        training, X and W can assume either input and weight matrices
+///        indifferently: the accelerator ... can be indifferently used as
+///        weight- or input-stationary."
+///
+/// Computes the same layer Y = W * X both ways:
+///   weight-as-X:  Z = W (out x in)    * X (in x B)      -- "weight streaming"
+///   input-as-X:   Z' = X^T (B x in)   * W^T (in x out)  -- roles swapped
+/// and shows Z' = Z^T bit-exactly, with the cycle cost differing only
+/// through the M/K geometry mapping.
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "core/golden.hpp"
+#include "workloads/gemm.hpp"
+
+using namespace redmule;
+
+int main() {
+  const uint32_t out_dim = 32, in_dim = 64, batch = 16;
+  Xoshiro256 rng(11);
+  const auto w = workloads::random_matrix(out_dim, in_dim, rng);  // weights
+  const auto x = workloads::random_matrix(in_dim, batch, rng);    // activations
+
+  // Orientation A: weights flow through the X port, activations through W.
+  cluster::Cluster cl_a;
+  cluster::RedmuleDriver drv_a(cl_a);
+  const auto res_a = drv_a.gemm(w, x);  // (out x B)
+
+  // Orientation B: swap the roles (transpose both operands).
+  cluster::Cluster cl_b;
+  cluster::RedmuleDriver drv_b(cl_b);
+  const auto res_b = drv_b.gemm(x.transposed(), w.transposed());  // (B x out)
+
+  // The FMA accumulation order over n is identical in both orientations, so
+  // the results agree bit-for-bit, transposed.
+  for (uint32_t i = 0; i < out_dim; ++i)
+    for (uint32_t j = 0; j < batch; ++j)
+      if (res_a.z(i, j).bits() != res_b.z(j, i).bits()) {
+        std::printf("MISMATCH at (%u,%u)\n", i, j);
+        return 1;
+      }
+  std::printf("Both orientations agree bit-exactly (Z' = Z^T).\n\n");
+
+  auto report = [&](const char* name, const core::JobStats& s, uint32_t m, uint32_t k) {
+    std::printf("%-28s M=%3u K=%3u : %6llu cycles, %5.2f MAC/cycle (%4.1f%% util)\n",
+                name, m, k, static_cast<unsigned long long>(s.cycles),
+                s.macs_per_cycle(), 100 * s.utilization(cl_a.config().geometry));
+  };
+  report("weight-streaming (W as X)", res_a.stats, out_dim, batch);
+  report("input-streaming  (X as X)", res_b.stats, batch, out_dim);
+
+  std::printf(
+      "\nSame MACs, different geometry mapping: the orientation with the\n"
+      "larger K fills more of the H*(P+1)=16 pipeline j-slots. Picking the\n"
+      "orientation per layer is how a runtime maximizes utilization -- the\n"
+      "flexibility the paper's symmetric design argument is about.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "cluster/driver.hpp"
+
+#include "core/regfile.hpp"
+
+namespace redmule::cluster {
+
+RedmuleDriver::RedmuleDriver(Cluster& cluster)
+    : cluster_(cluster), next_free_(cluster.tcdm().config().base_addr) {}
+
+uint32_t RedmuleDriver::alloc(uint32_t bytes) {
+  const uint32_t addr = round_up(next_free_, 4u);
+  const auto& cfg = cluster_.tcdm().config();
+  REDMULE_REQUIRE(addr + bytes <= cfg.base_addr + cfg.size_bytes(),
+                  "TCDM allocator out of memory");
+  next_free_ = addr + bytes;
+  return addr;
+}
+
+void RedmuleDriver::free_all() {
+  next_free_ = cluster_.tcdm().config().base_addr;
+}
+
+uint32_t RedmuleDriver::bytes_free() const {
+  const auto& cfg = cluster_.tcdm().config();
+  return cfg.base_addr + cfg.size_bytes() - round_up(next_free_, 4u);
+}
+
+void RedmuleDriver::write_matrix(uint32_t addr, const MatrixF16& m) {
+  cluster_.tcdm().backdoor_write(addr, m.data(),
+                                 static_cast<uint32_t>(m.size_bytes()));
+}
+
+MatrixF16 RedmuleDriver::read_matrix(uint32_t addr, size_t rows, size_t cols) const {
+  MatrixF16 m(rows, cols);
+  cluster_.tcdm().backdoor_read(addr, m.data(), static_cast<uint32_t>(m.size_bytes()));
+  return m;
+}
+
+uint32_t RedmuleDriver::place_matrix(const MatrixF16& m) {
+  const uint32_t addr = alloc(static_cast<uint32_t>(m.size_bytes()));
+  write_matrix(addr, m);
+  return addr;
+}
+
+core::JobStats RedmuleDriver::run_job(const core::Job& job) {
+  auto& rm = cluster_.redmule();
+  // Each peripheral register write costs one cluster cycle, as it would for
+  // the programming core.
+  const std::pair<uint32_t, uint32_t> writes[] = {
+      {core::kRegXPtr, job.x_ptr},
+      {core::kRegWPtr, job.w_ptr},
+      {core::kRegZPtr, job.z_ptr},
+      {core::kRegYPtr, job.y_ptr},
+      {core::kRegM, job.m},
+      {core::kRegN, job.n},
+      {core::kRegK, job.k},
+      {core::kRegFlags, job.accumulate ? core::kFlagAccumulate : 0u},
+  };
+  for (const auto& [off, val] : writes) {
+    rm.reg_write(off, val);
+    cluster_.step();
+  }
+  rm.reg_write(core::kRegTrigger, 0);
+
+  const uint64_t timeout =
+      1000 + job.macs() * 4 + static_cast<uint64_t>(job.m) * job.k * 64;
+  const bool ok = cluster_.run_until([&] { return !rm.busy(); }, timeout);
+  REDMULE_REQUIRE(ok, "RedMulE job timed out (deadlock?)");
+  return rm.last_job_stats();
+}
+
+core::JobStats RedmuleDriver::run_gemm(uint32_t x_addr, uint32_t w_addr,
+                                       uint32_t z_addr, uint32_t m, uint32_t n,
+                                       uint32_t k) {
+  core::Job job;
+  job.x_ptr = x_addr;
+  job.w_ptr = w_addr;
+  job.z_ptr = z_addr;
+  job.m = m;
+  job.n = n;
+  job.k = k;
+  return run_job(job);
+}
+
+RedmuleDriver::GemmResult RedmuleDriver::gemm_acc(const MatrixF16& x,
+                                                  const MatrixF16& w,
+                                                  const MatrixF16& y) {
+  REDMULE_REQUIRE(x.cols() == w.rows(), "GEMM shape mismatch");
+  REDMULE_REQUIRE(y.rows() == x.rows() && y.cols() == w.cols(), "Y shape mismatch");
+  core::Job job;
+  job.x_ptr = place_matrix(x);
+  job.w_ptr = place_matrix(w);
+  job.y_ptr = place_matrix(y);
+  job.z_ptr = alloc(static_cast<uint32_t>(x.rows() * w.cols() * sizeof(uint16_t)));
+  job.m = static_cast<uint32_t>(x.rows());
+  job.n = static_cast<uint32_t>(x.cols());
+  job.k = static_cast<uint32_t>(w.cols());
+  job.accumulate = true;
+  GemmResult res;
+  res.stats = run_job(job);
+  res.z = read_matrix(job.z_ptr, x.rows(), w.cols());
+  return res;
+}
+
+RedmuleDriver::GemmResult RedmuleDriver::gemm(const MatrixF16& x, const MatrixF16& w) {
+  REDMULE_REQUIRE(x.cols() == w.rows(), "GEMM shape mismatch");
+  const uint32_t x_addr = place_matrix(x);
+  const uint32_t w_addr = place_matrix(w);
+  const uint32_t z_addr =
+      alloc(static_cast<uint32_t>(x.rows() * w.cols() * sizeof(uint16_t)));
+  GemmResult res;
+  res.stats = run_gemm(x_addr, w_addr, z_addr, static_cast<uint32_t>(x.rows()),
+                       static_cast<uint32_t>(x.cols()), static_cast<uint32_t>(w.cols()));
+  res.z = read_matrix(z_addr, x.rows(), w.cols());
+  return res;
+}
+
+}  // namespace redmule::cluster

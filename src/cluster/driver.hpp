@@ -1,0 +1,60 @@
+/// \file driver.hpp
+/// \brief Host-side driver mirroring the RedMulE runtime API used by the
+///        cluster cores: TCDM allocation, matrix movement, job offload and
+///        completion wait. This is the public API the examples build on.
+///
+/// The programming sequence models what a core does through the peripheral
+/// interconnect (write job registers, write TRIGGER, wait for the event):
+/// each register access costs one cluster cycle, so offload latency is part
+/// of every measurement, as in the paper's small-matrix utilization plots.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "common/matrix.hpp"
+#include "core/golden.hpp"
+
+namespace redmule::cluster {
+
+using core::MatrixF16;
+
+class RedmuleDriver {
+ public:
+  explicit RedmuleDriver(Cluster& cluster);
+
+  /// Bump-allocates \p bytes of TCDM (4-byte aligned). Throws when full.
+  uint32_t alloc(uint32_t bytes);
+  /// Resets the allocator (does not clear memory contents).
+  void free_all();
+  uint32_t bytes_free() const;
+
+  /// Copies a matrix into TCDM at \p addr (backdoor, zero simulated time --
+  /// data movement is measured separately via the DMA, see examples).
+  void write_matrix(uint32_t addr, const MatrixF16& m);
+  MatrixF16 read_matrix(uint32_t addr, size_t rows, size_t cols) const;
+
+  /// Allocates and writes a matrix; returns its TCDM address.
+  uint32_t place_matrix(const MatrixF16& m);
+
+  /// Programs the register file, triggers the job, and steps the cluster
+  /// until completion. Returns the accelerator's per-job counters.
+  core::JobStats run_gemm(uint32_t x_addr, uint32_t w_addr, uint32_t z_addr,
+                          uint32_t m, uint32_t n, uint32_t k);
+
+  /// Fully general offload (covers the Z = Y + X*W accumulation extension).
+  core::JobStats run_job(const core::Job& job);
+
+  /// Convenience wrapper: places X and W, runs, reads Z back.
+  struct GemmResult {
+    MatrixF16 z;
+    core::JobStats stats;
+  };
+  GemmResult gemm(const MatrixF16& x, const MatrixF16& w);
+  /// Accumulating variant: Z = Y + X * W.
+  GemmResult gemm_acc(const MatrixF16& x, const MatrixF16& w, const MatrixF16& y);
+
+ private:
+  Cluster& cluster_;
+  uint32_t next_free_;
+};
+
+}  // namespace redmule::cluster

@@ -1,0 +1,84 @@
+#include "cluster/sw_gemm.hpp"
+
+#include "isa/assembler.hpp"
+#include "isa/kernels.hpp"
+
+namespace redmule::cluster {
+
+using fp16::Float16;
+
+SwGemmStats run_sw_gemm(Cluster& cluster, uint32_t x_addr, uint32_t w_addr,
+                        uint32_t z_addr, uint32_t m, uint32_t n, uint32_t k,
+                        unsigned n_cores, bool use_fma) {
+  if (n_cores == 0) n_cores = cluster.n_cores();
+  REDMULE_REQUIRE(n_cores <= cluster.n_cores(), "not enough cores");
+
+  isa::KernelOptions opts;
+  opts.use_fma = use_fma;
+  const isa::Program prog = isa::assemble(isa::fp16_matmul_kernel(opts));
+
+  for (unsigned c = 0; c < n_cores; ++c) {
+    auto& core = cluster.core(c);
+    core.load_program(prog);
+    core.reset_stats();
+    core.set_reg(10, x_addr);  // a0
+    core.set_reg(11, w_addr);  // a1
+    core.set_reg(12, z_addr);  // a2
+    core.set_reg(13, m);       // a3
+    core.set_reg(14, n);       // a4
+    core.set_reg(15, k);       // a5
+    core.set_reg(16, c);       // a6
+    core.set_reg(17, n_cores); // a7
+  }
+
+  const uint64_t start = cluster.cycle();
+  const uint64_t macs = static_cast<uint64_t>(m) * n * k;
+  // ~6 cycles/MAC/core worst case plus generous margin for tiny problems.
+  const uint64_t timeout = 10000 + macs * 16;
+  const bool ok = cluster.run_until(
+      [&] {
+        for (unsigned c = 0; c < n_cores; ++c)
+          if (!cluster.core(c).halted()) return false;
+        return true;
+      },
+      timeout);
+  REDMULE_REQUIRE(ok, "software GEMM timed out");
+
+  SwGemmStats stats;
+  stats.cycles = cluster.cycle() - start;
+  stats.macs = macs;
+  for (unsigned c = 0; c < n_cores; ++c) {
+    stats.total_instrs += cluster.core(c).stats().retired;
+    stats.total_mem_stalls += cluster.core(c).stats().mem_stalls;
+  }
+  return stats;
+}
+
+core::MatrixF16 sw_gemm_reference(const core::MatrixF16& x, const core::MatrixF16& w,
+                                  bool use_fma) {
+  REDMULE_REQUIRE(x.cols() == w.rows(), "GEMM shape mismatch");
+  core::MatrixF16 z(x.rows(), w.cols());
+  if (x.cols() == 1) {  // both kernel variants dispatch the outer product
+    // Mirrors the kernel's N == 1 outer-product dispatch: a bare multiply
+    // (no accumulation from +0, which would flip a -0 product's sign).
+    for (size_t i = 0; i < x.rows(); ++i)
+      for (size_t j = 0; j < w.cols(); ++j) z(i, j) = Float16::mul(x(i, 0), w(0, j));
+    return z;
+  }
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      Float16 acc;
+      for (size_t nn = 0; nn < x.cols(); ++nn) {
+        if (use_fma) {
+          acc = Float16::fma(x(i, nn), w(nn, j), acc);
+        } else {
+          acc = Float16::add(acc, Float16::mul(x(i, nn), w(nn, j)));
+        }
+      }
+      z(i, j) = acc;
+    }
+  }
+  return z;
+}
+
+}  // namespace redmule::cluster

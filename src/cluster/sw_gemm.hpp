@@ -1,0 +1,39 @@
+/// \file sw_gemm.hpp
+/// \brief Software-baseline GEMM: the paper's comparison point.
+///
+/// Assembles the FP16 matmul kernel (isa/kernels.hpp), launches it on the
+/// cluster cores (row-interleaved partitioning), and runs the cycle-level
+/// simulation to completion. The cores contend for the TCDM banks on the
+/// HCI log branch exactly like the accelerator's streamer does on the
+/// shallow branch, so the HW/SW comparison shares one memory system.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "common/matrix.hpp"
+#include "core/golden.hpp"
+
+namespace redmule::cluster {
+
+struct SwGemmStats {
+  uint64_t cycles = 0;          ///< start to last-core-halted
+  uint64_t total_instrs = 0;
+  uint64_t total_mem_stalls = 0;
+  uint64_t macs = 0;
+
+  double macs_per_cycle() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(macs) / static_cast<double>(cycles);
+  }
+};
+
+/// Runs Z = X * W on \p n_cores cores (default: all). Matrices already live
+/// in TCDM at the given addresses. Returns cycle statistics.
+SwGemmStats run_sw_gemm(Cluster& cluster, uint32_t x_addr, uint32_t w_addr,
+                        uint32_t z_addr, uint32_t m, uint32_t n, uint32_t k,
+                        unsigned n_cores = 0, bool use_fma = false);
+
+/// Reference result of the software kernel (fmul+fadd accumulation order),
+/// for bit-exact verification of the ISS run.
+core::MatrixF16 sw_gemm_reference(const core::MatrixF16& x, const core::MatrixF16& w,
+                                  bool use_fma = false);
+
+}  // namespace redmule::cluster

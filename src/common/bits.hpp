@@ -1,0 +1,61 @@
+/// \file bits.hpp
+/// \brief Bit-manipulation helpers used by the FP16 soft-float core and the
+///        memory-system models.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/check.hpp"
+
+namespace redmule {
+
+/// Extracts bits [lo, lo+width) of \p v.
+template <typename T>
+constexpr T bits(T v, unsigned lo, unsigned width) {
+  static_assert(std::is_unsigned_v<T>);
+  REDMULE_ASSERT(lo + width <= 8 * sizeof(T));
+  if (width == 8 * sizeof(T)) return v >> lo;
+  return static_cast<T>((v >> lo) & ((T{1} << width) - 1));
+}
+
+/// Builds a mask with bits [lo, lo+width) set.
+template <typename T>
+constexpr T mask(unsigned lo, unsigned width) {
+  static_assert(std::is_unsigned_v<T>);
+  if (width == 0) return 0;
+  if (width >= 8 * sizeof(T)) return static_cast<T>(~T{0} << lo);
+  return static_cast<T>(((T{1} << width) - 1) << lo);
+}
+
+/// True if \p v is a power of two (0 excluded).
+constexpr bool is_pow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer ceil division.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  REDMULE_ASSERT(b > 0);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Rounds \p a up to the next multiple of \p b.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// Count of leading zeros with a defined result for 0 (returns bit width).
+constexpr unsigned clz32(uint32_t v) { return v == 0 ? 32u : static_cast<unsigned>(std::countl_zero(v)); }
+constexpr unsigned clz64(uint64_t v) { return v == 0 ? 64u : static_cast<unsigned>(std::countl_zero(v)); }
+
+/// Sign-extends the low \p width bits of \p v to 32 bits.
+constexpr int32_t sign_extend(uint32_t v, unsigned width) {
+  REDMULE_ASSERT(width >= 1 && width <= 32);
+  const uint32_t m = 1u << (width - 1);
+  const uint32_t x = v & (width == 32 ? ~0u : ((1u << width) - 1));
+  return static_cast<int32_t>((x ^ m) - m);
+}
+
+}  // namespace redmule

@@ -1,0 +1,52 @@
+/// \file check.hpp
+/// \brief Error-handling primitives shared by all redmule libraries.
+///
+/// The simulator distinguishes two classes of failure:
+///  - programming errors (violated preconditions, broken invariants), which
+///    abort via REDMULE_ASSERT so that they are never silently ignored; and
+///  - user/configuration errors (bad geometry, out-of-range register values),
+///    which throw redmule::Error so that callers and tests can handle them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace redmule {
+
+/// Exception thrown on invalid user-supplied configuration or input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "redmule: assertion `%s` failed at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? ": " : "", msg);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace redmule
+
+/// Hard invariant check: aborts on failure. Enabled in all build types --
+/// a simulator that silently corrupts state is worse than one that stops.
+#define REDMULE_ASSERT(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) ::redmule::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REDMULE_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                         \
+    if (!(expr)) ::redmule::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Validates user-facing arguments; throws redmule::Error on failure.
+#define REDMULE_REQUIRE(expr, msg)                                  \
+  do {                                                              \
+    if (!(expr)) throw ::redmule::Error(std::string("requirement `") + #expr + \
+                                        "` violated: " + (msg));    \
+  } while (0)

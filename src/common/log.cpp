@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace redmule {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[redmule %s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace redmule

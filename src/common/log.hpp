@@ -1,0 +1,25 @@
+/// \file log.hpp
+/// \brief Minimal leveled logger. Defaults to warnings-only so that test and
+///        bench output stays clean; raise the level for debugging runs.
+#pragma once
+
+#include <cstdarg>
+
+namespace redmule {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Sets the global log threshold (messages above it are dropped).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Thread-compatible (no interleaving guarantees).
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace redmule
+
+#define REDMULE_LOG_ERROR(...) ::redmule::logf(::redmule::LogLevel::kError, __VA_ARGS__)
+#define REDMULE_LOG_WARN(...) ::redmule::logf(::redmule::LogLevel::kWarn, __VA_ARGS__)
+#define REDMULE_LOG_INFO(...) ::redmule::logf(::redmule::LogLevel::kInfo, __VA_ARGS__)
+#define REDMULE_LOG_DEBUG(...) ::redmule::logf(::redmule::LogLevel::kDebug, __VA_ARGS__)
+#define REDMULE_LOG_TRACE(...) ::redmule::logf(::redmule::LogLevel::kTrace, __VA_ARGS__)

@@ -1,0 +1,63 @@
+/// \file matrix.hpp
+/// \brief Dense row-major matrix container used for GEMM operands.
+///
+/// RedMulE computes Z = X * W with X (M x N), W (N x K), Z (M x K); this
+/// container mirrors the flat row-major layout those matrices have in the
+/// TCDM, so a Matrix<Float16> can be copied into simulated memory verbatim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace redmule {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  size_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  T& at(size_t r, size_t c) {
+    REDMULE_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& at(size_t r, size_t c) const {
+    REDMULE_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  T& operator()(size_t r, size_t c) { return at(r, c); }
+  const T& operator()(size_t r, size_t c) const { return at(r, c); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+      for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+    return t;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace redmule

@@ -1,0 +1,49 @@
+/// \file stats.hpp
+/// \brief Streaming statistics accumulators used by the simulator's
+///        performance counters and by the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace redmule {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator); 0 if n < 2.
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Simple named event counter, e.g. stall causes or port grants.
+class Counter {
+ public:
+  explicit Counter(std::string name = {}) : name_(std::move(name)) {}
+  void inc(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::string name_;
+  uint64_t value_ = 0;
+};
+
+}  // namespace redmule

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace redmule {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+  REDMULE_REQUIRE(!header_.empty(), "table header must have at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  REDMULE_REQUIRE(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TablePrinter::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::to_string(const std::string& title) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(width[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep.append(width[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  out += sep;
+  out += render_row(header_);
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+void TablePrinter::print(std::FILE* out, const std::string& title) const {
+  const std::string s = to_string(title);
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace redmule

@@ -1,0 +1,37 @@
+/// \file table.hpp
+/// \brief Fixed-width ASCII table printer. The bench binaries use it to emit
+///        the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace redmule {
+
+/// Collects rows of string cells and prints them column-aligned, with an
+/// optional title and a header separator -- enough to render every table and
+/// figure series in the paper as text.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Renders to \p out (stdout by default).
+  void print(std::FILE* out = stdout, const std::string& title = {}) const;
+
+  std::string to_string(const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace redmule

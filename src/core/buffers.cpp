@@ -1,0 +1,144 @@
+#include "core/buffers.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace redmule::core {
+
+// ---------------------------------------------------------------------------
+// XBuffer
+// ---------------------------------------------------------------------------
+
+XBuffer::XBuffer(const Geometry& g) : geom_(g) {}
+
+void XBuffer::open_group(uint64_t tile, uint32_t q, unsigned valid_rows) {
+  REDMULE_ASSERT(can_accept_group());
+  XGroup grp;
+  grp.tile = tile;
+  grp.q = q;
+  grp.valid_rows = valid_rows;
+  grp.rows.assign(geom_.l, Line(geom_.j_slots()));  // invalid rows stay zero
+  groups_.push_back(std::move(grp));
+}
+
+void XBuffer::deliver_row(Line line) {
+  REDMULE_ASSERT(!groups_.empty());
+  XGroup& grp = groups_.back();
+  REDMULE_ASSERT(grp.loaded_rows < grp.valid_rows);
+  REDMULE_ASSERT(line.size() == geom_.j_slots());
+  grp.rows[grp.loaded_rows] = std::move(line);
+  ++grp.loaded_rows;
+}
+
+const XGroup* XBuffer::find_ready(uint64_t tile, uint32_t q) const {
+  for (const XGroup& grp : groups_)
+    if (grp.tile == tile && grp.q == q) return grp.ready() ? &grp : nullptr;
+  return nullptr;
+}
+
+XGroup* XBuffer::find_ready(uint64_t tile, uint32_t q) {
+  return const_cast<XGroup*>(std::as_const(*this).find_ready(tile, q));
+}
+
+void XBuffer::pop_front() {
+  REDMULE_ASSERT(!groups_.empty());
+  groups_.pop_front();
+}
+
+// ---------------------------------------------------------------------------
+// WBuffer
+// ---------------------------------------------------------------------------
+
+WBuffer::WBuffer(const Geometry& g) : geom_(g), cols_(g.h) {}
+
+bool WBuffer::can_push(unsigned col) const {
+  REDMULE_ASSERT(col < geom_.h);
+  return cols_[col].size() < kDepth;
+}
+
+void WBuffer::push(unsigned col, WLine line) {
+  REDMULE_ASSERT(can_push(col));
+  REDMULE_ASSERT(line.elems.size() == geom_.j_slots());
+  cols_[col].push_back(std::move(line));
+}
+
+const WLine* WBuffer::front_if(unsigned col, uint64_t tile, uint32_t trav) const {
+  REDMULE_ASSERT(col < geom_.h);
+  if (cols_[col].empty()) return nullptr;
+  const WLine& f = cols_[col].front();
+  return (f.tile == tile && f.trav == trav) ? &f : nullptr;
+}
+
+void WBuffer::pop(unsigned col) {
+  REDMULE_ASSERT(col < geom_.h && !cols_[col].empty());
+  cols_[col].pop_front();
+}
+
+void WBuffer::reset() {
+  for (auto& c : cols_) c.clear();
+}
+
+// ---------------------------------------------------------------------------
+// ZBuffer
+// ---------------------------------------------------------------------------
+
+ZBuffer::ZBuffer(const Geometry& g) : geom_(g) {}
+
+bool ZBuffer::can_open_tile() const {
+  return open_tiles_.size() < kTileBuffers && stores_.size() < kTileBuffers * geom_.l;
+}
+
+void ZBuffer::open_tile(uint64_t tile) {
+  REDMULE_ASSERT(can_open_tile());
+  TileBuf buf;
+  buf.tile = tile;
+  buf.rows.assign(geom_.l, Line(geom_.j_slots()));
+  open_tiles_.push_back(std::move(buf));
+}
+
+bool ZBuffer::tile_open(uint64_t tile) const {
+  for (const TileBuf& b : open_tiles_)
+    if (b.tile == tile) return true;
+  return false;
+}
+
+void ZBuffer::capture(uint64_t tile, uint32_t tau,
+                      const std::vector<fp16::Float16>& values) {
+  REDMULE_ASSERT(values.size() == geom_.l);
+  for (TileBuf& b : open_tiles_) {
+    if (b.tile != tile) continue;
+    REDMULE_ASSERT(tau < geom_.j_slots());
+    for (unsigned r = 0; r < geom_.l; ++r) b.rows[r][tau] = values[r];
+    return;
+  }
+  REDMULE_ASSERT_MSG(false, "capture into a tile that was never opened");
+}
+
+void ZBuffer::close_tile(uint64_t tile, uint32_t z_ptr, const Job& job, unsigned mt,
+                         unsigned kt) {
+  REDMULE_ASSERT(!open_tiles_.empty());
+  // Tiles close in order.
+  REDMULE_ASSERT(open_tiles_.front().tile == tile);
+  TileBuf buf = std::move(open_tiles_.front());
+  open_tiles_.pop_front();
+
+  const unsigned js = geom_.j_slots();
+  const uint32_t j0 = kt * js;
+  const unsigned valid_cols = std::min<unsigned>(js, job.k - j0);
+  const unsigned r0 = mt * geom_.l;
+  const unsigned valid_rows = std::min<unsigned>(geom_.l, job.m - r0);
+  for (unsigned r = 0; r < valid_rows; ++r) {
+    ZStore st;
+    st.addr = z_ptr + ((r0 + r) * job.k + j0) * 2;
+    st.n_halfwords = valid_cols;
+    st.data.assign(buf.rows[r].begin(), buf.rows[r].begin() + valid_cols);
+    stores_.push_back(std::move(st));
+  }
+}
+
+void ZBuffer::reset() {
+  open_tiles_.clear();
+  stores_.clear();
+}
+
+}  // namespace redmule::core

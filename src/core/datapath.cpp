@@ -1,0 +1,90 @@
+#include "core/datapath.hpp"
+
+#include <utility>
+
+namespace redmule::core {
+
+using fp16::Float16;
+
+Datapath::Datapath(const Geometry& g) : geom_(g) {
+  g.validate();
+  pipes_.assign(g.h, std::vector<Slot>(g.fma_latency()));
+}
+
+void Datapath::reset() {
+  for (auto& pipe : pipes_)
+    for (auto& slot : pipe) slot = Slot{};
+  fma_ops_ = 0;
+}
+
+bool Datapath::drained() const {
+  for (const auto& pipe : pipes_)
+    for (const auto& slot : pipe)
+      if (slot.valid) return false;
+  return true;
+}
+
+std::optional<Datapath::Capture> Datapath::advance(
+    const std::vector<ColumnIssue>& issues) {
+  const unsigned h = geom_.h;
+  const unsigned l = geom_.l;
+  REDMULE_ASSERT(issues.size() == h);
+
+  // Phase A: registered outputs of every column (deepest pipeline stage).
+  std::vector<Slot> outs(h);
+  for (unsigned c = 0; c < h; ++c) outs[c] = pipes_[c].back();
+
+  // Phase B: shift all pipes and insert this cycle's issues at stage 0.
+  std::optional<Capture> capture;
+  for (unsigned c = 0; c < h; ++c) {
+    auto& pipe = pipes_[c];
+    for (unsigned i = static_cast<unsigned>(pipe.size()) - 1; i > 0; --i)
+      pipe[i] = std::move(pipe[i - 1]);
+
+    Slot in;
+    const ColumnIssue& issue = issues[c];
+    if (issue.active) {
+      REDMULE_ASSERT(issue.x.size() == l);
+      in.valid = true;
+      in.tag = issue.tag;
+      in.values.resize(l);
+
+      // Accumulation input: previous column's output, the feedback path for
+      // column 0, or zero on the very first traversal of a tile.
+      const Slot* acc = nullptr;
+      if (c > 0) {
+        acc = &outs[c - 1];
+        REDMULE_ASSERT_MSG(acc->valid, "upstream column bubble at issue time");
+        REDMULE_ASSERT_MSG(acc->tag == issue.tag, "systolic schedule misaligned");
+      } else if (!issue.first_traversal) {
+        acc = &outs[h - 1];
+        REDMULE_ASSERT_MSG(acc->valid, "feedback bubble at issue time");
+        REDMULE_ASSERT_MSG(acc->tag.tile == issue.tag.tile &&
+                               acc->tag.trav + 1 == issue.tag.trav &&
+                               acc->tag.tau == issue.tag.tau,
+                           "feedback schedule misaligned");
+      }
+
+      const bool has_init = !issue.init_acc.empty();
+      REDMULE_ASSERT(!has_init || issue.init_acc.size() == l);
+      for (unsigned r = 0; r < l; ++r) {
+        const Float16 a = acc != nullptr ? acc->values[r]
+                          : has_init     ? issue.init_acc[r]
+                                         : Float16{};
+        in.values[r] = Float16::fma(issue.x[r], issue.w, a);
+      }
+      fma_ops_ += l;
+    }
+    pipe[0] = std::move(in);
+  }
+
+  // Phase C: a last-traversal entry emerging from the final column is a
+  // finished chunk of Z destined for the Z-buffer.
+  const Slot& last = outs[h - 1];
+  if (last.valid && last.tag.last_traversal) {
+    capture = Capture{last.tag, last.values};
+  }
+  return capture;
+}
+
+}  // namespace redmule::core

@@ -1,0 +1,85 @@
+/// \file datapath.hpp
+/// \brief RedMulE's semi-systolic FMA array (paper Fig. 2b/2d).
+///
+/// L rows by H columns of FP16 FMA units. Within a row, column c passes its
+/// result to column c+1 through P+1 pipeline stages; the last column feeds
+/// back into the first one (accumulation input), so a row keeps
+/// H*(P+1) partial dot products ("j-slots") in flight at all times.
+///
+/// The model simulates every pipeline register with real FP16 arithmetic and
+/// carries (tile, traversal, j-slot) tags alongside the data. The tags are
+/// redundant with the schedule -- the hardware has none -- but let the model
+/// assert, every cycle, that operands meet exactly when the schedule says
+/// they must. A scheduling bug therefore aborts instead of silently
+/// computing garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::core {
+
+/// Identity of one in-flight partial result.
+struct PipeTag {
+  uint64_t tile = 0;    ///< global tile sequence number
+  uint32_t trav = 0;    ///< feedback traversal index t (n-chunk)
+  uint32_t tau = 0;     ///< j-slot index within the tile (0 .. j_slots-1)
+  bool last_traversal = false;  ///< completes a Z element when true
+
+  bool operator==(const PipeTag&) const = default;
+};
+
+class Datapath {
+ public:
+  explicit Datapath(const Geometry& g);
+
+  /// Issue descriptor for one column in the current cycle.
+  struct ColumnIssue {
+    bool active = false;
+    PipeTag tag;
+    bool first_traversal = false;        ///< accumulate from init, not feedback
+    fp16::Float16 w;                     ///< broadcast W element
+    std::vector<fp16::Float16> x;        ///< per-row X operands (size L)
+    /// First-traversal accumulator initialization: zeros for Z = X*W, the
+    /// streamed Y elements for the Z = Y + X*W extension. Empty means zeros.
+    std::vector<fp16::Float16> init_acc;
+  };
+
+  /// Finished Z-row chunk emerging from the last column.
+  struct Capture {
+    PipeTag tag;
+    std::vector<fp16::Float16> values;  ///< one Z element per row (size L)
+  };
+
+  /// Advances the array by one (unstalled) cycle. \p issues has exactly H
+  /// entries. Returns the capture output if a last-traversal entry emerged.
+  std::optional<Capture> advance(const std::vector<ColumnIssue>& issues);
+
+  /// Clears all pipeline state (soft clear).
+  void reset();
+
+  const Geometry& geometry() const { return geom_; }
+  /// Total FMA operations performed (including padded lanes), for the
+  /// power model's activity factor.
+  uint64_t fma_ops() const { return fma_ops_; }
+  /// True if no valid data is in flight.
+  bool drained() const;
+
+ private:
+  struct Slot {
+    bool valid = false;
+    PipeTag tag;
+    std::vector<fp16::Float16> values;  ///< per-row partials
+  };
+
+  Geometry geom_;
+  /// pipes_[c][i]: stage i of column c; stage p (deepest) is the output.
+  std::vector<std::vector<Slot>> pipes_;
+  uint64_t fma_ops_ = 0;
+};
+
+}  // namespace redmule::core

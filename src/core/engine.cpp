@@ -1,0 +1,212 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+namespace redmule::core {
+
+using fp16::Float16;
+
+RedmuleEngine::RedmuleEngine(const Geometry& g, mem::Hci& hci)
+    : geom_(g),
+      hci_(hci),
+      datapath_(g),
+      xbuf_(g),
+      ybuf_(g),
+      wbuf_(g),
+      zbuf_(g),
+      streamer_(g, hci, xbuf_, ybuf_, wbuf_, zbuf_) {
+  g.validate();
+  // The streamer must fit a whole (possibly 16-bit-misaligned) line into one
+  // shallow access: j_slots/2 words of payload + 1 word for misalignment.
+  REDMULE_REQUIRE(g.j_slots() / 2 + 1 <= hci.config().shallow_words,
+                  "HCI shallow port too narrow for this geometry");
+  REDMULE_REQUIRE(g.j_slots() <= 32,
+                  "cycle model supports up to 32 j-slots (use the analytical "
+                  "model for wider geometries)");
+  x_regs_.assign(g.h, std::vector<Float16>(g.l));
+}
+
+void RedmuleEngine::reg_write(uint32_t offset, uint32_t value) {
+  const bool triggered = regfile_.write(offset, value);
+  if (offset == kRegSoftClear) {
+    // Abort any running job and clear all state.
+    state_ = State::kIdle;
+    datapath_.reset();
+    xbuf_.reset();
+    ybuf_.reset();
+    wbuf_.reset();
+    zbuf_.reset();
+    streamer_.soft_clear();
+    done_event_ = false;
+    return;
+  }
+  if (triggered) start_job();
+}
+
+bool RedmuleEngine::take_done_event() {
+  const bool e = done_event_;
+  done_event_ = false;
+  return e;
+}
+
+void RedmuleEngine::start_job() {
+  job_ = regfile_.job();
+  job_.validate();
+  tiling_.emplace(job_, geom_);
+  regfile_.on_job_started();
+  datapath_.reset();
+  streamer_.start(job_);
+  ac_ = 0;
+  total_span_ = static_cast<uint64_t>(tiling_->tiles()) * tiling_->n_chunks *
+                geom_.j_slots();
+  for (auto& regs : x_regs_) std::fill(regs.begin(), regs.end(), Float16{});
+  cur_stats_ = JobStats{};
+  cur_stats_.macs = job_.macs();
+  state_ = State::kRunning;
+}
+
+void RedmuleEngine::finish_job() {
+  streamer_.stop();
+  cur_stats_.fma_ops = datapath_.fma_ops();
+  last_stats_ = cur_stats_;
+  regfile_.on_job_finished();
+  done_event_ = true;
+  state_ = State::kIdle;
+}
+
+bool RedmuleEngine::try_advance() {
+  const unsigned h = geom_.h;
+  const unsigned js = geom_.j_slots();
+  const unsigned lat = geom_.fma_latency();
+  const Tiling& tl = *tiling_;
+
+  // Decoded schedule step for one column.
+  struct ColStep {
+    bool active = false;
+    uint64_t tile = 0;
+    uint32_t trav = 0;
+    uint32_t tau = 0;
+    uint64_t n = 0;
+    bool padded = false;  // n >= N: zero lane, no buffer involvement
+  };
+  std::vector<ColStep> steps(h);
+
+  // --- Phase 1: decode and check every requirement; stall on any miss
+  // (global HWPE enable, nothing moves on a stall).
+  for (unsigned c = 0; c < h; ++c) {
+    const int64_t local = static_cast<int64_t>(ac_) - static_cast<int64_t>(c) * lat;
+    if (local < 0 || local >= static_cast<int64_t>(total_span_)) continue;
+    ColStep& st = steps[c];
+    st.active = true;
+    const uint64_t t_global = static_cast<uint64_t>(local) / js;
+    st.tile = t_global / tl.n_chunks;
+    st.trav = static_cast<uint32_t>(t_global % tl.n_chunks);
+    st.tau = static_cast<uint32_t>(local % js);
+    st.n = static_cast<uint64_t>(st.trav) * h + c;
+    st.padded = st.n >= job_.n;
+
+    if (!st.padded) {
+      // The W element is consumed from the column's shift register every
+      // cycle of the traversal window.
+      if (wbuf_.front_if(c, st.tile, st.trav) == nullptr) return false;
+      // The X operand registers load from the X-buffer at tau == 0 only;
+      // afterwards the line may be retired (the operands are held locally).
+      if (st.tau == 0 &&
+          xbuf_.find_ready(st.tile, static_cast<uint32_t>(st.n / js)) == nullptr)
+        return false;
+    }
+    // Accumulation input: column 0 injects Y on the first traversal.
+    if (job_.accumulate && c == 0 && st.trav == 0 &&
+        ybuf_.find_ready(st.tile, 0) == nullptr)
+      return false;
+    // Z capture-buffer reservation at the start of a tile's last traversal
+    // in the final column; the capture itself begins fma_latency later.
+    if (c == h - 1 && st.trav == tl.n_chunks - 1 && st.tau == 0 &&
+        !zbuf_.can_open_tile())
+      return false;
+  }
+
+  // --- Phase 2: all operands present; perform latches, pops, and the
+  // datapath step.
+  std::vector<Datapath::ColumnIssue> issues(h);
+  for (unsigned c = 0; c < h; ++c) {
+    const ColStep& st = steps[c];
+    Datapath::ColumnIssue& issue = issues[c];
+    if (!st.active) continue;
+
+    if (st.tau == 0) {
+      // Operand-register load: latch the X elements for this traversal.
+      if (st.padded) {
+        std::fill(x_regs_[c].begin(), x_regs_[c].end(), Float16{});
+      } else {
+        const uint32_t q = static_cast<uint32_t>(st.n / js);
+        XGroup* grp = xbuf_.find_ready(st.tile, q);
+        REDMULE_ASSERT(grp != nullptr);
+        const unsigned off = static_cast<unsigned>(st.n % js);
+        for (unsigned r = 0; r < geom_.l; ++r) x_regs_[c][r] = grp->rows[r][off];
+        // Retire the line group once its last operand load happened.
+        ++grp->uses;
+        const uint32_t n0 = q * js;
+        const uint32_t expected = std::min<uint32_t>(js, job_.n - n0);
+        if (grp->uses == expected) xbuf_.pop_front();
+      }
+    }
+
+    issue.active = true;
+    issue.tag = PipeTag{st.tile, st.trav, st.tau, st.trav == tl.n_chunks - 1};
+    issue.first_traversal = st.trav == 0;
+    issue.x = x_regs_[c];
+    if (job_.accumulate && c == 0 && st.trav == 0) {
+      XGroup* ygrp = ybuf_.find_ready(st.tile, 0);
+      REDMULE_ASSERT(ygrp != nullptr);
+      issue.init_acc.resize(geom_.l);
+      for (unsigned r = 0; r < geom_.l; ++r)
+        issue.init_acc[r] = ygrp->rows[r][st.tau];
+      if (st.tau == js - 1) ybuf_.pop_front();  // Y tile fully injected
+    }
+    if (!st.padded) {
+      const WLine* wl = wbuf_.front_if(c, st.tile, st.trav);
+      REDMULE_ASSERT(wl != nullptr);
+      issue.w = wl->elems[st.tau];
+      if (st.tau == js - 1) wbuf_.pop(c);  // line fully broadcast
+    }
+    if (c == h - 1 && st.trav == tl.n_chunks - 1 && st.tau == 0)
+      zbuf_.open_tile(st.tile);
+  }
+
+  const std::optional<Datapath::Capture> cap = datapath_.advance(issues);
+  if (observer_) observer_(ac_, issues, cap);
+  if (cap.has_value()) {
+    zbuf_.capture(cap->tag.tile, cap->tag.tau, cap->values);
+    if (cap->tag.tau == js - 1) {  // tile fully captured: emit row stores
+      const unsigned mt = static_cast<unsigned>(cap->tag.tile / tl.k_tiles);
+      const unsigned kt = static_cast<unsigned>(cap->tag.tile % tl.k_tiles);
+      zbuf_.close_tile(cap->tag.tile, job_.z_ptr, job_, mt, kt);
+    }
+  }
+  ++ac_;
+  return true;
+}
+
+void RedmuleEngine::tick() {
+  if (state_ == State::kRunning) {
+    ++cur_stats_.cycles;
+    if (ac_ < total_span_ + geom_.j_slots()) {
+      if (try_advance())
+        ++cur_stats_.advance_cycles;
+      else
+        ++cur_stats_.stall_cycles;
+    }
+    // Job completes when the schedule ran out, the array drained, and every
+    // Z store left the cluster.
+    if (ac_ >= total_span_ + geom_.j_slots() && datapath_.drained() &&
+        zbuf_.drained() && streamer_.idle()) {
+      finish_job();
+    }
+  }
+  streamer_.tick();
+}
+
+void RedmuleEngine::commit() { streamer_.commit(); }
+
+}  // namespace redmule::core

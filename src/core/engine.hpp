@@ -1,0 +1,109 @@
+/// \file engine.hpp
+/// \brief RedMulE top level: Scheduler + Controller FSM driving the datapath,
+///        the three buffers and the streamer (paper Fig. 1, right side).
+///
+/// The engine executes offloaded jobs Z = X * W. Per cycle it either
+/// *advances* the array (all columns issue according to the rigid systolic
+/// schedule of §II-C) or *stalls globally* when an operand line has not
+/// arrived or the Z-buffer is full -- the all-or-nothing enable of a real
+/// HWPE. Cycle counts therefore include startup (X-buffer preload), pipeline
+/// fill, memory contention, and drain, which is exactly what the paper's
+/// utilization plots measure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/buffers.hpp"
+#include "core/config.hpp"
+#include "core/datapath.hpp"
+#include "core/regfile.hpp"
+#include "core/streamer.hpp"
+#include "mem/hci.hpp"
+#include "sim/simulator.hpp"
+
+namespace redmule::core {
+
+/// Per-job performance counters.
+struct JobStats {
+  uint64_t cycles = 0;          ///< trigger to done
+  uint64_t advance_cycles = 0;  ///< cycles the array moved
+  uint64_t stall_cycles = 0;    ///< cycles the array was frozen
+  uint64_t macs = 0;            ///< useful MACs (M*N*K)
+  uint64_t fma_ops = 0;         ///< physical FMA issues incl. padded lanes
+
+  double macs_per_cycle() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(macs) / static_cast<double>(cycles);
+  }
+  /// Fraction of the ideal (H*L MACs/cycle) actually achieved.
+  double utilization(const Geometry& g) const {
+    return macs_per_cycle() / static_cast<double>(g.n_fmas());
+  }
+};
+
+class RedmuleEngine : public sim::Clocked {
+ public:
+  RedmuleEngine(const Geometry& g, mem::Hci& hci);
+
+  // --- Peripheral-interconnect side (cores program the accelerator) --------
+  /// Register write; a TRIGGER write validates and starts the job.
+  void reg_write(uint32_t offset, uint32_t value);
+  uint32_t reg_read(uint32_t offset) const { return regfile_.read(offset); }
+
+  bool busy() const { return state_ == State::kRunning; }
+  /// Event line toward the cluster event unit; cleared by the reader.
+  bool take_done_event();
+
+  const Geometry& geometry() const { return geom_; }
+  const RegFile& regfile() const { return regfile_; }
+  const JobStats& last_job_stats() const { return last_stats_; }
+  const Streamer& streamer() const { return streamer_; }
+
+  /// Debug/visualization hook: invoked after every successful array advance
+  /// with the schedule counter, the issue set (inactive columns have
+  /// active = false) and the capture, if any. Used by the Fig. 2 schedule
+  /// bench and by schedule-verification tests; zero cost when unset.
+  using ScheduleObserver =
+      std::function<void(uint64_t ac, const std::vector<Datapath::ColumnIssue>&,
+                         const std::optional<Datapath::Capture>&)>;
+  void set_schedule_observer(ScheduleObserver obs) { observer_ = std::move(obs); }
+
+  // --- Clocked ---------------------------------------------------------------
+  void tick() override;
+  void commit() override;
+
+ private:
+  enum class State { kIdle, kRunning };
+
+  void start_job();
+  void finish_job();
+  bool try_advance();
+
+  Geometry geom_;
+  mem::Hci& hci_;
+  RegFile regfile_;
+  Datapath datapath_;
+  XBuffer xbuf_;
+  XBuffer ybuf_;  ///< Y-accumulation lines (extension; one group per tile)
+  WBuffer wbuf_;
+  ZBuffer zbuf_;
+  Streamer streamer_;
+
+  State state_ = State::kIdle;
+  Job job_;
+  std::optional<Tiling> tiling_;
+  uint64_t ac_ = 0;          ///< array schedule counter (advance steps)
+  uint64_t total_span_ = 0;  ///< issue window length = tiles * n_chunks * j_slots
+  bool done_event_ = false;
+  /// Per-column X operand registers: loaded from the X-buffer at the first
+  /// j-slot of each traversal and held for the whole H*(P+1) window, as the
+  /// paper describes ("X-matrix elements of each FMA are held steady").
+  std::vector<std::vector<fp16::Float16>> x_regs_;
+
+  JobStats cur_stats_;
+  JobStats last_stats_;
+  ScheduleObserver observer_;
+};
+
+}  // namespace redmule::core

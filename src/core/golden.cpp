@@ -1,0 +1,57 @@
+#include "core/golden.hpp"
+
+namespace redmule::core {
+
+using fp16::Float16;
+
+MatrixF16 golden_gemm(const MatrixF16& x, const MatrixF16& w) {
+  REDMULE_REQUIRE(x.cols() == w.rows(), "GEMM shape mismatch");
+  MatrixF16 z(x.rows(), w.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      Float16 acc;
+      for (size_t n = 0; n < x.cols(); ++n) acc = Float16::fma(x(i, n), w(n, j), acc);
+      z(i, j) = acc;
+    }
+  }
+  return z;
+}
+
+MatrixF16 golden_gemm_padded(const MatrixF16& x, const MatrixF16& w,
+                             const Geometry& g, const MatrixF16* y) {
+  REDMULE_REQUIRE(x.cols() == w.rows(), "GEMM shape mismatch");
+  if (y != nullptr)
+    REDMULE_REQUIRE(y->rows() == x.rows() && y->cols() == w.cols(),
+                    "Y shape mismatch");
+  const size_t n_pad = round_up(x.cols(), static_cast<size_t>(g.h));
+  MatrixF16 z(x.rows(), w.cols());
+  const Float16 zero;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      Float16 acc = y != nullptr ? (*y)(i, j) : Float16{};
+      for (size_t n = 0; n < n_pad; ++n) {
+        const Float16 a = n < x.cols() ? x(i, n) : zero;
+        const Float16 b = n < x.cols() ? w(n, j) : zero;
+        acc = Float16::fma(a, b, acc);
+      }
+      z(i, j) = acc;
+    }
+  }
+  return z;
+}
+
+Matrix<double> golden_gemm_f64(const MatrixF16& x, const MatrixF16& w) {
+  REDMULE_REQUIRE(x.cols() == w.rows(), "GEMM shape mismatch");
+  Matrix<double> z(x.rows(), w.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t n = 0; n < x.cols(); ++n)
+        acc += x(i, n).to_double() * w(n, j).to_double();
+      z(i, j) = acc;
+    }
+  }
+  return z;
+}
+
+}  // namespace redmule::core

@@ -1,0 +1,162 @@
+/// \file float16.hpp
+/// \brief Bit-accurate IEEE 754 binary16 ("FP16") soft-float library.
+///
+/// RedMulE's datapath is built from FPnew FP16 FMA units [Mach et al., TVLSI
+/// 2020]. This library reproduces that arithmetic in software so that the
+/// simulated accelerator computes bit-identical results to an RTL datapath:
+///  - 1 sign + 5 exponent + 10 fraction bits, bias 15;
+///  - gradual underflow (subnormals), signed zero, infinities, NaNs;
+///  - single-rounding fused multiply-add computed on exact significands;
+///  - all five RISC-V rounding modes (RNE, RTZ, RDN, RUP, RMM);
+///  - RISC-V fflags exception reporting (NV, DZ, OF, UF, NX);
+///  - RISC-V NaN conventions: canonical quiet NaN 0x7E00, fmin/fmax ignore
+///    one quiet NaN, signaling NaNs raise NV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace redmule::fp16 {
+
+/// RISC-V rounding modes (frm encoding order).
+enum class RoundingMode : uint8_t {
+  kRNE = 0,  ///< round to nearest, ties to even (default)
+  kRTZ = 1,  ///< round toward zero
+  kRDN = 2,  ///< round down (toward -inf)
+  kRUP = 3,  ///< round up (toward +inf)
+  kRMM = 4,  ///< round to nearest, ties away from zero ("to max magnitude")
+};
+
+/// IEEE exception flags, RISC-V fflags bit order.
+struct Flags {
+  bool invalid = false;       ///< NV
+  bool div_by_zero = false;   ///< DZ
+  bool overflow = false;      ///< OF
+  bool underflow = false;     ///< UF
+  bool inexact = false;       ///< NX
+
+  void clear() { *this = Flags{}; }
+  /// Packs into the RISC-V fflags layout: NV|DZ|OF|UF|NX = bits 4..0.
+  uint8_t to_fflags() const {
+    return static_cast<uint8_t>((invalid << 4) | (div_by_zero << 3) | (overflow << 2) |
+                                (underflow << 1) | (inexact << 0));
+  }
+  bool any() const { return to_fflags() != 0; }
+};
+
+/// Value type wrapping a raw binary16 encoding. Trivially copyable; exactly
+/// 16 bits of state so matrices of Float16 have the hardware memory layout.
+class Float16 {
+ public:
+  constexpr Float16() = default;
+
+  /// Reinterprets a raw encoding (no conversion).
+  static constexpr Float16 from_bits(uint16_t bits) {
+    Float16 f;
+    f.bits_ = bits;
+    return f;
+  }
+  constexpr uint16_t bits() const { return bits_; }
+
+  // --- Encoding constants -------------------------------------------------
+  static constexpr int kExpBits = 5;
+  static constexpr int kFracBits = 10;
+  static constexpr int kBias = 15;
+  static constexpr int kEmax = 15;    ///< max unbiased exponent of a normal
+  static constexpr int kEmin = -14;   ///< min unbiased exponent of a normal
+  static constexpr uint16_t kQuietNaN = 0x7E00;     ///< RISC-V canonical NaN
+  static constexpr uint16_t kPosInf = 0x7C00;
+  static constexpr uint16_t kNegInf = 0xFC00;
+  static constexpr uint16_t kPosZero = 0x0000;
+  static constexpr uint16_t kNegZero = 0x8000;
+  static constexpr uint16_t kMaxNormal = 0x7BFF;    ///< 65504
+  static constexpr uint16_t kMinNormal = 0x0400;    ///< 2^-14
+  static constexpr uint16_t kMinSubnormal = 0x0001; ///< 2^-24
+
+  // --- Classification -----------------------------------------------------
+  constexpr bool sign() const { return (bits_ >> 15) != 0; }
+  constexpr uint16_t exp_field() const { return (bits_ >> 10) & 0x1F; }
+  constexpr uint16_t frac_field() const { return bits_ & 0x3FF; }
+  constexpr bool is_nan() const { return exp_field() == 0x1F && frac_field() != 0; }
+  constexpr bool is_signaling_nan() const { return is_nan() && ((bits_ & 0x0200) == 0); }
+  constexpr bool is_inf() const { return exp_field() == 0x1F && frac_field() == 0; }
+  constexpr bool is_zero() const { return (bits_ & 0x7FFF) == 0; }
+  constexpr bool is_subnormal() const { return exp_field() == 0 && frac_field() != 0; }
+  constexpr bool is_normal() const { return exp_field() != 0 && exp_field() != 0x1F; }
+  constexpr bool is_finite() const { return exp_field() != 0x1F; }
+
+  /// RISC-V fclass.h 10-bit classification mask.
+  uint16_t fclass() const;
+
+  // --- Conversions (exact where the target is wider) -----------------------
+  float to_float() const;
+  double to_double() const;
+  static Float16 from_float(float x, RoundingMode rm = RoundingMode::kRNE,
+                            Flags* flags = nullptr);
+  static Float16 from_double(double x, RoundingMode rm = RoundingMode::kRNE,
+                             Flags* flags = nullptr);
+  static Float16 from_int32(int32_t x, RoundingMode rm = RoundingMode::kRNE,
+                            Flags* flags = nullptr);
+  static Float16 from_uint32(uint32_t x, RoundingMode rm = RoundingMode::kRNE,
+                             Flags* flags = nullptr);
+  /// Converts to int32 (RISC-V fcvt.w.h semantics: NaN/overflow -> saturate + NV).
+  int32_t to_int32(RoundingMode rm = RoundingMode::kRTZ, Flags* flags = nullptr) const;
+  uint32_t to_uint32(RoundingMode rm = RoundingMode::kRTZ, Flags* flags = nullptr) const;
+
+  // --- Arithmetic (single IEEE rounding each) ------------------------------
+  static Float16 add(Float16 a, Float16 b, RoundingMode rm = RoundingMode::kRNE,
+                     Flags* flags = nullptr);
+  static Float16 sub(Float16 a, Float16 b, RoundingMode rm = RoundingMode::kRNE,
+                     Flags* flags = nullptr);
+  static Float16 mul(Float16 a, Float16 b, RoundingMode rm = RoundingMode::kRNE,
+                     Flags* flags = nullptr);
+  static Float16 div(Float16 a, Float16 b, RoundingMode rm = RoundingMode::kRNE,
+                     Flags* flags = nullptr);
+  static Float16 sqrt(Float16 a, RoundingMode rm = RoundingMode::kRNE,
+                      Flags* flags = nullptr);
+  /// Fused multiply-add: round(a*b + c) with a single rounding -- the exact
+  /// operation each RedMulE datapath element performs every cycle.
+  static Float16 fma(Float16 a, Float16 b, Float16 c,
+                     RoundingMode rm = RoundingMode::kRNE, Flags* flags = nullptr);
+
+  Float16 neg() const { return from_bits(static_cast<uint16_t>(bits_ ^ 0x8000)); }
+  Float16 abs() const { return from_bits(static_cast<uint16_t>(bits_ & 0x7FFF)); }
+
+  // --- Comparisons (IEEE: NaN compares unordered) ---------------------------
+  static bool eq(Float16 a, Float16 b, Flags* flags = nullptr);   ///< quiet (feq.h)
+  static bool lt(Float16 a, Float16 b, Flags* flags = nullptr);   ///< signaling (flt.h)
+  static bool le(Float16 a, Float16 b, Flags* flags = nullptr);   ///< signaling (fle.h)
+  /// RISC-V fmin/fmax: one NaN -> other operand; both NaN -> canonical NaN;
+  /// sNaN input raises NV; min(+0,-0) = -0, max(+0,-0) = +0.
+  static Float16 min(Float16 a, Float16 b, Flags* flags = nullptr);
+  static Float16 max(Float16 a, Float16 b, Flags* flags = nullptr);
+
+  // --- Convenience operators (RNE, flags ignored) ---------------------------
+  friend Float16 operator+(Float16 a, Float16 b) { return add(a, b); }
+  friend Float16 operator-(Float16 a, Float16 b) { return sub(a, b); }
+  friend Float16 operator*(Float16 a, Float16 b) { return mul(a, b); }
+  friend Float16 operator/(Float16 a, Float16 b) { return div(a, b); }
+  Float16 operator-() const { return neg(); }
+  friend bool operator==(Float16 a, Float16 b) { return eq(a, b); }
+  friend bool operator!=(Float16 a, Float16 b) { return !eq(a, b); }
+  friend bool operator<(Float16 a, Float16 b) { return lt(a, b); }
+  friend bool operator<=(Float16 a, Float16 b) { return le(a, b); }
+  friend bool operator>(Float16 a, Float16 b) { return lt(b, a); }
+  friend bool operator>=(Float16 a, Float16 b) { return le(b, a); }
+
+  /// Debug rendering, e.g. "0x3C00(1)".
+  std::string to_string() const;
+
+ private:
+  uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Float16) == 2, "Float16 must have the hardware layout");
+
+/// Shorthand used throughout the codebase.
+inline Float16 f16(double x) { return Float16::from_double(x); }
+
+/// ULP distance between two finite encodings (for test tolerances).
+int32_t ulp_distance(Float16 a, Float16 b);
+
+}  // namespace redmule::fp16

@@ -1,0 +1,575 @@
+/// \file softfloat.cpp
+/// \brief Implementation of the binary16 soft-float core.
+///
+/// Every operation follows the same plan used by RTL FPUs such as FPnew:
+/// unpack the operands into exact integer significands, compute the exact
+/// (or exactly-sticky-tracked) result, and perform a single IEEE rounding via
+/// round_pack(). Tininess is detected *after* rounding, matching RISC-V.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+constexpr uint16_t kSignMask = 0x8000;
+
+struct Unpacked {
+  bool sign = false;
+  int exp = 0;       // value = sig * 2^exp
+  uint32_t sig = 0;  // integer significand, < 2^11 for fp16 inputs
+};
+
+/// Unpacks a finite, nonzero fp16 value.
+Unpacked unpack(Float16 f) {
+  REDMULE_ASSERT(f.is_finite() && !f.is_zero());
+  Unpacked u;
+  u.sign = f.sign();
+  if (f.exp_field() == 0) {  // subnormal: 0.frac * 2^-14 = frac * 2^-24
+    u.sig = f.frac_field();
+    u.exp = -24;
+  } else {  // normal: 1.frac * 2^(E) = (2^10 + frac) * 2^(E - 10)
+    u.sig = 0x400u | f.frac_field();
+    u.exp = static_cast<int>(f.exp_field()) - Float16::kBias - Float16::kFracBits;
+  }
+  return u;
+}
+
+void raise(Flags* flags, bool Flags::* field) {
+  if (flags != nullptr) flags->*field = true;
+}
+
+Float16 quiet_nan() { return Float16::from_bits(Float16::kQuietNaN); }
+
+Float16 signed_zero(bool sign) {
+  return Float16::from_bits(sign ? Float16::kNegZero : Float16::kPosZero);
+}
+
+Float16 signed_inf(bool sign) {
+  return Float16::from_bits(sign ? Float16::kNegInf : Float16::kPosInf);
+}
+
+/// True if the rounding decision is "increment" for a truncated significand.
+bool round_up(RoundingMode rm, bool sign, bool lsb, bool round_bit, bool sticky) {
+  switch (rm) {
+    case RoundingMode::kRNE: return round_bit && (sticky || lsb);
+    case RoundingMode::kRTZ: return false;
+    case RoundingMode::kRDN: return sign && (round_bit || sticky);
+    case RoundingMode::kRUP: return !sign && (round_bit || sticky);
+    case RoundingMode::kRMM: return round_bit;
+  }
+  return false;
+}
+
+struct RoundedAt {
+  uint64_t kept = 0;  // truncated+rounded significand, unit 2^(exp + p)
+  int p = 0;          // rounding position relative to sig's own lsb
+  bool inexact = false;
+};
+
+/// Rounds value sig*2^exp (plus sticky_in below) keeping bits of weight
+/// >= 2^(exp + p). Handles p <= 0 (no discard) as exact reinterpretation.
+RoundedAt round_at(uint64_t sig, bool sticky_in, int p, RoundingMode rm, bool sign) {
+  RoundedAt r;
+  r.p = p;
+  if (p <= 0) {
+    REDMULE_ASSERT(-p < 40);
+    r.kept = sig << -p;
+    r.inexact = sticky_in;
+    if (sticky_in && round_up(rm, sign, (r.kept & 1) != 0, false, true)) ++r.kept;
+    return r;
+  }
+  uint64_t kept = 0;
+  bool rb = false;
+  bool sticky = sticky_in;
+  if (p >= 65) {  // every bit of sig lies strictly below the round bit
+    sticky = sticky || sig != 0;
+  } else if (p == 64) {  // round bit is sig's msb, everything else is sticky
+    rb = (sig >> 63) != 0;
+    sticky = sticky || (sig & ~(1ull << 63)) != 0;
+  } else {
+    kept = sig >> p;
+    rb = ((sig >> (p - 1)) & 1) != 0;
+    if (p >= 2)
+      sticky = sticky || (sig & mask<uint64_t>(0, static_cast<unsigned>(p - 1))) != 0;
+  }
+  r.kept = kept;
+  r.inexact = rb || sticky;
+  if (round_up(rm, sign, (kept & 1) != 0, rb, sticky)) ++r.kept;
+  return r;
+}
+
+/// Packs and rounds an exact value (-1)^sign * sig * 2^exp (sticky_in marks
+/// discarded nonzero weight below sig's lsb). The single rounding point of
+/// every arithmetic op.
+Float16 round_pack(bool sign, int exp, uint64_t sig, bool sticky_in, RoundingMode rm,
+                   Flags* flags) {
+  if (sig == 0) {
+    // Value is zero-or-pure-sticky. Pure sticky is a tiny nonzero residue.
+    if (!sticky_in) return signed_zero(sign);
+    raise(flags, &Flags::underflow);
+    raise(flags, &Flags::inexact);
+    const bool up = round_up(rm, sign, false, false, true);
+    return up ? Float16::from_bits(static_cast<uint16_t>((sign ? kSignMask : 0) | 1))
+              : signed_zero(sign);
+  }
+
+  const int msb = 63 - static_cast<int>(clz64(sig));
+  // --- Step 1: round with unbounded exponent range (11-bit precision) to
+  // decide tininess-after-rounding, as RISC-V requires.
+  const RoundedAt norm = round_at(sig, sticky_in, msb - Float16::kFracBits, rm, sign);
+  int norm_exp = exp + norm.p;
+  uint64_t norm_sig = norm.kept;
+  if (norm_sig == (1ull << (Float16::kFracBits + 1))) {  // carry out of rounding
+    norm_sig >>= 1;
+    ++norm_exp;
+  }
+  const int norm_e = norm_exp + Float16::kFracBits;  // unbiased exponent of result
+  const bool tiny = norm_e < Float16::kEmin;
+
+  if (!tiny) {
+    if (norm_e > Float16::kEmax) {  // overflow
+      raise(flags, &Flags::overflow);
+      raise(flags, &Flags::inexact);
+      const bool to_inf = rm == RoundingMode::kRNE || rm == RoundingMode::kRMM ||
+                          (rm == RoundingMode::kRUP && !sign) ||
+                          (rm == RoundingMode::kRDN && sign);
+      return to_inf ? signed_inf(sign)
+                    : Float16::from_bits(static_cast<uint16_t>(
+                          (sign ? kSignMask : 0) | Float16::kMaxNormal));
+    }
+    if (norm.inexact) raise(flags, &Flags::inexact);
+    const uint16_t biased = static_cast<uint16_t>(norm_e + Float16::kBias);
+    const uint16_t frac = static_cast<uint16_t>(norm_sig & 0x3FF);
+    return Float16::from_bits(
+        static_cast<uint16_t>((sign ? kSignMask : 0) | (biased << 10) | frac));
+  }
+
+  // --- Step 2: tiny result; re-round the *original* exact value at the
+  // subnormal quantum 2^-24.
+  const RoundedAt sub = round_at(sig, sticky_in, -24 - exp, rm, sign);
+  if (sub.inexact) {
+    raise(flags, &Flags::underflow);
+    raise(flags, &Flags::inexact);
+  }
+  REDMULE_ASSERT(sub.kept <= (1ull << Float16::kFracBits));
+  if (sub.kept == (1ull << Float16::kFracBits)) {
+    // Rounded all the way up to the smallest normal 2^-14.
+    return Float16::from_bits(
+        static_cast<uint16_t>((sign ? kSignMask : 0) | Float16::kMinNormal));
+  }
+  return Float16::from_bits(
+      static_cast<uint16_t>((sign ? kSignMask : 0) | (sub.kept & 0x3FF)));
+}
+
+/// NaN handling shared by two-operand ops: returns true if the result is
+/// already decided (written to *out).
+bool propagate_nan2(Float16 a, Float16 b, Flags* flags, Float16* out) {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) raise(flags, &Flags::invalid);
+  if (a.is_nan() || b.is_nan()) {
+    *out = quiet_nan();
+    return true;
+  }
+  return false;
+}
+
+uint64_t isqrt64(uint64_t v) {
+  if (v == 0) return 0;
+  uint64_t r = static_cast<uint64_t>(std::sqrt(static_cast<double>(v)));
+  while (r > 0 && r * r > v) --r;
+  while ((r + 1) * (r + 1) <= v) ++r;
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Classification & conversions
+// ---------------------------------------------------------------------------
+
+uint16_t Float16::fclass() const {
+  if (is_nan()) return is_signaling_nan() ? (1u << 8) : (1u << 9);
+  if (is_inf()) return sign() ? (1u << 0) : (1u << 7);
+  if (is_zero()) return sign() ? (1u << 3) : (1u << 4);
+  if (is_subnormal()) return sign() ? (1u << 2) : (1u << 5);
+  return sign() ? (1u << 1) : (1u << 6);
+}
+
+float Float16::to_float() const {
+  if (is_nan()) {
+    // Canonical float qNaN with preserved sign cleared (RISC-V canonicalizes).
+    uint32_t b = 0x7FC00000u;
+    float f;
+    std::memcpy(&f, &b, sizeof(f));
+    return f;
+  }
+  if (is_inf()) return sign() ? -INFINITY : INFINITY;
+  if (is_zero()) return sign() ? -0.0f : 0.0f;
+  const Unpacked u = unpack(*this);
+  const float v = std::ldexp(static_cast<float>(u.sig), u.exp);
+  return u.sign ? -v : v;
+}
+
+double Float16::to_double() const {
+  if (is_nan()) return std::numeric_limits<double>::quiet_NaN();
+  if (is_inf()) return sign() ? -INFINITY : INFINITY;
+  if (is_zero()) return sign() ? -0.0 : 0.0;
+  const Unpacked u = unpack(*this);
+  const double v = std::ldexp(static_cast<double>(u.sig), u.exp);
+  return u.sign ? -v : v;
+}
+
+Float16 Float16::from_double(double x, RoundingMode rm, Flags* flags) {
+  uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  const bool sign = (b >> 63) != 0;
+  const uint32_t e = static_cast<uint32_t>((b >> 52) & 0x7FF);
+  const uint64_t frac = b & ((1ull << 52) - 1);
+  if (e == 0x7FF) {
+    if (frac != 0) {  // NaN; double sNaN has quiet bit (bit 51) clear
+      if ((frac & (1ull << 51)) == 0) raise(flags, &Flags::invalid);
+      return quiet_nan();
+    }
+    return signed_inf(sign);
+  }
+  if (e == 0 && frac == 0) return signed_zero(sign);
+  uint64_t sig;
+  int exp;
+  if (e == 0) {  // double subnormal: frac * 2^(-1022-52)
+    sig = frac;
+    exp = -1074;
+  } else {
+    sig = (1ull << 52) | frac;
+    exp = static_cast<int>(e) - 1023 - 52;
+  }
+  return round_pack(sign, exp, sig, false, rm, flags);
+}
+
+Float16 Float16::from_float(float x, RoundingMode rm, Flags* flags) {
+  uint32_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  const bool sign = (b >> 31) != 0;
+  const uint32_t e = (b >> 23) & 0xFF;
+  const uint32_t frac = b & ((1u << 23) - 1);
+  if (e == 0xFF) {
+    if (frac != 0) {
+      if ((frac & (1u << 22)) == 0) raise(flags, &Flags::invalid);
+      return quiet_nan();
+    }
+    return signed_inf(sign);
+  }
+  if (e == 0 && frac == 0) return signed_zero(sign);
+  uint64_t sig;
+  int exp;
+  if (e == 0) {
+    sig = frac;
+    exp = -126 - 23;
+  } else {
+    sig = (1u << 23) | frac;
+    exp = static_cast<int>(e) - 127 - 23;
+  }
+  return round_pack(sign, exp, sig, false, rm, flags);
+}
+
+Float16 Float16::from_int32(int32_t x, RoundingMode rm, Flags* flags) {
+  if (x == 0) return signed_zero(false);
+  const bool sign = x < 0;
+  const uint64_t mag = sign ? (~static_cast<uint64_t>(static_cast<uint32_t>(x)) + 1)
+                                  & 0xFFFFFFFFull
+                            : static_cast<uint64_t>(x);
+  return round_pack(sign, 0, mag, false, rm, flags);
+}
+
+Float16 Float16::from_uint32(uint32_t x, RoundingMode rm, Flags* flags) {
+  if (x == 0) return signed_zero(false);
+  return round_pack(false, 0, x, false, rm, flags);
+}
+
+int32_t Float16::to_int32(RoundingMode rm, Flags* flags) const {
+  if (is_nan()) {
+    raise(flags, &Flags::invalid);
+    return INT32_MAX;  // RISC-V fcvt.w.h on NaN
+  }
+  if (is_inf()) {
+    raise(flags, &Flags::invalid);
+    return sign() ? INT32_MIN : INT32_MAX;
+  }
+  if (is_zero()) return 0;
+  const Unpacked u = unpack(*this);
+  // max |fp16| = 65504 so the magnitude always fits; only rounding matters.
+  const RoundedAt r = round_at(u.sig, false, -u.exp, rm, u.sign);
+  if (r.inexact) raise(flags, &Flags::inexact);
+  const int64_t v = static_cast<int64_t>(r.kept) * (u.sign ? -1 : 1);
+  return static_cast<int32_t>(v);
+}
+
+uint32_t Float16::to_uint32(RoundingMode rm, Flags* flags) const {
+  if (is_nan()) {
+    raise(flags, &Flags::invalid);
+    return UINT32_MAX;
+  }
+  if (is_inf()) {
+    raise(flags, &Flags::invalid);
+    return sign() ? 0 : UINT32_MAX;
+  }
+  if (is_zero()) return 0;
+  const Unpacked u = unpack(*this);
+  const RoundedAt r = round_at(u.sig, false, -u.exp, rm, u.sign);
+  if (u.sign && r.kept != 0) {  // negative value that does not round to zero
+    raise(flags, &Flags::invalid);
+    return 0;
+  }
+  if (r.inexact) raise(flags, &Flags::inexact);
+  return static_cast<uint32_t>(r.kept);
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+Float16 Float16::add(Float16 a, Float16 b, RoundingMode rm, Flags* flags) {
+  Float16 out;
+  if (propagate_nan2(a, b, flags, &out)) return out;
+  if (a.is_inf() || b.is_inf()) {
+    if (a.is_inf() && b.is_inf() && a.sign() != b.sign()) {
+      raise(flags, &Flags::invalid);
+      return quiet_nan();
+    }
+    return a.is_inf() ? a : b;
+  }
+  if (a.is_zero() && b.is_zero()) {
+    if (a.sign() == b.sign()) return a;
+    return signed_zero(rm == RoundingMode::kRDN);
+  }
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  const int e = std::min(ua.exp, ub.exp);
+  // Max exponent gap is 29 and sig < 2^11, so 64-bit alignment is exact.
+  const int64_t sa = static_cast<int64_t>(static_cast<uint64_t>(ua.sig)
+                                          << (ua.exp - e)) *
+                     (ua.sign ? -1 : 1);
+  const int64_t sb = static_cast<int64_t>(static_cast<uint64_t>(ub.sig)
+                                          << (ub.exp - e)) *
+                     (ub.sign ? -1 : 1);
+  const int64_t s = sa + sb;
+  if (s == 0) return signed_zero(rm == RoundingMode::kRDN);
+  const bool sign = s < 0;
+  return round_pack(sign, e, static_cast<uint64_t>(sign ? -s : s), false, rm, flags);
+}
+
+Float16 Float16::sub(Float16 a, Float16 b, RoundingMode rm, Flags* flags) {
+  if (b.is_nan()) {  // preserve sNaN signaling through neg()
+    Float16 out;
+    propagate_nan2(a, b, flags, &out);
+    return out;
+  }
+  return add(a, b.neg(), rm, flags);
+}
+
+Float16 Float16::mul(Float16 a, Float16 b, RoundingMode rm, Flags* flags) {
+  Float16 out;
+  if (propagate_nan2(a, b, flags, &out)) return out;
+  const bool sign = a.sign() != b.sign();
+  if (a.is_inf() || b.is_inf()) {
+    if (a.is_zero() || b.is_zero()) {
+      raise(flags, &Flags::invalid);
+      return quiet_nan();
+    }
+    return signed_inf(sign);
+  }
+  if (a.is_zero() || b.is_zero()) return signed_zero(sign);
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  const uint64_t sig = static_cast<uint64_t>(ua.sig) * ub.sig;  // <= 2^22, exact
+  return round_pack(sign, ua.exp + ub.exp, sig, false, rm, flags);
+}
+
+Float16 Float16::fma(Float16 a, Float16 b, Float16 c, RoundingMode rm, Flags* flags) {
+  // RISC-V: inf * 0 raises NV even when the addend is a quiet NaN.
+  const bool inf_times_zero =
+      (a.is_inf() && b.is_zero()) || (a.is_zero() && b.is_inf());
+  if (inf_times_zero) {
+    raise(flags, &Flags::invalid);
+    return quiet_nan();
+  }
+  if (a.is_signaling_nan() || b.is_signaling_nan() || c.is_signaling_nan())
+    raise(flags, &Flags::invalid);
+  if (a.is_nan() || b.is_nan() || c.is_nan()) return quiet_nan();
+
+  const bool psign = a.sign() != b.sign();
+  if (a.is_inf() || b.is_inf()) {  // product is an infinity
+    if (c.is_inf() && c.sign() != psign) {
+      raise(flags, &Flags::invalid);
+      return quiet_nan();
+    }
+    return signed_inf(psign);
+  }
+  if (c.is_inf()) return c;
+  if (a.is_zero() || b.is_zero()) {  // exact zero product
+    if (c.is_zero()) {
+      if (psign == c.sign()) return signed_zero(psign);
+      return signed_zero(rm == RoundingMode::kRDN);
+    }
+    return c;
+  }
+
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  const uint64_t psig = static_cast<uint64_t>(ua.sig) * ub.sig;  // exact, <= 2^22
+  const int pexp = ua.exp + ub.exp;
+
+  if (c.is_zero()) return round_pack(psign, pexp, psig, false, rm, flags);
+
+  const Unpacked uc = unpack(c);
+  // Exact alignment in 128 bits: worst-case shift is ~53 over <= 22-bit sigs.
+  const int e = std::min(pexp, uc.exp);
+  REDMULE_ASSERT(pexp - e < 64 && uc.exp - e < 64);
+  const __int128 p128 = static_cast<__int128>(
+                            static_cast<unsigned __int128>(psig) << (pexp - e)) *
+                        (psign ? -1 : 1);
+  const __int128 c128 = static_cast<__int128>(
+                            static_cast<unsigned __int128>(uc.sig) << (uc.exp - e)) *
+                        (uc.sign ? -1 : 1);
+  const __int128 s = p128 + c128;
+  if (s == 0) return signed_zero(rm == RoundingMode::kRDN);
+  const bool sign = s < 0;
+  unsigned __int128 m = static_cast<unsigned __int128>(sign ? -s : s);
+  // Collapse to 64 bits + sticky for round_pack.
+  int exp = e;
+  bool sticky = false;
+  while (m >> 63 != 0) {
+    sticky = sticky || (m & 1) != 0;
+    m >>= 1;
+    ++exp;
+  }
+  return round_pack(sign, exp, static_cast<uint64_t>(m), sticky, rm, flags);
+}
+
+Float16 Float16::div(Float16 a, Float16 b, RoundingMode rm, Flags* flags) {
+  Float16 out;
+  if (propagate_nan2(a, b, flags, &out)) return out;
+  const bool sign = a.sign() != b.sign();
+  if (a.is_inf()) {
+    if (b.is_inf()) {
+      raise(flags, &Flags::invalid);
+      return quiet_nan();
+    }
+    return signed_inf(sign);
+  }
+  if (b.is_inf()) return signed_zero(sign);
+  if (b.is_zero()) {
+    if (a.is_zero()) {
+      raise(flags, &Flags::invalid);
+      return quiet_nan();
+    }
+    raise(flags, &Flags::div_by_zero);
+    return signed_inf(sign);
+  }
+  if (a.is_zero()) return signed_zero(sign);
+
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  // Quotient with >= 29 significant bits plus a remainder-driven sticky.
+  const uint64_t num = static_cast<uint64_t>(ua.sig) << 40;
+  const uint64_t q = num / ub.sig;
+  const bool rem = (num % ub.sig) != 0;
+  return round_pack(sign, ua.exp - ub.exp - 40, q, rem, rm, flags);
+}
+
+Float16 Float16::sqrt(Float16 a, RoundingMode rm, Flags* flags) {
+  if (a.is_nan()) {
+    if (a.is_signaling_nan()) raise(flags, &Flags::invalid);
+    return quiet_nan();
+  }
+  if (a.is_zero()) return a;  // sqrt(+-0) = +-0
+  if (a.sign()) {
+    raise(flags, &Flags::invalid);
+    return quiet_nan();
+  }
+  if (a.is_inf()) return a;
+
+  Unpacked u = unpack(a);
+  if ((u.exp & 1) != 0) {  // make the exponent even
+    u.sig <<= 1;
+    u.exp -= 1;
+  }
+  const uint64_t scaled = static_cast<uint64_t>(u.sig) << 40;  // even shift
+  const uint64_t r = isqrt64(scaled);
+  const bool sticky = r * r != scaled;
+  return round_pack(false, u.exp / 2 - 20, r, sticky, rm, flags);
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Total-order key for finite/inf encodings (NaN excluded): monotone in value.
+int32_t order_key(Float16 f) {
+  const int32_t mag = f.bits() & 0x7FFF;
+  return f.sign() ? -mag : mag;
+}
+}  // namespace
+
+bool Float16::eq(Float16 a, Float16 b, Flags* flags) {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) raise(flags, &Flags::invalid);
+  if (a.is_nan() || b.is_nan()) return false;
+  return order_key(a) == order_key(b);  // +-0 both map to 0
+}
+
+bool Float16::lt(Float16 a, Float16 b, Flags* flags) {
+  if (a.is_nan() || b.is_nan()) {
+    raise(flags, &Flags::invalid);  // flt.h is a signaling comparison
+    return false;
+  }
+  return order_key(a) < order_key(b);
+}
+
+bool Float16::le(Float16 a, Float16 b, Flags* flags) {
+  if (a.is_nan() || b.is_nan()) {
+    raise(flags, &Flags::invalid);
+    return false;
+  }
+  return order_key(a) <= order_key(b);
+}
+
+Float16 Float16::min(Float16 a, Float16 b, Flags* flags) {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) raise(flags, &Flags::invalid);
+  if (a.is_nan() && b.is_nan()) return quiet_nan();
+  if (a.is_nan()) return b;
+  if (b.is_nan()) return a;
+  if (a.is_zero() && b.is_zero()) return a.sign() ? a : b;  // min(+0,-0) = -0
+  return order_key(a) <= order_key(b) ? a : b;
+}
+
+Float16 Float16::max(Float16 a, Float16 b, Flags* flags) {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) raise(flags, &Flags::invalid);
+  if (a.is_nan() && b.is_nan()) return quiet_nan();
+  if (a.is_nan()) return b;
+  if (b.is_nan()) return a;
+  if (a.is_zero() && b.is_zero()) return a.sign() ? b : a;  // max(+0,-0) = +0
+  return order_key(a) >= order_key(b) ? a : b;
+}
+
+std::string Float16::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "0x%04X(%g)", bits_, to_double());
+  return buf;
+}
+
+int32_t ulp_distance(Float16 a, Float16 b) {
+  REDMULE_ASSERT(!a.is_nan() && !b.is_nan());
+  const int32_t ka = order_key(a);
+  const int32_t kb = order_key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+}  // namespace redmule::fp16

@@ -1,0 +1,38 @@
+/// \file assembler.hpp
+/// \brief Two-pass assembler for the core model's instruction set.
+///
+/// Accepts standard RISC-V assembly syntax for the supported subset plus the
+/// PULP extensions:
+///
+///     loop_i:
+///       p.flh  ft0, 2(t0!)        # post-increment FP16 load
+///       flh    ft1, 0(t1)
+///       add    t1, t1, s2
+///       fmadd.h fa0, ft0, ft1, fa0
+///       lp.setup t3, loop_end     # hardware loop until loop_end, t3 times
+///       ...
+///     loop_end:
+///       fsh    fa0, 0(t2)
+///       halt
+///
+/// Labels resolve to instruction indices. Register names accept both
+/// architectural (x5, f10) and ABI (t0, a1, ft0, fa0, fs1) forms.
+#pragma once
+
+#include <string>
+
+#include "common/check.hpp"
+#include "isa/instr.hpp"
+
+namespace redmule::isa {
+
+/// Assembles \p source into a program. Throws redmule::Error with a line
+/// number on any syntax error or unknown mnemonic.
+Program assemble(const std::string& source);
+
+/// Parses a register name (integer file). Throws on error.
+uint8_t parse_int_reg(const std::string& name);
+/// Parses an FP register name. Throws on error.
+uint8_t parse_fp_reg(const std::string& name);
+
+}  // namespace redmule::isa

@@ -1,0 +1,144 @@
+#include "isa/kernels.hpp"
+
+namespace redmule::isa {
+
+std::string fp16_matmul_kernel(const KernelOptions& opts) {
+  // Strides: s2 = 2*K (W row stride), s3 = 2*N (X row stride),
+  //          s7 = n_cores * 2*N (X row step), s8 = n_cores * 2*K (Z row step).
+  std::string src = R"(
+    # --- per-core pointer setup -------------------------------------------
+    slli  s2, a5, 1          # W row stride = 2K bytes
+    slli  s3, a4, 1          # X row stride = 2N bytes
+    mul   s4, a6, s3
+    add   s5, a0, s4         # s5 = &X[core_id][0]
+    mul   s6, a6, a5
+    slli  s6, s6, 1
+    add   s6, a2, s6         # s6 = &Z[core_id][0]
+    mul   s7, a7, s3         # X row step across cores
+    mul   s8, a7, a5
+    slli  s8, s8, 1          # Z row step across cores
+    mul   s10, a6, a5
+    div   s10, s10, a7       # per-core j offset = core_id*K/n_cores: cores
+                             # sweep disjoint W columns at any instant, so
+                             # their W loads land in different TCDM banks
+    mv    s9, a6             # i = core_id
+    li    t5, 1
+    bne   a4, t5, outer_i    # N == 1: dedicated outer-product kernel below
+  # --- outer-product path (N = 1, e.g. the B=1 dW of the autoencoder):
+  # z[i][j] = x[i][0] * w[0][j]; W row 0 is contiguous, so the inner loop is
+  # a streamed load-mul-store, two elements per iteration to hide the FPU
+  # latency. Any real kernel library dispatches this case separately.
+  op_outer:
+    bge   s9, a3, kernel_done
+    flh   ft0, 0(s5)         # x[i][0]
+    mv    t1, a1             # w[0][*]
+    mv    t2, s6             # z[i][*]
+    srli  t6, a5, 1          # K/2 paired iterations
+    beq   t6, zero, op_tail
+    lp.setup t6, op_loop_end
+      p.flh  ft1, 2(t1!)
+      p.flh  ft4, 2(t1!)
+      fmul.h ft2, ft0, ft1
+      fmul.h ft5, ft0, ft4
+      p.fsh  ft2, 2(t2!)
+      p.fsh  ft5, 2(t2!)
+  op_loop_end:
+  op_tail:
+    andi  t5, a5, 1
+    beq   t5, zero, op_row_done
+    flh   ft1, 0(t1)
+    fmul.h ft2, ft0, ft1
+    fsh   ft2, 0(t2)
+  op_row_done:
+    add   s5, s5, s7
+    add   s6, s6, s8
+    add   s9, s9, a7
+    j     op_outer
+  # --- generic path (N > 1) ----------------------------------------------
+  outer_i:
+    bge   s9, a3, kernel_done
+    li    t4, 0              # jj = 0 (j iterates K times from the offset)
+  inner_j:
+    bge   t4, a5, end_j
+    add   t5, t4, s10        # j = jj + offset, wrapped into [0, K)
+    blt   t5, a5, no_wrap
+    sub   t5, t5, a5
+  no_wrap:
+    mv    t0, s5             # X pointer (row i start)
+    slli  t5, t5, 1
+    add   t1, a1, t5         # W pointer = &W[0][j]
+    add   t2, s6, t5         # Z pointer = &Z[i][j]
+    fmv.h.x fa0, zero        # accumulator = 0
+)";
+  if (opts.use_fma) {
+    src += R"(
+    lp.setup a4, dot_end     # hardware loop over N
+      p.flh  ft0, 2(t0!)     # x[i][n], post-increment
+      flh    ft1, 0(t1)      # w[n][j]
+      add    t1, t1, s2
+      fmadd.h fa0, ft0, ft1, fa0
+  dot_end:
+)";
+  } else {
+    // Software-pipelined mul+add: the product of iteration n is accumulated
+    // in iteration n+1, hiding the FPU latency behind the loop body (the
+    // accumulation order is unchanged: products are added oldest-first).
+    src += R"(
+    fmv.h.x ft2, zero        # pipelined product register
+    lp.setup a4, dot_end     # hardware loop over N
+      p.flh  ft0, 2(t0!)     # x[i][n], post-increment
+      flh    ft1, 0(t1)      # w[n][j]
+      add    t1, t1, s2
+      fadd.h fa0, fa0, ft2   # accumulate the previous product
+      fmul.h ft2, ft0, ft1
+  dot_end:
+    fadd.h fa0, fa0, ft2     # drain the last product
+)";
+  }
+  src += R"(
+    fsh   fa0, 0(t2)         # z[i][j]
+    addi  t4, t4, 1
+    j     inner_j
+  end_j:
+    add   s5, s5, s7
+    add   s6, s6, s8
+    add   s9, s9, a7
+    j     outer_i
+  kernel_done:
+    halt
+)";
+  return src;
+}
+
+std::string redmule_offload_kernel() {
+  // Register offsets must match core/regfile.hpp (kRegXPtr = 0x40, ...).
+  return R"(
+    sw   a0, 0x40(a6)     # X pointer
+    sw   a1, 0x44(a6)     # W pointer
+    sw   a2, 0x48(a6)     # Z pointer
+    sw   a3, 0x4C(a6)     # M
+    sw   a4, 0x50(a6)     # N
+    sw   a5, 0x54(a6)     # K
+    sw   zero, 0x5C(a6)   # flags: plain Z = X*W
+    sw   zero, 0x00(a6)   # TRIGGER
+  wait_done:
+    lw   t0, 0x0C(a6)     # STATUS: 1 while running
+    bne  t0, zero, wait_done
+    halt
+  )";
+}
+
+std::string fp16_vector_sum_kernel() {
+  // a0 = &src (FP16 array), a1 = element count, a2 = &dst (FP16 scalar).
+  return R"(
+    fmv.h.x fa0, zero
+    lp.setup a1, sum_end
+      p.flh  ft0, 2(a0!)
+      fadd.h fa0, fa0, ft0
+  sum_end:
+    fsh  fa0, 0(a2)
+    halt
+)";
+}
+
+}  // namespace redmule::isa

@@ -1,0 +1,40 @@
+/// \file kernels.hpp
+/// \brief Hand-written FP16 kernels for the software baseline.
+///
+/// The paper's 22x speedup claim compares RedMulE against "SW execution on 8
+/// RISC-V cores". This module provides that software side: an FP16 matrix-
+/// multiplication kernel in PULP-extended RISC-V assembly (hardware loops +
+/// post-increment loads), parallelized by row interleaving across cores.
+///
+/// Kernel ABI (set by the launcher in cluster/sw_gemm.cpp):
+///   a0 = &X, a1 = &W, a2 = &Z (TCDM byte addresses)
+///   a3 = M, a4 = N, a5 = K
+///   a6 = core id, a7 = number of cores
+/// Core `c` computes rows c, c+n_cores, c+2*n_cores, ... of Z.
+#pragma once
+
+#include <string>
+
+namespace redmule::isa {
+
+struct KernelOptions {
+  /// Use fused fmadd.h in the inner loop. The calibrated paper baseline uses
+  /// a separate fmul.h + fadd.h pair (RI5CY-class cores without fused FP16
+  /// ops); enabling FMA is the "stronger baseline" ablation.
+  bool use_fma = false;
+};
+
+/// Returns the assembly text of the parallel FP16 GEMM kernel Z = X * W.
+std::string fp16_matmul_kernel(const KernelOptions& opts = {});
+
+/// Returns a trivial kernel that loads, accumulates and stores a vector of
+/// FP16 values -- used by ISS unit tests and the memory-contention tests.
+std::string fp16_vector_sum_kernel();
+
+/// Kernel that offloads one GEMM to RedMulE through the memory-mapped HWPE
+/// register file and busy-waits on the STATUS register -- the software side
+/// of the tightly-coupled offload in the paper's programming model.
+/// ABI: a0=&X, a1=&W, a2=&Z, a3=M, a4=N, a5=K, a6=RedMulE periph base.
+std::string redmule_offload_kernel();
+
+}  // namespace redmule::isa

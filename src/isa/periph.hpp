@@ -1,0 +1,25 @@
+/// \file periph.hpp
+/// \brief Peripheral-interconnect port seen by the cluster cores.
+///
+/// The PULP cluster's cores reach HWPE register files (and other cluster
+/// peripherals) through a dedicated peripheral interconnect, separate from
+/// the TCDM path (paper Fig. 1, "PERIPH INTERCO"). The core model issues
+/// regular lw/sw to a mapped address window; the cluster top implements this
+/// interface on top of RedMulE's register file, which is how a core offloads
+/// a job without any host-side magic.
+#pragma once
+
+#include <cstdint>
+
+namespace redmule::isa {
+
+class PeriphPort {
+ public:
+  virtual ~PeriphPort() = default;
+  /// 32-bit register read at byte offset \p offset inside the window.
+  virtual uint32_t read(uint32_t offset) = 0;
+  /// 32-bit register write.
+  virtual void write(uint32_t offset, uint32_t value) = 0;
+};
+
+}  // namespace redmule::isa

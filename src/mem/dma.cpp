@@ -1,0 +1,106 @@
+#include "mem/dma.hpp"
+
+#include <algorithm>
+
+namespace redmule::mem {
+
+DmaEngine::DmaEngine(Hci& hci, L2Memory& l2, DmaConfig cfg)
+    : hci_(hci), l2_(l2), cfg_(cfg) {
+  REDMULE_REQUIRE(cfg.n_ports >= 1, "DMA needs at least one port");
+  REDMULE_REQUIRE(cfg.first_log_port + cfg.n_ports <= hci.config().n_log_ports,
+                  "DMA ports exceed the HCI log-port count");
+}
+
+uint64_t DmaEngine::submit(const DmaTransfer& t) {
+  REDMULE_REQUIRE(queue_.size() < cfg_.max_outstanding, "DMA queue full");
+  REDMULE_REQUIRE((t.tcdm_addr & 3u) == 0, "DMA TCDM address must be word-aligned");
+  REDMULE_REQUIRE((t.len_bytes & 3u) == 0 && t.len_bytes > 0,
+                  "DMA length must be a positive multiple of 4");
+  REDMULE_REQUIRE(l2_.contains(t.l2_addr, t.len_bytes), "DMA L2 range invalid");
+  queue_.push_back(t);
+  return next_id_++;
+}
+
+void DmaEngine::start_next() {
+  if (!active_.empty() || queue_.empty()) return;
+  Active a;
+  a.t = queue_.front();
+  queue_.pop_front();
+  a.latency_left = l2_.config().access_latency;
+  active_.push_back(a);
+}
+
+void DmaEngine::tick() {
+  start_next();
+  if (active_.empty()) return;
+  Active& a = active_.front();
+  ++busy_cycles_;
+
+  // Resolve last cycle's beats; ungranted beats are reposted below.
+  std::deque<PendingBeat> retry;
+  bool any_stall = false;
+  for (const PendingBeat& beat : in_flight_) {
+    const LogResult& res = hci_.log_result(beat.port);
+    if (!res.granted) {
+      retry.push_back(beat);
+      any_stall = true;
+      continue;
+    }
+    if (beat.is_read) {  // TCDM -> L2
+      const uint32_t word = res.rdata;
+      l2_.write(a.t.l2_addr + beat.offset, &word, 4);
+    }
+    a.completed_bytes += 4;
+  }
+  in_flight_.clear();
+  if (any_stall) ++stall_cycles_;
+
+  if (a.latency_left > 0) {
+    --a.latency_left;
+    // Still repost retries even during the latency window.
+  }
+
+  // Issue new beats: limited by ports, retries, and L2 bandwidth.
+  const unsigned l2_beats = std::max(1u, l2_.config().bytes_per_cycle / 4);
+  const unsigned budget = std::min(cfg_.n_ports, l2_beats);
+  unsigned used_ports = 0;
+
+  auto post = [&](const PendingBeat& beat) {
+    LogRequest req;
+    req.addr = a.t.tcdm_addr + beat.offset;
+    if (beat.is_read) {
+      req.we = false;
+    } else {
+      req.we = true;
+      l2_.read(a.t.l2_addr + beat.offset, &req.wdata, 4);
+    }
+    hci_.post_log(beat.port, req);
+    in_flight_.push_back(beat);
+  };
+
+  for (const PendingBeat& beat : retry) {
+    PendingBeat b = beat;
+    b.port = cfg_.first_log_port + used_ports;  // ports are interchangeable
+    post(b);
+    ++used_ports;
+  }
+  if (a.latency_left == 0) {
+    while (used_ports < budget && a.next_offset < a.t.len_bytes) {
+      PendingBeat beat;
+      beat.port = cfg_.first_log_port + used_ports;
+      beat.offset = a.next_offset;
+      beat.is_read = a.t.dir == DmaDirection::kTcdmToL2;
+      post(beat);
+      a.next_offset += 4;
+      ++used_ports;
+    }
+  }
+
+  if (a.completed_bytes >= a.t.len_bytes && in_flight_.empty() &&
+      a.next_offset >= a.t.len_bytes) {
+    active_.pop_front();
+    ++completed_;
+  }
+}
+
+}  // namespace redmule::mem

@@ -1,0 +1,80 @@
+/// \file dma.hpp
+/// \brief Cluster DMA engine (MCHAN-style) moving data between L2 and TCDM.
+///
+/// The DMA owns a few log-branch ports into the HCI (so its beats contend
+/// with the cores, as in the real cluster) and is bandwidth-limited on the
+/// L2 side. Transfers are queued 1-D jobs; completion is polled via
+/// transfer ids, mirroring the MCHAN counter-based interface.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/hci.hpp"
+#include "mem/l2.hpp"
+#include "sim/simulator.hpp"
+
+namespace redmule::mem {
+
+struct DmaConfig {
+  unsigned first_log_port = 8;  ///< log ports [first, first + n_ports)
+  unsigned n_ports = 4;
+  unsigned max_outstanding = 16;
+};
+
+enum class DmaDirection { kL2ToTcdm, kTcdmToL2 };
+
+struct DmaTransfer {
+  uint32_t l2_addr = 0;
+  uint32_t tcdm_addr = 0;   ///< must be word-aligned
+  uint32_t len_bytes = 0;   ///< must be a multiple of 4
+  DmaDirection dir = DmaDirection::kL2ToTcdm;
+};
+
+class DmaEngine : public sim::Clocked {
+ public:
+  DmaEngine(Hci& hci, L2Memory& l2, DmaConfig cfg = {});
+
+  /// Enqueues a transfer; returns its id. Throws if the queue is full.
+  uint64_t submit(const DmaTransfer& t);
+
+  /// True once transfer \p id has fully completed.
+  bool done(uint64_t id) const { return id < completed_; }
+  bool idle() const { return active_.empty() && queue_.empty(); }
+
+  void tick() override;
+
+  uint64_t busy_cycles() const { return busy_cycles_; }
+  uint64_t stall_cycles() const { return stall_cycles_; }
+
+ private:
+  struct Active {
+    DmaTransfer t;
+    uint32_t next_offset = 0;       ///< next byte offset to issue
+    uint32_t completed_bytes = 0;
+    unsigned latency_left = 0;      ///< initial L2 access latency countdown
+  };
+
+  struct PendingBeat {
+    unsigned port;
+    uint32_t offset;  ///< byte offset inside the transfer
+    bool is_read;     ///< TCDM read (TCDM -> L2 direction)
+  };
+
+  void start_next();
+
+  Hci& hci_;
+  L2Memory& l2_;
+  DmaConfig cfg_;
+
+  std::deque<DmaTransfer> queue_;
+  std::deque<Active> active_;  // single active job (MCHAN serializes), rest queued
+  std::deque<PendingBeat> in_flight_;
+
+  uint64_t next_id_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t busy_cycles_ = 0;
+  uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace redmule::mem

@@ -1,0 +1,177 @@
+#include "mem/hci.hpp"
+
+#include <algorithm>
+
+namespace redmule::mem {
+
+Hci::Hci(Tcdm& tcdm, HciConfig cfg) : tcdm_(tcdm), cfg_(cfg) {
+  REDMULE_REQUIRE(cfg.n_log_ports >= 1, "HCI needs at least one log port");
+  REDMULE_REQUIRE(cfg.shallow_words >= 2, "shallow branch needs at least 2 words");
+  REDMULE_REQUIRE(cfg.shallow_words <= tcdm.config().n_banks,
+                  "shallow branch cannot be wider than the bank set");
+  REDMULE_REQUIRE(cfg.max_stall >= 1, "rotation latency must be >= 1");
+  log_req_.resize(cfg.n_log_ports);
+  log_res_visible_.resize(cfg.n_log_ports);
+  log_res_staged_.resize(cfg.n_log_ports);
+  bank_rr_.assign(tcdm.config().n_banks, 0);
+}
+
+void Hci::post_log(unsigned port, const LogRequest& req) {
+  REDMULE_ASSERT(port < cfg_.n_log_ports);
+  REDMULE_ASSERT((req.addr & 3u) == 0);
+  REDMULE_ASSERT_MSG(tcdm_.contains(req.addr, 4), "log request outside TCDM");
+  REDMULE_ASSERT_MSG(!log_req_[port].has_value(), "one request per port per cycle");
+  log_req_[port] = req;
+}
+
+void Hci::post_shallow(const ShallowRequest& req) {
+  REDMULE_ASSERT((req.addr & 1u) == 0);
+  REDMULE_ASSERT(req.n_halfwords >= 1 && req.n_halfwords <= 2 * cfg_.shallow_words);
+  REDMULE_ASSERT_MSG(tcdm_.contains(req.addr, 2 * req.n_halfwords),
+                     "shallow request outside TCDM");
+  REDMULE_ASSERT_MSG(!shallow_req_.has_value(), "one shallow request per cycle");
+  const BankSpan span = shallow_span(req);
+  REDMULE_ASSERT_MSG(span.n_words <= cfg_.shallow_words,
+                     "shallow request wider than the port");
+  shallow_req_ = req;
+}
+
+const LogResult& Hci::log_result(unsigned port) const {
+  REDMULE_ASSERT(port < cfg_.n_log_ports);
+  return log_res_visible_[port];
+}
+
+const ShallowResult& Hci::shallow_result() const { return shallow_res_visible_; }
+
+Hci::BankSpan Hci::shallow_span(const ShallowRequest& req) const {
+  const uint32_t base = tcdm_.config().base_addr;
+  const uint32_t first_byte = req.addr;
+  const uint32_t last_byte = req.addr + 2 * req.n_halfwords - 1;
+  BankSpan span;
+  span.first_word = (first_byte - base) >> 2;
+  span.n_words = ((last_byte - base) >> 2) - span.first_word + 1;
+  return span;
+}
+
+void Hci::serve_shallow(const ShallowRequest& req) {
+  const uint32_t word_base = req.addr & ~3u;
+  if (!req.we) {
+    for (unsigned h = 0; h < req.n_halfwords; ++h)
+      shallow_res_staged_.rdata[h] = tcdm_.backdoor_read_u16(req.addr + 2 * h);
+  } else {
+    for (unsigned h = 0; h < req.n_halfwords; ++h) {
+      if ((req.strb & (1u << h)) == 0) continue;
+      const uint32_t a = req.addr + 2 * h;
+      const uint32_t word_addr = a & ~3u;
+      const unsigned hw_in_word = (a >> 1) & 1;
+      const uint32_t wdata = static_cast<uint32_t>(req.wdata[h]) << (16 * hw_in_word);
+      const uint8_t be = static_cast<uint8_t>(0x3u << (2 * hw_in_word));
+      tcdm_.write_word(word_addr, wdata, be);
+    }
+  }
+  (void)word_base;
+  shallow_res_staged_.granted = true;
+}
+
+void Hci::tick() {
+  const unsigned n_banks = tcdm_.config().n_banks;
+
+  // Which banks would the shallow request occupy?
+  std::vector<bool> shallow_bank(n_banks, false);
+  if (shallow_req_.has_value()) {
+    const BankSpan span = shallow_span(*shallow_req_);
+    for (unsigned i = 0; i < span.n_words && i < n_banks; ++i)
+      shallow_bank[(span.first_word + i) % n_banks] = true;
+  }
+
+  // Is there a log request contesting one of those banks?
+  bool contested = false;
+  if (shallow_req_.has_value()) {
+    for (unsigned p = 0; p < cfg_.n_log_ports && !contested; ++p)
+      if (log_req_[p].has_value() && shallow_bank[tcdm_.bank_of(log_req_[p]->addr)])
+        contested = true;
+  }
+
+  // Rotation-based branch arbitration (starvation-free by max_stall bound).
+  bool shallow_wins = cfg_.shallow_has_priority;
+  if (contested) {
+    if (cfg_.shallow_has_priority && log_stall_streak_ >= cfg_.max_stall) {
+      shallow_wins = false;
+      ++rotation_events_;
+    } else if (!cfg_.shallow_has_priority && shallow_stall_streak_ >= cfg_.max_stall) {
+      shallow_wins = true;
+      ++rotation_events_;
+    }
+  }
+
+  // Serve the shallow branch.
+  const bool shallow_granted =
+      shallow_req_.has_value() && (!contested || shallow_wins);
+  if (shallow_granted) {
+    serve_shallow(*shallow_req_);
+    ++shallow_grants_;
+    shallow_stall_streak_ = 0;
+  } else if (shallow_req_.has_value()) {
+    ++shallow_stalls_;
+    ++shallow_stall_streak_;
+  }
+  const bool shallow_holds_banks = shallow_granted;
+
+  // Serve the log branch: per-bank round robin among the requesting ports.
+  bool log_blocked_by_shallow = false;
+  for (unsigned b = 0; b < n_banks; ++b) {
+    // Gather requesting ports for this bank.
+    unsigned candidates[64];
+    unsigned n_cand = 0;
+    for (unsigned p = 0; p < cfg_.n_log_ports; ++p)
+      if (log_req_[p].has_value() && tcdm_.bank_of(log_req_[p]->addr) == b)
+        candidates[n_cand++] = p;
+    if (n_cand == 0) continue;
+    if (shallow_holds_banks && shallow_bank[b]) {
+      log_blocked_by_shallow = true;
+      continue;  // bank taken by the wide port this cycle; all candidates stall
+    }
+    // Round-robin pick starting from the pointer.
+    unsigned pick = candidates[0];
+    for (unsigned i = 0; i < n_cand; ++i) {
+      if (candidates[i] >= bank_rr_[b]) {
+        pick = candidates[i];
+        break;
+      }
+    }
+    const LogRequest& req = *log_req_[pick];
+    LogResult res;
+    res.granted = true;
+    if (req.we) {
+      tcdm_.write_word(req.addr, req.wdata, req.be);
+    } else {
+      res.rdata = tcdm_.read_word(req.addr);
+    }
+    log_res_staged_[pick] = res;
+    ++log_grants_;
+    log_conflict_stalls_ += n_cand - 1;
+    bank_rr_[b] = (pick + 1) % cfg_.n_log_ports;
+  }
+  if (log_blocked_by_shallow)
+    ++log_stall_streak_;
+  else
+    log_stall_streak_ = 0;
+
+  // Consume this cycle's requests; ungranted initiators must repost.
+  std::fill(log_req_.begin(), log_req_.end(), std::nullopt);
+  shallow_req_.reset();
+}
+
+void Hci::commit() {
+  log_res_visible_ = log_res_staged_;
+  std::fill(log_res_staged_.begin(), log_res_staged_.end(), LogResult{});
+  shallow_res_visible_ = shallow_res_staged_;
+  shallow_res_staged_ = ShallowResult{};
+}
+
+void Hci::reset_stats() {
+  log_grants_ = log_conflict_stalls_ = 0;
+  shallow_grants_ = shallow_stalls_ = rotation_events_ = 0;
+}
+
+}  // namespace redmule::mem

@@ -1,0 +1,27 @@
+#include "mem/l2.hpp"
+
+#include <cstring>
+
+namespace redmule::mem {
+
+L2Memory::L2Memory(L2Config cfg) : cfg_(cfg) {
+  REDMULE_REQUIRE(cfg.size_bytes > 0, "L2 cannot be empty");
+  REDMULE_REQUIRE(cfg.bytes_per_cycle > 0, "L2 bandwidth must be positive");
+  bytes_.assign(cfg.size_bytes, 0);
+}
+
+void L2Memory::write(uint32_t addr, const void* src, uint32_t len) {
+  REDMULE_REQUIRE(contains(addr, len), "write outside L2");
+  std::memcpy(bytes_.data() + (addr - cfg_.base_addr), src, len);
+}
+
+void L2Memory::read(uint32_t addr, void* dst, uint32_t len) const {
+  REDMULE_REQUIRE(contains(addr, len), "read outside L2");
+  std::memcpy(dst, bytes_.data() + (addr - cfg_.base_addr), len);
+}
+
+void L2Memory::fill(uint8_t byte) {
+  std::memset(bytes_.data(), byte, bytes_.size());
+}
+
+}  // namespace redmule::mem

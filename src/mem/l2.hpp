@@ -1,0 +1,45 @@
+/// \file l2.hpp
+/// \brief Cluster-external L2 memory model.
+///
+/// The PULP SoC keeps bulk data (weights, activations for large batches) in
+/// an L2 SRAM outside the cluster, reached through the AXI port. Only
+/// capacity and DMA-visible bandwidth matter for the paper's experiments
+/// (the B=16 AutoEncoder working set of 184 kB must fit; transfers overlap
+/// with compute), so the model is flat storage with a bandwidth/latency pair
+/// consumed by the DMA engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace redmule::mem {
+
+struct L2Config {
+  uint32_t base_addr = 0x1C000000;
+  uint32_t size_bytes = 1536 * 1024;  ///< 1.5 MiB, typical PULP SoC L2
+  unsigned bytes_per_cycle = 8;       ///< 64-bit AXI beat
+  unsigned access_latency = 10;       ///< cycles to first beat of a burst
+};
+
+class L2Memory {
+ public:
+  explicit L2Memory(L2Config cfg = {});
+
+  const L2Config& config() const { return cfg_; }
+
+  bool contains(uint32_t addr, uint32_t len = 1) const {
+    return addr >= cfg_.base_addr && addr + len <= cfg_.base_addr + cfg_.size_bytes;
+  }
+
+  void write(uint32_t addr, const void* src, uint32_t len);
+  void read(uint32_t addr, void* dst, uint32_t len) const;
+  void fill(uint8_t byte = 0);
+
+ private:
+  L2Config cfg_;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace redmule::mem

@@ -1,0 +1,47 @@
+#include "mem/tcdm.hpp"
+
+#include <cstring>
+
+namespace redmule::mem {
+
+Tcdm::Tcdm(TcdmConfig cfg) : cfg_(cfg) {
+  REDMULE_REQUIRE(cfg.n_banks >= 2, "TCDM needs at least 2 banks");
+  REDMULE_REQUIRE(cfg.words_per_bank > 0, "TCDM banks cannot be empty");
+  words_.assign(static_cast<size_t>(cfg.n_banks) * cfg.words_per_bank, 0);
+}
+
+uint32_t Tcdm::read_word(uint32_t addr) const { return words_[word_index(addr)]; }
+
+void Tcdm::write_word(uint32_t addr, uint32_t wdata, uint8_t be) {
+  uint32_t& w = words_[word_index(addr)];
+  uint32_t m = 0;
+  for (int i = 0; i < 4; ++i)
+    if (be & (1u << i)) m |= 0xFFu << (8 * i);
+  w = (w & ~m) | (wdata & m);
+}
+
+void Tcdm::backdoor_write(uint32_t addr, const void* src, uint32_t len) {
+  REDMULE_REQUIRE(contains(addr, len), "backdoor write outside TCDM");
+  std::memcpy(reinterpret_cast<uint8_t*>(words_.data()) + (addr - cfg_.base_addr), src,
+              len);
+}
+
+void Tcdm::backdoor_read(uint32_t addr, void* dst, uint32_t len) const {
+  REDMULE_REQUIRE(contains(addr, len), "backdoor read outside TCDM");
+  std::memcpy(dst, reinterpret_cast<const uint8_t*>(words_.data()) + (addr - cfg_.base_addr),
+              len);
+}
+
+uint16_t Tcdm::backdoor_read_u16(uint32_t addr) const {
+  uint16_t v;
+  backdoor_read(addr, &v, 2);
+  return v;
+}
+
+void Tcdm::backdoor_write_u16(uint32_t addr, uint16_t v) { backdoor_write(addr, &v, 2); }
+
+void Tcdm::fill(uint8_t byte) {
+  std::memset(words_.data(), byte, words_.size() * sizeof(uint32_t));
+}
+
+}  // namespace redmule::mem

@@ -1,0 +1,146 @@
+#include "model/energy.hpp"
+
+#include <cmath>
+
+namespace redmule::model {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Calibration constants (22 nm). Fitted to the paper's published numbers:
+//   - RedMulE {H=4,L=8,P=3}: 0.07 mm^2 (14 % of the 0.5 mm^2 cluster);
+//   - area sweep (Fig. 4b): 256 FMAs (H=8,L=32) ~ cluster area,
+//     512 FMAs (H=16,L=32) ~ 2x cluster area;
+//   - cluster power 43.5 mW @ 0.65 V / 476 MHz at 98.8 % utilization, split
+//     69 % RedMulE / 17.1 % TCDM+HCI / 13.9 % rest;
+//   - 90.7 mW @ 0.8 V / 666 MHz;
+//   - 65 nm port: 3.85 mm^2 cluster, 89.1 mW @ 1.2 V / 200 MHz.
+// ---------------------------------------------------------------------------
+
+constexpr double kFmaArea22 = 0.00180;     // mm^2 per FP16 FMA (incl. pipe regs)
+constexpr double kBitArea22 = 2.93e-7;     // mm^2 per buffer register bit
+constexpr double kPortArea22 = 0.00080;    // mm^2 per 32-bit streamer port
+constexpr double kCtrlArea22 = 0.00400;    // mm^2 scheduler + controller + regfile
+constexpr double kClusterArea22 = 0.50;    // mm^2 (paper Table I)
+constexpr double kClusterArea65 = 3.85;    // mm^2 (paper Table I)
+constexpr double kAreaScale65 = kClusterArea65 / kClusterArea22;
+
+// Reference power calibration point: 0.65 V / 476 MHz, utilization 0.988.
+constexpr double kRefVdd = 0.65;
+constexpr double kRefFreqMhz = 476.0;
+constexpr double kRefUtil = 0.988;
+constexpr double kRefClusterPower = 43.5;          // mW
+constexpr double kRefRedmuleShare = 0.69;          // of cluster power
+constexpr double kRefTcdmHciShare = 0.171;
+// Within RedMulE, the datapath's switching power scales with utilization;
+// buffers/streamer track the memory heartbeat; control is ~constant.
+constexpr double kDpActivityShare = 0.70;   // of RedMulE power at full load
+constexpr double kBufShare = 0.15;
+constexpr double kStreamShare = 0.10;
+constexpr double kCtrlShare = 0.05;
+
+// 65 nm power calibration: 89.1 mW @ 1.2 V / 200 MHz (Table I).
+constexpr double kPower65Scale =
+    89.1 / (kRefClusterPower * (200.0 / kRefFreqMhz) * (1.2 * 1.2) / (kRefVdd * kRefVdd));
+
+/// Dynamic-power scaling vs. the reference operating point: P ~ f * Vdd^2.
+double op_scale(const OperatingPoint& op, TechNode node) {
+  const double s = (op.freq_mhz / kRefFreqMhz) * (op.vdd * op.vdd) / (kRefVdd * kRefVdd);
+  return node == TechNode::k22nm ? s : s * kPower65Scale;
+}
+
+/// Buffer register bits of one instance (X double-buffered, W depth-2 FIFOs,
+/// Z two tile buffers) -- mirrors the sizing of the cycle model's buffers.
+double buffer_bits(const core::Geometry& g, double& xb, double& wb, double& zb) {
+  const double js = g.j_slots();
+  xb = 2.0 * g.l * js * 16.0;
+  wb = 2.0 * g.h * js * 16.0;
+  zb = 2.0 * g.l * js * 16.0;
+  return xb + wb + zb;
+}
+
+}  // namespace
+
+OperatingPoint op_peak_efficiency() { return {0.65, 476.0}; }
+OperatingPoint op_peak_performance() { return {0.80, 666.0}; }
+OperatingPoint op_synthesis_corner() { return {0.59, 208.0}; }
+OperatingPoint op_65nm() { return {1.20, 200.0}; }
+
+AreaBreakdown redmule_area(const core::Geometry& g, TechNode node) {
+  g.validate();
+  double xb, wb, zb;
+  buffer_bits(g, xb, wb, zb);
+  AreaBreakdown a;
+  a.datapath = g.n_fmas() * kFmaArea22;
+  a.x_buffer = xb * kBitArea22;
+  a.w_buffer = wb * kBitArea22;
+  a.z_buffer = zb * kBitArea22;
+  a.streamer = g.mem_ports() * kPortArea22;
+  a.control = kCtrlArea22;
+  if (node == TechNode::k65nm) {
+    const double s = kAreaScale65;
+    a.datapath *= s;
+    a.x_buffer *= s;
+    a.w_buffer *= s;
+    a.z_buffer *= s;
+    a.streamer *= s;
+    a.control *= s;
+  }
+  return a;
+}
+
+double cluster_area(TechNode node) {
+  return node == TechNode::k22nm ? kClusterArea22 : kClusterArea65;
+}
+
+RedmulePower redmule_power(const core::Geometry& g, const OperatingPoint& op,
+                           double utilization, TechNode node) {
+  // Reference RedMulE power at full utilization, scaled by instance size
+  // relative to the taped-out 32-FMA geometry.
+  const core::Geometry ref{};  // H=4, L=8, P=3
+  const double size_scale =
+      static_cast<double>(g.n_fmas()) / static_cast<double>(ref.n_fmas());
+  const double p_ref = kRefClusterPower * kRefRedmuleShare * op_scale(op, node);
+  RedmulePower p;
+  const double u = utilization / kRefUtil;
+  p.datapath = p_ref * kDpActivityShare * u * size_scale;
+  p.buffers = p_ref * kBufShare * (0.3 + 0.7 * u) * size_scale;
+  p.streamer = p_ref * kStreamShare * (0.3 + 0.7 * u);
+  p.control = p_ref * kCtrlShare;
+  return p;
+}
+
+ClusterPower cluster_power(const core::Geometry& g, const OperatingPoint& op,
+                           double utilization, TechNode node) {
+  ClusterPower p;
+  p.redmule = redmule_power(g, op, utilization, node).total();
+  const double s = op_scale(op, node);
+  const double u = utilization / kRefUtil;
+  // TCDM + HCI activity follows the streamer's bandwidth demand.
+  p.tcdm_hci = kRefClusterPower * kRefTcdmHciShare * s * (0.3 + 0.7 * u);
+  // Clock tree, idle cores, icache: frequency/voltage-scaled but not
+  // activity-scaled.
+  p.rest = kRefClusterPower * (1.0 - kRefRedmuleShare - kRefTcdmHciShare) * s;
+  return p;
+}
+
+double energy_per_mac_pj(const core::Geometry& g, const OperatingPoint& op,
+                         double macs_per_cycle, TechNode node) {
+  REDMULE_REQUIRE(macs_per_cycle > 0.0, "throughput must be positive");
+  const double util = macs_per_cycle / g.n_fmas();
+  const double p_mw = cluster_power(g, op, util, node).total();
+  const double macs_per_s = macs_per_cycle * op.freq_mhz * 1e6;
+  return p_mw * 1e-3 / macs_per_s * 1e12;  // pJ per MAC
+}
+
+double gops(const OperatingPoint& op, double macs_per_cycle) {
+  return 2.0 * macs_per_cycle * op.freq_mhz * 1e-3;
+}
+
+double gops_per_watt(const core::Geometry& g, const OperatingPoint& op,
+                     double macs_per_cycle, TechNode node) {
+  const double util = macs_per_cycle / g.n_fmas();
+  const double p_w = cluster_power(g, op, util, node).total() * 1e-3;
+  return gops(op, macs_per_cycle) / p_w;
+}
+
+}  // namespace redmule::model

@@ -1,0 +1,89 @@
+/// \file energy.hpp
+/// \brief Analytical area / power / energy model of RedMulE and its cluster.
+///
+/// The paper implements the design in 22 nm (Synopsys DC + Innovus, power
+/// from back-annotated post-layout simulation) plus a 65 nm port. We cannot
+/// re-run an ASIC flow, so this model substitutes it: a small component-level
+/// area/power model whose free constants are fitted to *every absolute
+/// number the paper publishes* (listed in DESIGN.md §3). At the calibration
+/// points the model reproduces the silicon values; between them it
+/// interpolates with physically-sensible scaling laws:
+///  - area: linear in FMA count, register-file bits and streamer ports;
+///  - dynamic power: ~ f * Vdd^2 with activity-scaled datapath contribution;
+///  - energy/MAC: cluster power divided by achieved MAC throughput (so the
+///    simulated utilization directly shapes Fig. 3c/3d).
+///
+/// All areas in mm^2, powers in mW, frequencies in MHz, energies in pJ.
+#pragma once
+
+#include "core/config.hpp"
+
+namespace redmule::model {
+
+enum class TechNode { k22nm, k65nm };
+
+struct OperatingPoint {
+  double vdd = 0.65;      ///< V
+  double freq_mhz = 476;  ///< cluster clock
+};
+
+/// Paper operating points (Table I rows for "Our work").
+OperatingPoint op_peak_efficiency();   ///< 22 nm, 0.65 V, 476 MHz
+OperatingPoint op_peak_performance();  ///< 22 nm, 0.80 V, 666 MHz
+OperatingPoint op_synthesis_corner();  ///< 22 nm, 0.59 V, 208 MHz (slow corner)
+OperatingPoint op_65nm();              ///< 65 nm, 1.20 V, 200 MHz
+
+/// Area of one RedMulE instance, split by module (paper Fig. 3a).
+struct AreaBreakdown {
+  double datapath = 0;   ///< L*H FMA units + inter-FMA pipeline
+  double x_buffer = 0;
+  double w_buffer = 0;
+  double z_buffer = 0;
+  double streamer = 0;   ///< per-port load/store units + muxing
+  double control = 0;    ///< scheduler, controller, register file
+
+  double buffers() const { return x_buffer + w_buffer + z_buffer; }
+  double total() const { return datapath + buffers() + streamer + control; }
+};
+
+AreaBreakdown redmule_area(const core::Geometry& g, TechNode node = TechNode::k22nm);
+
+/// Total cluster area (8 cores, TCDM, HCI, DMA, icache, RedMulE).
+double cluster_area(TechNode node = TechNode::k22nm);
+
+/// RedMulE-internal average power split at full utilization (paper Fig. 3b).
+struct RedmulePower {
+  double datapath = 0;
+  double buffers = 0;
+  double streamer = 0;
+  double control = 0;
+  double total() const { return datapath + buffers + streamer + control; }
+};
+
+RedmulePower redmule_power(const core::Geometry& g, const OperatingPoint& op,
+                           double utilization, TechNode node = TechNode::k22nm);
+
+/// Cluster-level average power during a RedMulE job (paper §III-A: 43.5 mW
+/// total; RedMulE 69 %, TCDM + HCI 17.1 %, rest 13.9 % at 0.65 V).
+struct ClusterPower {
+  double redmule = 0;
+  double tcdm_hci = 0;
+  double rest = 0;  ///< cores (clock-gated), icache, peripherals
+  double total() const { return redmule + tcdm_hci + rest; }
+};
+
+ClusterPower cluster_power(const core::Geometry& g, const OperatingPoint& op,
+                           double utilization, TechNode node = TechNode::k22nm);
+
+/// Cluster energy per MAC (pJ) at a given achieved throughput (Fig. 3c).
+double energy_per_mac_pj(const core::Geometry& g, const OperatingPoint& op,
+                         double macs_per_cycle, TechNode node = TechNode::k22nm);
+
+/// Performance in GOPS (1 MAC = 2 ops) at a given achieved throughput.
+double gops(const OperatingPoint& op, double macs_per_cycle);
+
+/// Energy efficiency in GOPS/W (Table I).
+double gops_per_watt(const core::Geometry& g, const OperatingPoint& op,
+                     double macs_per_cycle, TechNode node = TechNode::k22nm);
+
+}  // namespace redmule::model

@@ -1,0 +1,65 @@
+/// \file fifo.hpp
+/// \brief Bounded FIFO with clock-edge semantics: an element pushed during
+///        tick() becomes poppable only after commit(), exactly like a
+///        registered hardware queue. Used for the streamer's X/W/Z queues.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace redmule::sim {
+
+template <typename T>
+class Fifo : public Clocked {
+ public:
+  explicit Fifo(size_t capacity) : capacity_(capacity) {
+    REDMULE_REQUIRE(capacity > 0, "fifo capacity must be positive");
+  }
+
+  /// Space check against committed + staged occupancy (push port ready).
+  bool can_push() const { return data_.size() + staged_.size() < capacity_; }
+  /// Elements visible this cycle (pop port valid).
+  bool can_pop() const { return !data_.empty(); }
+  size_t size() const { return data_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return data_.empty() && staged_.empty(); }
+
+  void push(T value) {
+    REDMULE_ASSERT(can_push());
+    staged_.push_back(std::move(value));
+  }
+
+  const T& front() const {
+    REDMULE_ASSERT(can_pop());
+    return data_.front();
+  }
+
+  T pop() {
+    REDMULE_ASSERT(can_pop());
+    T v = std::move(data_.front());
+    data_.pop_front();
+    return v;
+  }
+
+  void tick() override {}
+  void commit() override {
+    for (auto& v : staged_) data_.push_back(std::move(v));
+    staged_.clear();
+  }
+
+  void clear() {
+    data_.clear();
+    staged_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<T> data_;
+  std::vector<T> staged_;
+};
+
+}  // namespace redmule::sim

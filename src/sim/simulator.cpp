@@ -1,0 +1,26 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace redmule::sim {
+
+void Simulator::add(Clocked* module) {
+  REDMULE_ASSERT(module != nullptr);
+  modules_.push_back(module);
+}
+
+void Simulator::step() {
+  for (Clocked* m : modules_) m->tick();
+  for (Clocked* m : modules_) m->commit();
+  ++cycle_;
+}
+
+bool Simulator::run_until(const std::function<bool()>& done, uint64_t max_cycles) {
+  for (uint64_t i = 0; i < max_cycles; ++i) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace redmule::sim

@@ -1,0 +1,57 @@
+/// \file simulator.hpp
+/// \brief Cycle-driven simulation kernel.
+///
+/// The cluster model is a synchronous digital design, so the kernel is a
+/// two-phase clocked simulator:
+///  - tick():   every module evaluates its cycle using *last* cycle's visible
+///              state and posts requests/results into staging storage;
+///  - commit(): staged state becomes visible, modeling the clock edge.
+///
+/// Modules are ticked in registration order. The cluster wires initiators
+/// (cores, DMA, RedMulE streamer) before the interconnect so that requests
+/// posted in phase tick() are arbitrated in the same cycle, with responses
+/// visible to the initiators one cycle later -- matching the single-cycle
+/// TCDM access latency of the PULP cluster.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace redmule::sim {
+
+/// Interface for anything driven by the cluster clock.
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  /// Phase 1: evaluate this cycle.
+  virtual void tick() = 0;
+  /// Phase 2: clock edge; staged state becomes architecturally visible.
+  virtual void commit() {}
+};
+
+/// Owns the cycle loop. Does not own the modules (the testbench/cluster
+/// object owns them and registers raw pointers; lifetimes are managed by the
+/// enclosing object, mirroring an RTL hierarchy).
+class Simulator {
+ public:
+  /// Registers \p module; ticked in registration order.
+  void add(Clocked* module);
+
+  /// Advances one clock cycle.
+  void step();
+
+  /// Advances until \p done returns true or \p max_cycles elapse.
+  /// Returns true if \p done fired, false on timeout.
+  bool run_until(const std::function<bool()>& done, uint64_t max_cycles);
+
+  uint64_t cycle() const { return cycle_; }
+  void reset_cycle_counter() { cycle_ = 0; }
+
+ private:
+  std::vector<Clocked*> modules_;
+  uint64_t cycle_ = 0;
+};
+
+}  // namespace redmule::sim

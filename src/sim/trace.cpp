@@ -1,0 +1,36 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace redmule::sim {
+
+void Trace::record(const std::string& signal, uint64_t cycle, int64_t value) {
+  if (!enabled_) return;
+  signals_[signal].emplace_back(cycle, value);
+}
+
+size_t Trace::dump_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  REDMULE_REQUIRE(f != nullptr, "cannot open trace output file: " + path);
+  std::fprintf(f, "signal,cycle,value\n");
+  size_t n = 0;
+  for (const auto& [name, samples] : signals_) {
+    for (const auto& [cycle, value] : samples) {
+      std::fprintf(f, "%s,%llu,%lld\n", name.c_str(),
+                   static_cast<unsigned long long>(cycle), static_cast<long long>(value));
+      ++n;
+    }
+  }
+  std::fclose(f);
+  return n;
+}
+
+const std::vector<std::pair<uint64_t, int64_t>>* Trace::samples(
+    const std::string& signal) const {
+  auto it = signals_.find(signal);
+  return it == signals_.end() ? nullptr : &it->second;
+}
+
+}  // namespace redmule::sim

@@ -1,0 +1,35 @@
+/// \file trace.hpp
+/// \brief Lightweight scalar-signal tracer. Modules record named values per
+///        cycle; the trace can be dumped as CSV for waveform-style debugging
+///        of schedules (port grants, buffer occupancies, FSM states).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace redmule::sim {
+
+class Trace {
+ public:
+  /// Globally enable/disable recording (disabled by default: zero overhead
+  /// in benches).
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(const std::string& signal, uint64_t cycle, int64_t value);
+
+  /// Dumps "signal,cycle,value" rows; returns number of samples written.
+  size_t dump_csv(const std::string& path) const;
+
+  const std::vector<std::pair<uint64_t, int64_t>>* samples(const std::string& signal) const;
+
+  void clear() { signals_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::unordered_map<std::string, std::vector<std::pair<uint64_t, int64_t>>> signals_;
+};
+
+}  // namespace redmule::sim

@@ -1,0 +1,41 @@
+#include "workloads/gemm.hpp"
+
+namespace redmule::workloads {
+
+using fp16::Float16;
+
+MatrixF16 random_matrix(size_t rows, size_t cols, Xoshiro256& rng, double lo,
+                        double hi) {
+  MatrixF16 m(rows, cols);
+  for (size_t r = 0; r < rows; ++r)
+    for (size_t c = 0; c < cols; ++c)
+      m(r, c) = Float16::from_double(rng.next_double(lo, hi));
+  return m;
+}
+
+MatrixF16 constant_matrix(size_t rows, size_t cols, double value) {
+  return MatrixF16(rows, cols, Float16::from_double(value));
+}
+
+std::vector<GemmShape> square_sweep(std::vector<uint32_t> sizes) {
+  std::vector<GemmShape> shapes;
+  for (uint32_t s : sizes)
+    shapes.push_back({std::to_string(s) + "x" + std::to_string(s) + "x" +
+                          std::to_string(s),
+                      s, s, s});
+  return shapes;
+}
+
+std::vector<GemmShape> ragged_sweep() {
+  // Sizes chosen to hit every leftover class of the default geometry
+  // (L = 8 rows, H = 4 n-chunk, 16 j-slots).
+  return {
+      {"1x1x1", 1, 1, 1},        {"3x5x7", 3, 5, 7},       {"8x16x16", 8, 16, 16},
+      {"9x17x15", 9, 17, 15},    {"8x4x16", 8, 4, 16},     {"7x16x16", 7, 16, 16},
+      {"8x16x13", 8, 16, 13},    {"8x13x16", 8, 13, 16},   {"16x32x32", 16, 32, 32},
+      {"17x33x31", 17, 33, 31},  {"24x20x40", 24, 20, 40}, {"5x100x3", 5, 100, 3},
+      {"64x2x64", 64, 2, 64},    {"2x64x2", 2, 64, 2},     {"31x31x31", 31, 31, 31},
+  };
+}
+
+}  // namespace redmule::workloads

@@ -1,0 +1,85 @@
+#include "workloads/lowering.hpp"
+
+#include "core/golden.hpp"
+
+namespace redmule::workloads {
+
+using fp16::Float16;
+
+MatrixF16 im2col(const MatrixF16& input_chw, const Conv2dParams& p) {
+  p.validate();
+  REDMULE_REQUIRE(input_chw.rows() == p.in_channels &&
+                      input_chw.cols() == p.in_h * p.in_w,
+                  "input must be (C x H*W)");
+  const uint32_t oh = p.out_h();
+  const uint32_t ow = p.out_w();
+  MatrixF16 patches(p.in_channels * p.kernel * p.kernel, oh * ow);
+  for (uint32_t c = 0; c < p.in_channels; ++c) {
+    for (uint32_t ky = 0; ky < p.kernel; ++ky) {
+      for (uint32_t kx = 0; kx < p.kernel; ++kx) {
+        const size_t patch_row = (c * p.kernel + ky) * p.kernel + kx;
+        for (uint32_t oy = 0; oy < oh; ++oy) {
+          for (uint32_t ox = 0; ox < ow; ++ox) {
+            const int64_t iy = static_cast<int64_t>(oy) * p.stride + ky -
+                               static_cast<int64_t>(p.pad);
+            const int64_t ix = static_cast<int64_t>(ox) * p.stride + kx -
+                               static_cast<int64_t>(p.pad);
+            Float16 v;  // zero padding outside the image
+            if (iy >= 0 && iy < p.in_h && ix >= 0 && ix < p.in_w)
+              v = input_chw(c, static_cast<size_t>(iy) * p.in_w +
+                                   static_cast<size_t>(ix));
+            patches(patch_row, static_cast<size_t>(oy) * ow + ox) = v;
+          }
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+MatrixF16 conv2d_via_gemm(const MatrixF16& input_chw, const MatrixF16& weights,
+                          const Conv2dParams& p) {
+  p.validate();
+  REDMULE_REQUIRE(weights.rows() == p.out_channels &&
+                      weights.cols() == p.in_channels * p.kernel * p.kernel,
+                  "weights must be (out_channels x C*k*k)");
+  const MatrixF16 patches = im2col(input_chw, p);
+  return core::golden_gemm(weights, patches);
+}
+
+MatrixF16 conv2d_direct(const MatrixF16& input_chw, const MatrixF16& weights,
+                        const Conv2dParams& p) {
+  p.validate();
+  const uint32_t oh = p.out_h();
+  const uint32_t ow = p.out_w();
+  MatrixF16 out(p.out_channels, oh * ow);
+  for (uint32_t oc = 0; oc < p.out_channels; ++oc) {
+    for (uint32_t oy = 0; oy < oh; ++oy) {
+      for (uint32_t ox = 0; ox < ow; ++ox) {
+        Float16 acc;
+        // Identical accumulation order to the GEMM path: n runs over
+        // (c, ky, kx) exactly like the patch-matrix rows.
+        for (uint32_t c = 0; c < p.in_channels; ++c) {
+          for (uint32_t ky = 0; ky < p.kernel; ++ky) {
+            for (uint32_t kx = 0; kx < p.kernel; ++kx) {
+              const int64_t iy = static_cast<int64_t>(oy) * p.stride + ky -
+                                 static_cast<int64_t>(p.pad);
+              const int64_t ix = static_cast<int64_t>(ox) * p.stride + kx -
+                                 static_cast<int64_t>(p.pad);
+              Float16 v;
+              if (iy >= 0 && iy < p.in_h && ix >= 0 && ix < p.in_w)
+                v = input_chw(c, static_cast<size_t>(iy) * p.in_w +
+                                     static_cast<size_t>(ix));
+              const size_t n = (c * p.kernel + ky) * p.kernel + kx;
+              acc = Float16::fma(weights(oc, n), v, acc);
+            }
+          }
+        }
+        out(oc, static_cast<size_t>(oy) * ow + ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace redmule::workloads

@@ -1,0 +1,63 @@
+/// \file lowering.hpp
+/// \brief Lowering of DNN layers onto RedMulE's GEMM primitive.
+///
+/// The paper positions RedMulE as the engine for "the main kernel of DL
+/// training and inference"; real networks also contain convolutions, which
+/// map onto the same primitive via im2col. This module provides:
+///  - fully-connected layer lowering (a thin wrapper, shape bookkeeping);
+///  - im2col convolution lowering: patch extraction + one GEMM per batch
+///    element, with the exact shapes RedMulE would be offloaded.
+/// The functional paths use the bit-accurate FP16 library, so results can
+/// be verified against the accelerator output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::workloads {
+
+/// 2-D convolution hyper-parameters (NCHW, square kernel, no dilation).
+struct Conv2dParams {
+  uint32_t in_channels = 1;
+  uint32_t out_channels = 1;
+  uint32_t in_h = 1;
+  uint32_t in_w = 1;
+  uint32_t kernel = 3;
+  uint32_t stride = 1;
+  uint32_t pad = 0;
+
+  uint32_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  uint32_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// GEMM shape after im2col: M = out_channels, N = C*k*k, K = out_h*out_w.
+  GemmShape gemm_shape() const {
+    return {"conv", out_channels, in_channels * kernel * kernel, out_h() * out_w()};
+  }
+
+  void validate() const {
+    REDMULE_REQUIRE(kernel >= 1 && stride >= 1, "bad conv hyper-parameters");
+    REDMULE_REQUIRE(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+                    "kernel larger than padded input");
+  }
+};
+
+/// Extracts im2col patches: input (C x H x W, flattened row-major as a
+/// (C, H*W) matrix) -> (C*k*k, out_h*out_w) patch matrix; out-of-image
+/// (padding) taps are zero.
+MatrixF16 im2col(const MatrixF16& input_chw, const Conv2dParams& p);
+
+/// Convolution via im2col + GEMM: weights is (out_channels, C*k*k) row-major
+/// (i.e. already flattened filters); returns (out_channels, out_h*out_w).
+/// Computed with the golden FP16 FMA chain -- bit-identical to offloading
+/// the lowered GEMM to RedMulE.
+MatrixF16 conv2d_via_gemm(const MatrixF16& input_chw, const MatrixF16& weights,
+                          const Conv2dParams& p);
+
+/// Direct convolution reference (same FMA accumulation order over the
+/// patch as the GEMM path) -- used to validate the lowering itself.
+MatrixF16 conv2d_direct(const MatrixF16& input_chw, const MatrixF16& weights,
+                        const Conv2dParams& p);
+
+}  // namespace redmule::workloads

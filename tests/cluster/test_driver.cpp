@@ -1,0 +1,61 @@
+#include "cluster/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/gemm.hpp"
+
+namespace redmule::cluster {
+namespace {
+
+using workloads::random_matrix;
+
+TEST(Driver, AllocatorIsBumpAndAligned) {
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  const uint32_t a = drv.alloc(6);
+  const uint32_t b = drv.alloc(4);
+  EXPECT_EQ(a % 4, 0u);
+  EXPECT_EQ(b % 4, 0u);
+  EXPECT_GE(b, a + 6);
+  drv.free_all();
+  EXPECT_EQ(drv.alloc(4), a);
+}
+
+TEST(Driver, AllocatorExhaustionThrows) {
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  const uint32_t size = cl.tcdm().config().size_bytes();
+  drv.alloc(size - 4);
+  EXPECT_THROW(drv.alloc(64), redmule::Error);
+}
+
+TEST(Driver, MatrixRoundTrip) {
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(1);
+  const auto m = random_matrix(5, 7, rng);
+  const uint32_t addr = drv.place_matrix(m);
+  const auto back = drv.read_matrix(addr, 5, 7);
+  EXPECT_TRUE(m == back);
+}
+
+TEST(Driver, BytesFreeDecreases) {
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  const uint32_t before = drv.bytes_free();
+  drv.alloc(128);
+  EXPECT_EQ(drv.bytes_free(), before - 128);
+}
+
+TEST(Driver, RunGemmTimesProgrammingOverhead) {
+  // Offload latency (register writes) is part of the measurement: a tiny job
+  // must still take at least the programming cycles.
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(2);
+  const auto res = drv.gemm(random_matrix(1, 1, rng), random_matrix(1, 1, rng));
+  EXPECT_GT(res.stats.cycles, 5u);
+}
+
+}  // namespace
+}  // namespace redmule::cluster

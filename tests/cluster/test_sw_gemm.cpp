@@ -1,0 +1,99 @@
+#include "cluster/sw_gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/driver.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::cluster {
+namespace {
+
+using workloads::random_matrix;
+
+struct SwSetup {
+  Cluster cl;
+  RedmuleDriver drv{cl};
+  uint32_t xa = 0, wa = 0, za = 0;
+  core::MatrixF16 x, w;
+
+  void place(uint32_t m, uint32_t n, uint32_t k, uint64_t seed) {
+    Xoshiro256 rng(seed);
+    x = random_matrix(m, n, rng);
+    w = random_matrix(n, k, rng);
+    xa = drv.place_matrix(x);
+    wa = drv.place_matrix(w);
+    za = drv.alloc(m * k * 2);
+  }
+};
+
+TEST(SwGemm, HwAndSwAgreeNumerically) {
+  // HW uses fused FMA, SW uses mul+add: both must sit within the FP16
+  // accumulation error bound of the double-precision result. (ULP distance
+  // between the two is unbounded near cancellation, so the meaningful check
+  // is absolute error against the exact value.)
+  SwSetup s;
+  s.place(16, 24, 16, 3);
+  run_sw_gemm(s.cl, s.xa, s.wa, s.za, 16, 24, 16);
+  const auto z_sw = s.drv.read_matrix(s.za, 16, 16);
+  const auto z_hw = core::golden_gemm_padded(s.x, s.w, s.cl.config().geometry);
+  const auto z_64 = core::golden_gemm_f64(s.x, s.w);
+  // Worst-case bound for a 24-term chain with |x|,|w| < 1: each of the 24
+  // rounding steps contributes at most half an ulp of the running sum
+  // (|sum| <= 24), i.e. <= 24 * 0.5 * 24 * 2^-11.
+  const double bound = 24.0 * 0.5 * 24.0 * std::ldexp(1.0, -11);
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) {
+      EXPECT_LE(std::abs(z_sw(i, j).to_double() - z_64(i, j)), bound) << i << "," << j;
+      EXPECT_LE(std::abs(z_hw(i, j).to_double() - z_64(i, j)), bound) << i << "," << j;
+    }
+}
+
+TEST(SwGemm, SpeedupVsSingleCoreIsNearLinear) {
+  SwSetup s;
+  s.place(16, 16, 16, 4);
+  const auto c8 = run_sw_gemm(s.cl, s.xa, s.wa, s.za, 16, 16, 16, 8);
+  const auto c2 = run_sw_gemm(s.cl, s.xa, s.wa, s.za, 16, 16, 16, 2);
+  const double scaling = static_cast<double>(c2.cycles) / c8.cycles;
+  EXPECT_GT(scaling, 3.0);  // 4x ideal, allow contention losses
+  EXPECT_LT(scaling, 4.5);
+}
+
+TEST(SwGemm, HwSpeedupInPaperRange) {
+  // Paper: RedMulE reaches up to 22x over the 8-core software baseline.
+  SwSetup s;
+  s.place(32, 64, 32, 5);
+  const auto sw = run_sw_gemm(s.cl, s.xa, s.wa, s.za, 32, 64, 32, 8);
+  s.drv.free_all();
+  RedmuleDriver drv2(s.cl);
+  Xoshiro256 rng(5);
+  const auto hw = drv2.gemm(random_matrix(32, 64, rng), random_matrix(64, 32, rng));
+  const double speedup = static_cast<double>(sw.cycles) / hw.stats.cycles;
+  EXPECT_GT(speedup, 12.0);
+  EXPECT_LT(speedup, 30.0);
+}
+
+TEST(SwGemm, UnevenRowCountsHandled) {
+  // M not divisible by n_cores: trailing cores do less work but results
+  // must still be complete.
+  SwSetup s;
+  s.place(5, 8, 6, 6);
+  run_sw_gemm(s.cl, s.xa, s.wa, s.za, 5, 8, 6, 8);
+  const auto z = s.drv.read_matrix(s.za, 5, 6);
+  const auto ref = sw_gemm_reference(s.x, s.w);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 6; ++j) EXPECT_EQ(z(i, j).bits(), ref(i, j).bits());
+}
+
+TEST(SwGemm, StatsPopulated) {
+  SwSetup s;
+  s.place(8, 8, 8, 7);
+  const auto st = run_sw_gemm(s.cl, s.xa, s.wa, s.za, 8, 8, 8);
+  EXPECT_EQ(st.macs, 8u * 8 * 8);
+  EXPECT_GT(st.total_instrs, st.macs);  // >1 instruction per MAC
+  EXPECT_GT(st.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace redmule::cluster

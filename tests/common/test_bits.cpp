@@ -1,0 +1,69 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redmule {
+namespace {
+
+TEST(Bits, ExtractBasic) {
+  EXPECT_EQ(bits<uint32_t>(0xDEADBEEF, 0, 4), 0xFu);
+  EXPECT_EQ(bits<uint32_t>(0xDEADBEEF, 4, 8), 0xEEu);
+  EXPECT_EQ(bits<uint32_t>(0xDEADBEEF, 28, 4), 0xDu);
+  EXPECT_EQ(bits<uint32_t>(0xDEADBEEF, 0, 32), 0xDEADBEEFu);
+}
+
+TEST(Bits, MaskBasic) {
+  EXPECT_EQ(mask<uint32_t>(0, 0), 0u);
+  EXPECT_EQ(mask<uint32_t>(0, 4), 0xFu);
+  EXPECT_EQ(mask<uint32_t>(4, 4), 0xF0u);
+  EXPECT_EQ(mask<uint32_t>(0, 32), 0xFFFFFFFFu);
+  EXPECT_EQ(mask<uint64_t>(63, 1), 0x8000000000000000ull);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bits, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(round_up(5, 4), 8);
+  EXPECT_EQ(round_up(8, 4), 8);
+  EXPECT_EQ(round_up(0, 16), 0);
+}
+
+TEST(Bits, Clz) {
+  EXPECT_EQ(clz32(0), 32u);
+  EXPECT_EQ(clz32(1), 31u);
+  EXPECT_EQ(clz32(0x80000000u), 0u);
+  EXPECT_EQ(clz64(0), 64u);
+  EXPECT_EQ(clz64(1), 63u);
+  EXPECT_EQ(clz64(0x8000000000000000ull), 0u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xF, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFu, 32), -1);
+}
+
+TEST(Check, RequireThrows) {
+  auto bad = [] { REDMULE_REQUIRE(1 == 2, "demo"); };
+  EXPECT_THROW(bad(), Error);
+}
+
+TEST(CheckDeathTest, AssertAborts) {
+  EXPECT_DEATH(ceil_div(1, 0), "assertion");
+}
+
+}  // namespace
+}  // namespace redmule

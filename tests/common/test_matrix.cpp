@@ -1,0 +1,58 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fp16/float16.hpp"
+
+namespace redmule {
+namespace {
+
+using fp16::Float16;
+
+TEST(Matrix, ShapeAndAccess) {
+  Matrix<int> m(2, 3, 7);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m(1, 2), 7);
+  m(1, 2) = 9;
+  EXPECT_EQ(m.at(1, 2), 9);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix<int> m(2, 3);
+  int v = 0;
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  // data() must be row-major: [0 1 2 3 4 5].
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(m.data()[i], i);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix<int> m(2, 3);
+  int v = 0;
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  const Matrix<int> t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(t(c, r), m(r, c));
+}
+
+TEST(Matrix, Float16HasHardwareLayout) {
+  Matrix<Float16> m(1, 4);
+  m(0, 0) = Float16::from_bits(0x3C00);
+  EXPECT_EQ(m.size_bytes(), 8u);
+  const uint16_t* raw = reinterpret_cast<const uint16_t*>(m.data());
+  EXPECT_EQ(raw[0], 0x3C00);
+}
+
+TEST(Matrix, Equality) {
+  Matrix<int> a(2, 2, 1), b(2, 2, 1), c(2, 2, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace redmule

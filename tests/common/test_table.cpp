@@ -1,0 +1,42 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace redmule {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, TitleIsPrinted) {
+  TablePrinter t({"a"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.to_string("Title").rfind("Title\n", 0), 0u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter t({}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(-42), "-42");
+  EXPECT_EQ(TablePrinter::percent(0.988, 1), "98.8%");
+}
+
+}  // namespace
+}  // namespace redmule

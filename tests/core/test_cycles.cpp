@@ -1,0 +1,118 @@
+/// Cycle-count and utilization properties of the engine -- the quantities
+/// behind the paper's Fig. 3c/3d/4a curves.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::core {
+namespace {
+
+using cluster::Cluster;
+using cluster::RedmuleDriver;
+using workloads::random_matrix;
+
+JobStats run_shape(Cluster& cl, uint32_t m, uint32_t n, uint32_t k, uint64_t seed) {
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(seed);
+  const auto res = drv.gemm(random_matrix(m, n, rng), random_matrix(n, k, rng));
+  return res.stats;
+}
+
+TEST(EngineCycles, LargeGemmReachesPaperUtilization) {
+  // Paper §III-A: 31.6 MAC/cycle peak = 98.8 % of the 32 MAC/cycle ideal.
+  Cluster cl;
+  const auto s = run_shape(cl, 96, 96, 96, 1);
+  const double util = s.utilization(cl.config().geometry);
+  EXPECT_GE(util, 0.97);
+  EXPECT_LE(util, 1.0);
+  EXPECT_GE(s.macs_per_cycle(), 31.0);
+}
+
+TEST(EngineCycles, CycleCountNearIdealBound) {
+  Cluster cl;
+  const Geometry g = cl.config().geometry;
+  for (uint32_t size : {32u, 64u, 96u}) {
+    Job job;
+    job.m = job.n = job.k = size;
+    const uint64_t ideal = ideal_cycles(job, g);
+    const auto s = run_shape(cl, size, size, size, size);
+    EXPECT_GE(s.cycles, job.macs() / g.n_fmas());  // can't beat the ideal
+    EXPECT_LE(s.cycles, ideal + ideal / 10 + 64);  // and lands close to it
+  }
+}
+
+TEST(EngineCycles, UtilizationGrowsWithSize) {
+  // Fig. 3c/3d: small problems are dominated by startup/fill/drain.
+  Cluster cl;
+  double prev = 0.0;
+  for (uint32_t size : {8u, 16u, 32u, 64u, 96u}) {
+    const auto s = run_shape(cl, size, size, size, 10 + size);
+    const double util = s.utilization(cl.config().geometry);
+    EXPECT_GT(util, prev * 0.99);  // monotone (tiny tolerance for tiling steps)
+    prev = util;
+  }
+  EXPECT_GT(prev, 0.95);
+}
+
+TEST(EngineCycles, SmallMatrixUtilizationIsLow) {
+  Cluster cl;
+  const auto s = run_shape(cl, 4, 4, 4, 3);
+  EXPECT_LT(s.utilization(cl.config().geometry), 0.25);
+}
+
+TEST(EngineCycles, ThinKUnderutilizesPipelines) {
+  // K = 1 uses 1 of 16 j-slots: the B=1 autoencoder effect (Fig. 4c).
+  Cluster cl;
+  const auto thin = run_shape(cl, 64, 64, 1, 4);
+  const auto wide = run_shape(cl, 64, 64, 16, 5);
+  const double thin_mac = thin.macs_per_cycle();
+  const double wide_mac = wide.macs_per_cycle();
+  EXPECT_LT(thin_mac, wide_mac / 8);  // ~16x fewer useful MACs/cycle
+}
+
+TEST(EngineCycles, StallsAreAccounted) {
+  Cluster cl;
+  const auto s = run_shape(cl, 16, 16, 16, 6);
+  EXPECT_EQ(s.cycles, s.advance_cycles + s.stall_cycles +
+                          (s.cycles - s.advance_cycles - s.stall_cycles));
+  EXPECT_GT(s.advance_cycles, 0u);
+  // Startup (X preload) always costs a few stall cycles.
+  EXPECT_GT(s.stall_cycles, 0u);
+}
+
+TEST(EngineCycles, FmaOpsMatchSchedule) {
+  // Every advance issues at most H*L FMAs; padded lanes are included.
+  Cluster cl;
+  const Geometry g = cl.config().geometry;
+  const auto s = run_shape(cl, 8, 16, 16, 7);
+  EXPECT_LE(s.fma_ops, s.advance_cycles * g.n_fmas());
+  EXPECT_GE(s.fma_ops, s.macs);  // at least the useful work
+}
+
+TEST(EngineCycles, DeterministicAcrossRuns) {
+  Cluster cl1, cl2;
+  const auto a = run_shape(cl1, 24, 40, 24, 8);
+  const auto b = run_shape(cl2, 24, 40, 24, 8);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+}
+
+TEST(EngineCycles, PortScheduleRespectsWCadence) {
+  // The W stream needs one line every P+1 cycles; with no contention the
+  // streamer must never fall behind, so stalls stay bounded by startup.
+  Cluster cl;
+  const auto s = run_shape(cl, 64, 64, 64, 9);
+  EXPECT_LT(static_cast<double>(s.stall_cycles) / s.cycles, 0.03);
+}
+
+TEST(EngineCycles, NarrowNDimension) {
+  // N < H exercises the padded-column path while cycles stay sane.
+  Cluster cl;
+  const auto s = run_shape(cl, 32, 2, 32, 11);
+  EXPECT_GT(s.macs_per_cycle(), 0.5);
+}
+
+}  // namespace
+}  // namespace redmule::core

@@ -1,0 +1,146 @@
+/// Randomized end-to-end fuzz: random shapes, random geometries, random data
+/// (including specials), always compared bit-for-bit against the padded
+/// golden model. The self-checking datapath tags abort on any scheduling
+/// corruption, so surviving the sweep is a strong invariant.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "core/golden.hpp"
+#include "isa/assembler.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::core {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::RedmuleDriver;
+
+workloads::MatrixF16 fuzz_matrix(size_t rows, size_t cols, Xoshiro256& rng) {
+  workloads::MatrixF16 m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      // 1/16 of entries are raw random encodings (subnormals, inf, NaN, -0);
+      // the rest are benign values.
+      if (rng.next_below(16) == 0) {
+        m(r, c) = fp16::Float16::from_bits(rng.next_u16());
+      } else {
+        m(r, c) = fp16::Float16::from_double(rng.next_double(-2.0, 2.0));
+      }
+    }
+  }
+  return m;
+}
+
+bool same_fp16(fp16::Float16 a, fp16::Float16 b) {
+  if (a.is_nan() && b.is_nan()) return true;  // payloads canonicalized anyway
+  return a.bits() == b.bits();
+}
+
+TEST(EngineFuzz, RandomShapesDefaultGeometry) {
+  Xoshiro256 rng(0xF00D);
+  Cluster cl;
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t m = 1 + static_cast<uint32_t>(rng.next_below(40));
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.next_below(50));
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.next_below(40));
+    RedmuleDriver drv(cl);
+    const auto x = fuzz_matrix(m, n, rng);
+    const auto w = fuzz_matrix(n, k, rng);
+    const auto res = drv.gemm(x, w);
+    const auto golden = golden_gemm_padded(x, w, cl.config().geometry);
+    for (uint32_t i = 0; i < m; ++i)
+      for (uint32_t j = 0; j < k; ++j)
+        ASSERT_TRUE(same_fp16(res.z(i, j), golden(i, j)))
+            << "trial " << trial << " shape " << m << "x" << n << "x" << k << " at ("
+            << i << "," << j << "): got " << res.z(i, j).to_string() << " want "
+            << golden(i, j).to_string();
+  }
+}
+
+TEST(EngineFuzz, RandomGeometries) {
+  Xoshiro256 rng(0xBEEF);
+  for (int trial = 0; trial < 12; ++trial) {
+    const unsigned h = 1 + static_cast<unsigned>(rng.next_below(6));
+    const unsigned l = 1 + static_cast<unsigned>(rng.next_below(16));
+    const unsigned p = static_cast<unsigned>(rng.next_below(4));
+    const Geometry g{h, l, p};
+    if (g.j_slots() > 32 || g.j_slots() < 2) continue;  // cycle-model bounds
+    ClusterConfig cfg;
+    cfg.geometry = g;
+    Cluster cl(cfg);
+    RedmuleDriver drv(cl);
+    const uint32_t m = 1 + static_cast<uint32_t>(rng.next_below(24));
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.next_below(24));
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.next_below(24));
+    const auto x = fuzz_matrix(m, n, rng);
+    const auto w = fuzz_matrix(n, k, rng);
+    const auto res = drv.gemm(x, w);
+    const auto golden = golden_gemm_padded(x, w, g);
+    for (uint32_t i = 0; i < m; ++i)
+      for (uint32_t j = 0; j < k; ++j)
+        ASSERT_TRUE(same_fp16(res.z(i, j), golden(i, j)))
+            << "H" << h << " L" << l << " P" << p << " " << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(EngineFuzz, RandomAccumulateJobs) {
+  Xoshiro256 rng(0xACC);
+  Cluster cl;
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t m = 1 + static_cast<uint32_t>(rng.next_below(20));
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.next_below(20));
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.next_below(20));
+    RedmuleDriver drv(cl);
+    const auto x = fuzz_matrix(m, n, rng);
+    const auto w = fuzz_matrix(n, k, rng);
+    const auto y = fuzz_matrix(m, k, rng);
+    const auto res = drv.gemm_acc(x, w, y);
+    const auto golden = golden_gemm_padded(x, w, cl.config().geometry, &y);
+    for (uint32_t i = 0; i < m; ++i)
+      for (uint32_t j = 0; j < k; ++j)
+        ASSERT_TRUE(same_fp16(res.z(i, j), golden(i, j))) << trial;
+  }
+}
+
+TEST(EngineFuzz, ResultsUnaffectedByCoreTraffic) {
+  // Contention may change *when* things happen but never *what* is computed.
+  Xoshiro256 rng(0xAB);
+  for (int trial = 0; trial < 6; ++trial) {
+    const uint32_t m = 8 + static_cast<uint32_t>(rng.next_below(16));
+    const uint32_t n = 8 + static_cast<uint32_t>(rng.next_below(16));
+    const uint32_t k = 8 + static_cast<uint32_t>(rng.next_below(16));
+    const auto x = fuzz_matrix(m, n, rng);
+    const auto w = fuzz_matrix(n, k, rng);
+
+    Cluster quiet;
+    RedmuleDriver dq(quiet);
+    const auto zq = dq.gemm(x, w);
+
+    Cluster noisy;
+    RedmuleDriver dn(noisy);
+    const uint32_t xa = dn.place_matrix(x);
+    const uint32_t wa = dn.place_matrix(w);
+    const uint32_t za = dn.alloc(m * k * 2);
+    const isa::Program hammer = isa::assemble(R"(
+      li t3, 100000
+      lp.setup t3, e
+        lw t1, 0(a0)
+    e:
+      halt
+    )");
+    for (unsigned c = 0; c < noisy.n_cores(); ++c) {
+      noisy.core(c).load_program(hammer);
+      noisy.core(c).set_reg(10, xa + 4 * c);
+    }
+    dn.run_gemm(xa, wa, za, m, n, k);
+    const auto zn = dn.read_matrix(za, m, k);
+    for (uint32_t i = 0; i < m; ++i)
+      for (uint32_t j = 0; j < k; ++j)
+        ASSERT_TRUE(same_fp16(zq.z(i, j), zn(i, j))) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace redmule::core

@@ -1,0 +1,98 @@
+#include "core/regfile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redmule::core {
+namespace {
+
+TEST(RegFile, ProgrammingSequence) {
+  RegFile rf;
+  EXPECT_FALSE(rf.busy());
+  EXPECT_FALSE(rf.write(kRegXPtr, 0x1000));
+  EXPECT_FALSE(rf.write(kRegWPtr, 0x2000));
+  EXPECT_FALSE(rf.write(kRegZPtr, 0x3000));
+  EXPECT_FALSE(rf.write(kRegM, 8));
+  EXPECT_FALSE(rf.write(kRegN, 16));
+  EXPECT_FALSE(rf.write(kRegK, 32));
+  EXPECT_TRUE(rf.write(kRegTrigger, 0));
+  EXPECT_TRUE(rf.busy());
+  EXPECT_EQ(rf.job().x_ptr, 0x1000u);
+  EXPECT_EQ(rf.job().m, 8u);
+  EXPECT_EQ(rf.job().k, 32u);
+}
+
+TEST(RegFile, ReadbackOfJobRegisters) {
+  RegFile rf;
+  rf.write(kRegM, 24);
+  EXPECT_EQ(rf.read(kRegM), 24u);
+  EXPECT_EQ(rf.read(kRegStatus), 0u);
+}
+
+TEST(RegFile, AcquireSemantics) {
+  RegFile rf;
+  EXPECT_NE(rf.read(kRegAcquire), 0xFFFFFFFFu);  // free: returns next job id
+  rf.write(kRegTrigger, 0);
+  rf.on_job_started();
+  EXPECT_EQ(rf.read(kRegAcquire), 0xFFFFFFFFu);  // busy
+  rf.on_job_finished();
+  EXPECT_EQ(rf.read(kRegFinished), 1u);
+  EXPECT_FALSE(rf.busy());
+}
+
+TEST(RegFile, TriggerWhileBusyThrows) {
+  RegFile rf;
+  rf.write(kRegTrigger, 0);
+  EXPECT_THROW(rf.write(kRegTrigger, 0), redmule::Error);
+}
+
+TEST(RegFile, SoftClearReleases) {
+  RegFile rf;
+  rf.write(kRegTrigger, 0);
+  EXPECT_TRUE(rf.busy());
+  rf.write(kRegSoftClear, 0);
+  EXPECT_FALSE(rf.busy());
+}
+
+TEST(RegFile, UnknownOffsetsRejected) {
+  RegFile rf;
+  EXPECT_THROW(rf.write(0xFC, 0), redmule::Error);
+  EXPECT_THROW(rf.read(0xFC), redmule::Error);
+}
+
+TEST(Geometry, DerivedParameters) {
+  Geometry g;  // paper default H=4, L=8, P=3
+  EXPECT_EQ(g.n_fmas(), 32u);
+  EXPECT_EQ(g.j_slots(), 16u);
+  EXPECT_EQ(g.data_width_bits(), 256u);
+  EXPECT_EQ(g.mem_ports(), 9u);  // 256/32 + 1
+  // Paper §III-A: H = 5 adds two memory ports.
+  Geometry g5{5, 8, 3};
+  EXPECT_EQ(g5.mem_ports(), 11u);
+}
+
+TEST(Geometry, TilingDerivation) {
+  Geometry g;
+  Job job;
+  job.m = 17;
+  job.n = 33;
+  job.k = 31;
+  Tiling t(job, g);
+  EXPECT_EQ(t.m_tiles, 3u);   // ceil(17/8)
+  EXPECT_EQ(t.k_tiles, 2u);   // ceil(31/16)
+  EXPECT_EQ(t.n_chunks, 9u);  // ceil(33/4)
+  EXPECT_EQ(t.x_groups, 3u);  // ceil(33/16)
+  EXPECT_EQ(t.tiles(), 6u);
+}
+
+TEST(Job, ValidationRejectsBadInput) {
+  Job j;
+  EXPECT_THROW(j.validate(), redmule::Error);  // zero sizes
+  j.m = j.n = j.k = 4;
+  j.x_ptr = 1;  // odd
+  EXPECT_THROW(j.validate(), redmule::Error);
+  j.x_ptr = 0;
+  EXPECT_NO_THROW(j.validate());
+}
+
+}  // namespace
+}  // namespace redmule::core

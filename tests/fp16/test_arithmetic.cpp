@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+// add/sub/mul of two fp16 values are exact in double (<= 35 significand
+// bits), so double arithmetic + one conversion is a correctly-rounded
+// reference under RNE.
+Float16 ref_add(Float16 a, Float16 b) {
+  return Float16::from_double(a.to_double() + b.to_double());
+}
+Float16 ref_mul(Float16 a, Float16 b) {
+  return Float16::from_double(a.to_double() * b.to_double());
+}
+
+bool same_result(Float16 got, Float16 want) {
+  if (got.is_nan() && want.is_nan()) return true;
+  return got.bits() == want.bits();
+}
+
+TEST(Fp16Add, DirectedValues) {
+  EXPECT_EQ((f16(1.0) + f16(1.0)).to_double(), 2.0);
+  EXPECT_EQ((f16(1.5) + f16(0.25)).to_double(), 1.75);
+  EXPECT_EQ((f16(1.0) + f16(-1.0)).bits(), Float16::kPosZero);
+  // Cancellation to exact zero yields +0 under RNE...
+  EXPECT_EQ(Float16::add(f16(3.5), f16(-3.5)).bits(), Float16::kPosZero);
+  // ...and -0 under RDN.
+  EXPECT_EQ(Float16::add(f16(3.5), f16(-3.5), RoundingMode::kRDN).bits(),
+            Float16::kNegZero);
+}
+
+TEST(Fp16Add, InfAndNaN) {
+  const Float16 inf = Float16::from_bits(Float16::kPosInf);
+  const Float16 ninf = Float16::from_bits(Float16::kNegInf);
+  EXPECT_EQ(Float16::add(inf, f16(5.0)).bits(), Float16::kPosInf);
+  EXPECT_EQ(Float16::add(ninf, f16(5.0)).bits(), Float16::kNegInf);
+  Flags fl;
+  EXPECT_TRUE(Float16::add(inf, ninf, RoundingMode::kRNE, &fl).is_nan());
+  EXPECT_TRUE(fl.invalid);
+  fl.clear();
+  EXPECT_TRUE(Float16::add(Float16::from_bits(0x7D01), f16(1.0), RoundingMode::kRNE, &fl)
+                  .is_nan());
+  EXPECT_TRUE(fl.invalid);  // signaling NaN raises NV
+  fl.clear();
+  EXPECT_TRUE(
+      Float16::add(Float16::from_bits(Float16::kQuietNaN), f16(1.0),
+                   RoundingMode::kRNE, &fl)
+          .is_nan());
+  EXPECT_FALSE(fl.invalid);  // quiet NaN does not
+}
+
+TEST(Fp16Add, SignedZeroRules) {
+  const Float16 pz = Float16::from_bits(Float16::kPosZero);
+  const Float16 nz = Float16::from_bits(Float16::kNegZero);
+  EXPECT_EQ(Float16::add(pz, pz).bits(), Float16::kPosZero);
+  EXPECT_EQ(Float16::add(nz, nz).bits(), Float16::kNegZero);
+  EXPECT_EQ(Float16::add(pz, nz).bits(), Float16::kPosZero);
+  EXPECT_EQ(Float16::add(pz, nz, RoundingMode::kRDN).bits(), Float16::kNegZero);
+  EXPECT_EQ(Float16::add(nz, f16(1.0)).to_double(), 1.0);
+}
+
+TEST(Fp16Add, OverflowSaturatesPerMode) {
+  const Float16 maxn = Float16::from_bits(Float16::kMaxNormal);
+  Flags fl;
+  EXPECT_EQ(Float16::add(maxn, maxn, RoundingMode::kRNE, &fl).bits(), Float16::kPosInf);
+  EXPECT_TRUE(fl.overflow);
+  EXPECT_EQ(Float16::add(maxn, maxn, RoundingMode::kRTZ).bits(), Float16::kMaxNormal);
+  EXPECT_EQ(Float16::add(maxn, maxn, RoundingMode::kRDN).bits(), Float16::kMaxNormal);
+  EXPECT_EQ(Float16::add(maxn, maxn, RoundingMode::kRUP).bits(), Float16::kPosInf);
+  const Float16 nmax = maxn.neg();
+  EXPECT_EQ(Float16::add(nmax, nmax, RoundingMode::kRDN).bits(), Float16::kNegInf);
+  EXPECT_EQ(Float16::add(nmax, nmax, RoundingMode::kRUP).bits(),
+            (uint16_t)(Float16::kMaxNormal | 0x8000));
+}
+
+TEST(Fp16Add, RandomizedVsDoubleReference) {
+  Xoshiro256 rng(101);
+  for (int i = 0; i < 500000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    if (a.is_nan() || b.is_nan()) continue;
+    const Float16 got = Float16::add(a, b);
+    const Float16 want = ref_add(a, b);
+    EXPECT_TRUE(same_result(got, want))
+        << a.to_string() << " + " << b.to_string() << " = " << got.to_string()
+        << " want " << want.to_string();
+  }
+}
+
+TEST(Fp16Sub, MatchesAddOfNegation) {
+  Xoshiro256 rng(102);
+  for (int i = 0; i < 100000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    if (a.is_nan() || b.is_nan()) continue;
+    EXPECT_EQ(Float16::sub(a, b).bits(), Float16::add(a, b.neg()).bits());
+  }
+}
+
+TEST(Fp16Mul, DirectedValues) {
+  EXPECT_EQ((f16(2.0) * f16(3.0)).to_double(), 6.0);
+  EXPECT_EQ((f16(-2.0) * f16(3.0)).to_double(), -6.0);
+  EXPECT_EQ((f16(0.5) * f16(0.5)).to_double(), 0.25);
+  EXPECT_EQ(Float16::mul(f16(-1.0), Float16::from_bits(Float16::kPosZero)).bits(),
+            Float16::kNegZero);
+}
+
+TEST(Fp16Mul, InfZeroInvalid) {
+  Flags fl;
+  EXPECT_TRUE(Float16::mul(Float16::from_bits(Float16::kPosInf),
+                           Float16::from_bits(Float16::kPosZero), RoundingMode::kRNE,
+                           &fl)
+                  .is_nan());
+  EXPECT_TRUE(fl.invalid);
+}
+
+TEST(Fp16Mul, SubnormalProducts) {
+  // 2^-14 * 2^-10 = 2^-24: the smallest subnormal, exactly.
+  Flags fl;
+  const Float16 r = Float16::mul(Float16::from_bits(Float16::kMinNormal),
+                                 f16(std::ldexp(1.0, -10)), RoundingMode::kRNE, &fl);
+  EXPECT_EQ(r.bits(), Float16::kMinSubnormal);
+  EXPECT_FALSE(fl.inexact);
+  EXPECT_FALSE(fl.underflow);  // exact subnormal: no UF under default FE
+}
+
+TEST(Fp16Mul, RandomizedVsDoubleReference) {
+  Xoshiro256 rng(103);
+  for (int i = 0; i < 500000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    if (a.is_nan() || b.is_nan()) continue;
+    const Float16 got = Float16::mul(a, b);
+    const Float16 want = ref_mul(a, b);
+    EXPECT_TRUE(same_result(got, want))
+        << a.to_string() << " * " << b.to_string() << " = " << got.to_string()
+        << " want " << want.to_string();
+  }
+}
+
+TEST(Fp16Div, DirectedAndSpecial) {
+  EXPECT_EQ((f16(6.0) / f16(3.0)).to_double(), 2.0);
+  EXPECT_EQ((f16(1.0) / f16(3.0)).bits(), 0x3555);  // correctly rounded 1/3
+  Flags fl;
+  EXPECT_EQ(Float16::div(f16(1.0), Float16::from_bits(Float16::kPosZero),
+                         RoundingMode::kRNE, &fl)
+                .bits(),
+            Float16::kPosInf);
+  EXPECT_TRUE(fl.div_by_zero);
+  fl.clear();
+  EXPECT_TRUE(Float16::div(Float16::from_bits(Float16::kPosZero),
+                           Float16::from_bits(Float16::kNegZero), RoundingMode::kRNE,
+                           &fl)
+                  .is_nan());
+  EXPECT_TRUE(fl.invalid);
+  fl.clear();
+  EXPECT_TRUE(Float16::div(Float16::from_bits(Float16::kPosInf),
+                           Float16::from_bits(Float16::kPosInf), RoundingMode::kRNE,
+                           &fl)
+                  .is_nan());
+  EXPECT_TRUE(fl.invalid);
+  EXPECT_EQ(Float16::div(f16(1.0), Float16::from_bits(Float16::kPosInf)).bits(),
+            Float16::kPosZero);
+}
+
+TEST(Fp16Div, RandomizedVsDoubleReference) {
+  // fp16 quotients are not exact in double, but double carries 53 bits vs
+  // the 12 needed, so double-then-round differs from correctly-rounded only
+  // if the quotient sits within 2^-40 of a tie -- impossible for 11-bit
+  // operands except exact ties, which double reproduces exactly.
+  Xoshiro256 rng(104);
+  for (int i = 0; i < 300000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    if (a.is_nan() || b.is_nan() || b.is_zero()) continue;
+    const Float16 got = Float16::div(a, b);
+    const Float16 want = Float16::from_double(a.to_double() / b.to_double());
+    EXPECT_TRUE(same_result(got, want))
+        << a.to_string() << " / " << b.to_string();
+  }
+}
+
+TEST(Fp16Sqrt, DirectedAndSpecial) {
+  EXPECT_EQ(Float16::sqrt(f16(4.0)).to_double(), 2.0);
+  EXPECT_EQ(Float16::sqrt(f16(2.0)).bits(), f16(std::sqrt(2.0)).bits());
+  EXPECT_EQ(Float16::sqrt(Float16::from_bits(Float16::kPosZero)).bits(),
+            Float16::kPosZero);
+  EXPECT_EQ(Float16::sqrt(Float16::from_bits(Float16::kNegZero)).bits(),
+            Float16::kNegZero);
+  EXPECT_EQ(Float16::sqrt(Float16::from_bits(Float16::kPosInf)).bits(),
+            Float16::kPosInf);
+  Flags fl;
+  EXPECT_TRUE(Float16::sqrt(f16(-1.0), RoundingMode::kRNE, &fl).is_nan());
+  EXPECT_TRUE(fl.invalid);
+}
+
+TEST(Fp16Sqrt, ExhaustivePositiveVsDouble) {
+  for (uint32_t b = 0; b <= 0x7C00; ++b) {  // all non-negative finite + inf
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(b));
+    const Float16 got = Float16::sqrt(f);
+    const Float16 want = Float16::from_double(std::sqrt(f.to_double()));
+    EXPECT_TRUE(same_result(got, want)) << std::hex << b;
+  }
+}
+
+TEST(Fp16Compare, OrderingAndNaN) {
+  EXPECT_TRUE(f16(1.0) < f16(2.0));
+  EXPECT_TRUE(f16(-2.0) < f16(-1.0));
+  EXPECT_TRUE(f16(1.0) <= f16(1.0));
+  EXPECT_TRUE(f16(1.0) == f16(1.0));
+  EXPECT_TRUE(Float16::eq(Float16::from_bits(Float16::kPosZero),
+                          Float16::from_bits(Float16::kNegZero)));
+  const Float16 nan = Float16::from_bits(Float16::kQuietNaN);
+  EXPECT_FALSE(Float16::eq(nan, nan));
+  EXPECT_FALSE(Float16::lt(nan, f16(1.0)));
+  Flags fl;
+  Float16::eq(nan, f16(1.0), &fl);
+  EXPECT_FALSE(fl.invalid);  // quiet compare
+  Float16::lt(nan, f16(1.0), &fl);
+  EXPECT_TRUE(fl.invalid);  // signaling compare
+}
+
+TEST(Fp16MinMax, RiscvSemantics) {
+  const Float16 nan = Float16::from_bits(Float16::kQuietNaN);
+  EXPECT_EQ(Float16::min(f16(1.0), f16(2.0)).to_double(), 1.0);
+  EXPECT_EQ(Float16::max(f16(1.0), f16(2.0)).to_double(), 2.0);
+  EXPECT_EQ(Float16::min(nan, f16(2.0)).to_double(), 2.0);
+  EXPECT_EQ(Float16::max(f16(1.0), nan).to_double(), 1.0);
+  EXPECT_EQ(Float16::min(nan, nan).bits(), Float16::kQuietNaN);
+  EXPECT_EQ(Float16::min(Float16::from_bits(Float16::kPosZero),
+                         Float16::from_bits(Float16::kNegZero))
+                .bits(),
+            Float16::kNegZero);
+  EXPECT_EQ(Float16::max(Float16::from_bits(Float16::kPosZero),
+                         Float16::from_bits(Float16::kNegZero))
+                .bits(),
+            Float16::kPosZero);
+  Flags fl;
+  Float16::min(Float16::from_bits(0x7D01), f16(1.0), &fl);
+  EXPECT_TRUE(fl.invalid);  // sNaN raises NV even in min/max
+}
+
+}  // namespace
+}  // namespace redmule::fp16

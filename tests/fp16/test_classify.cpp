@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+TEST(Fp16Classify, SpecialConstants) {
+  EXPECT_TRUE(Float16::from_bits(Float16::kPosInf).is_inf());
+  EXPECT_TRUE(Float16::from_bits(Float16::kNegInf).is_inf());
+  EXPECT_TRUE(Float16::from_bits(Float16::kNegInf).sign());
+  EXPECT_TRUE(Float16::from_bits(Float16::kQuietNaN).is_nan());
+  EXPECT_FALSE(Float16::from_bits(Float16::kQuietNaN).is_signaling_nan());
+  EXPECT_TRUE(Float16::from_bits(0x7D01).is_nan());  // signaling (quiet bit clear)
+  EXPECT_TRUE(Float16::from_bits(0x7D01).is_signaling_nan());
+  EXPECT_TRUE(Float16::from_bits(Float16::kPosZero).is_zero());
+  EXPECT_TRUE(Float16::from_bits(Float16::kNegZero).is_zero());
+  EXPECT_TRUE(Float16::from_bits(Float16::kMinSubnormal).is_subnormal());
+  EXPECT_TRUE(Float16::from_bits(Float16::kMinNormal).is_normal());
+  EXPECT_TRUE(Float16::from_bits(Float16::kMaxNormal).is_normal());
+}
+
+TEST(Fp16Classify, ExhaustiveConsistency) {
+  // Every encoding belongs to exactly one class.
+  for (uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(b));
+    const int classes = static_cast<int>(f.is_nan()) + static_cast<int>(f.is_inf()) +
+                        static_cast<int>(f.is_zero()) +
+                        static_cast<int>(f.is_subnormal()) +
+                        static_cast<int>(f.is_normal());
+    EXPECT_EQ(classes, 1) << "bits 0x" << std::hex << b;
+    EXPECT_EQ(f.is_finite(), !f.is_nan() && !f.is_inf());
+  }
+}
+
+TEST(Fp16Classify, ExhaustiveMatchesDouble) {
+  for (uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(b));
+    const double d = f.to_double();
+    EXPECT_EQ(f.is_nan(), std::isnan(d)) << std::hex << b;
+    EXPECT_EQ(f.is_inf(), std::isinf(d)) << std::hex << b;
+    if (!f.is_nan()) {
+      EXPECT_EQ(f.sign(), std::signbit(d)) << std::hex << b;
+    }
+    EXPECT_EQ(f.is_zero(), d == 0.0 && !std::isnan(d)) << std::hex << b;
+  }
+}
+
+TEST(Fp16Classify, FclassExhaustiveOneHot) {
+  for (uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(b));
+    const uint16_t c = f.fclass();
+    EXPECT_EQ(__builtin_popcount(c), 1) << std::hex << b;
+  }
+}
+
+TEST(Fp16Classify, FclassDirected) {
+  EXPECT_EQ(Float16::from_bits(Float16::kNegInf).fclass(), 1u << 0);
+  EXPECT_EQ(f16(-2.0).fclass(), 1u << 1);
+  EXPECT_EQ(Float16::from_bits(0x8001).fclass(), 1u << 2);  // -subnormal
+  EXPECT_EQ(Float16::from_bits(Float16::kNegZero).fclass(), 1u << 3);
+  EXPECT_EQ(Float16::from_bits(Float16::kPosZero).fclass(), 1u << 4);
+  EXPECT_EQ(Float16::from_bits(0x0001).fclass(), 1u << 5);  // +subnormal
+  EXPECT_EQ(f16(2.0).fclass(), 1u << 6);
+  EXPECT_EQ(Float16::from_bits(Float16::kPosInf).fclass(), 1u << 7);
+  EXPECT_EQ(Float16::from_bits(0x7D01).fclass(), 1u << 8);  // sNaN
+  EXPECT_EQ(Float16::from_bits(Float16::kQuietNaN).fclass(), 1u << 9);
+}
+
+TEST(Fp16Classify, NegAbs) {
+  EXPECT_EQ(f16(1.5).neg().to_double(), -1.5);
+  EXPECT_EQ(f16(-1.5).abs().to_double(), 1.5);
+  EXPECT_EQ(Float16::from_bits(Float16::kNegZero).abs().bits(), Float16::kPosZero);
+}
+
+}  // namespace
+}  // namespace redmule::fp16

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+TEST(Fp16Convert, ExhaustiveRoundTripViaFloat) {
+  // fp16 -> float -> fp16 must be the identity for all non-NaN encodings.
+  for (uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(b));
+    if (f.is_nan()) continue;
+    const Float16 back = Float16::from_float(f.to_float());
+    EXPECT_EQ(back.bits(), f.bits()) << std::hex << b;
+  }
+}
+
+TEST(Fp16Convert, ExhaustiveRoundTripViaDouble) {
+  for (uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(b));
+    if (f.is_nan()) continue;
+    EXPECT_EQ(Float16::from_double(f.to_double()).bits(), f.bits()) << std::hex << b;
+  }
+}
+
+TEST(Fp16Convert, NaNCanonicalizes) {
+  for (uint16_t b : {uint16_t{0x7C01}, uint16_t{0x7E01}, uint16_t{0xFE00},
+                     uint16_t{0xFFFF}}) {
+    const Float16 f = Float16::from_bits(b);
+    ASSERT_TRUE(f.is_nan());
+    EXPECT_TRUE(std::isnan(f.to_double()));
+    EXPECT_EQ(Float16::from_double(f.to_double()).bits(), Float16::kQuietNaN);
+  }
+}
+
+TEST(Fp16Convert, KnownValues) {
+  EXPECT_EQ(f16(0.0).bits(), 0x0000);
+  EXPECT_EQ(f16(-0.0).bits(), 0x8000);
+  EXPECT_EQ(f16(1.0).bits(), 0x3C00);
+  EXPECT_EQ(f16(-1.0).bits(), 0xBC00);
+  EXPECT_EQ(f16(2.0).bits(), 0x4000);
+  EXPECT_EQ(f16(0.5).bits(), 0x3800);
+  EXPECT_EQ(f16(65504.0).bits(), 0x7BFF);   // max normal
+  EXPECT_EQ(f16(6.103515625e-05).bits(), 0x0400);  // min normal 2^-14
+  EXPECT_EQ(f16(5.960464477539063e-08).bits(), 0x0001);  // min subnormal 2^-24
+  EXPECT_EQ(f16(1.0 / 3.0).bits(), 0x3555);  // classic rounding case
+}
+
+TEST(Fp16Convert, OverflowToInfinity) {
+  Flags fl;
+  EXPECT_EQ(Float16::from_double(1e10, RoundingMode::kRNE, &fl).bits(),
+            Float16::kPosInf);
+  EXPECT_TRUE(fl.overflow);
+  EXPECT_TRUE(fl.inexact);
+  fl.clear();
+  EXPECT_EQ(Float16::from_double(-1e10, RoundingMode::kRNE, &fl).bits(),
+            Float16::kNegInf);
+}
+
+TEST(Fp16Convert, OverflowBoundary) {
+  // Largest double that rounds to 65504 vs the first that rounds to inf.
+  EXPECT_EQ(f16(65519.999).bits(), Float16::kMaxNormal);
+  EXPECT_EQ(f16(65520.0).bits(), Float16::kPosInf);  // ties to even -> inf
+  EXPECT_EQ(f16(65504.0).bits(), Float16::kMaxNormal);
+}
+
+TEST(Fp16Convert, UnderflowToZeroAndSubnormals) {
+  Flags fl;
+  const Float16 tiny = Float16::from_double(1e-12, RoundingMode::kRNE, &fl);
+  EXPECT_EQ(tiny.bits(), Float16::kPosZero);
+  EXPECT_TRUE(fl.underflow);
+  EXPECT_TRUE(fl.inexact);
+  // Exactly representable subnormal: 3 * 2^-24.
+  fl.clear();
+  const Float16 sub = Float16::from_double(std::ldexp(3.0, -24), RoundingMode::kRNE, &fl);
+  EXPECT_EQ(sub.bits(), 0x0003);
+  EXPECT_FALSE(fl.underflow);
+  EXPECT_FALSE(fl.inexact);
+}
+
+TEST(Fp16Convert, SubnormalBoundaryRounding) {
+  // Half of the min subnormal rounds to zero (ties to even), anything above
+  // rounds to the min subnormal.
+  EXPECT_EQ(f16(std::ldexp(1.0, -25)).bits(), 0x0000);
+  EXPECT_EQ(f16(std::ldexp(1.0, -25) * 1.0001).bits(), 0x0001);
+  // 1.5 * 2^-24 ties to even -> 2 * 2^-24.
+  EXPECT_EQ(f16(std::ldexp(1.5, -24)).bits(), 0x0002);
+}
+
+TEST(Fp16Convert, FromFloatMatchesFromDouble) {
+  // float -> double is exact, so converting the same float value through
+  // either entry point must agree bit-for-bit.
+  Xoshiro256 rng(0xC0FFEE);
+  for (int i = 0; i < 200000; ++i) {
+    const float f = static_cast<float>(rng.next_double(-70000.0, 70000.0));
+    EXPECT_EQ(Float16::from_float(f).bits(),
+              Float16::from_double(static_cast<double>(f)).bits());
+  }
+}
+
+TEST(Fp16Convert, IntConversions) {
+  EXPECT_EQ(Float16::from_int32(0).bits(), 0x0000);
+  EXPECT_EQ(Float16::from_int32(1).bits(), 0x3C00);
+  EXPECT_EQ(Float16::from_int32(-1).bits(), 0xBC00);
+  EXPECT_EQ(Float16::from_int32(65504).bits(), Float16::kMaxNormal);
+  Flags fl;
+  EXPECT_EQ(Float16::from_int32(100000, RoundingMode::kRNE, &fl).bits(),
+            Float16::kPosInf);
+  EXPECT_TRUE(fl.overflow);
+  // 2049 is not representable (11-bit significand): rounds to even 2048.
+  EXPECT_EQ(Float16::from_int32(2049).to_double(), 2048.0);
+  EXPECT_EQ(Float16::from_int32(2051).to_double(), 2052.0);
+}
+
+TEST(Fp16Convert, ToInt32) {
+  EXPECT_EQ(f16(1.7).to_int32(RoundingMode::kRTZ), 1);
+  EXPECT_EQ(f16(-1.7).to_int32(RoundingMode::kRTZ), -1);
+  EXPECT_EQ(f16(1.7).to_int32(RoundingMode::kRNE), 2);
+  EXPECT_EQ(f16(2.5).to_int32(RoundingMode::kRNE), 2);   // ties to even
+  EXPECT_EQ(f16(3.5).to_int32(RoundingMode::kRNE), 4);
+  EXPECT_EQ(f16(-1.5).to_int32(RoundingMode::kRDN), -2);
+  EXPECT_EQ(f16(-1.5).to_int32(RoundingMode::kRUP), -1);
+  Flags fl;
+  EXPECT_EQ(Float16::from_bits(Float16::kQuietNaN).to_int32(RoundingMode::kRTZ, &fl),
+            INT32_MAX);
+  EXPECT_TRUE(fl.invalid);
+  fl.clear();
+  EXPECT_EQ(Float16::from_bits(Float16::kNegInf).to_int32(RoundingMode::kRTZ, &fl),
+            INT32_MIN);
+  EXPECT_TRUE(fl.invalid);
+}
+
+TEST(Fp16Convert, ToUint32) {
+  EXPECT_EQ(f16(3.99).to_uint32(RoundingMode::kRTZ), 3u);
+  Flags fl;
+  EXPECT_EQ(f16(-2.0).to_uint32(RoundingMode::kRTZ, &fl), 0u);
+  EXPECT_TRUE(fl.invalid);
+  fl.clear();
+  // -0.4 rounds to 0 under RTZ: not invalid, just inexact.
+  EXPECT_EQ(f16(-0.4).to_uint32(RoundingMode::kRTZ, &fl), 0u);
+  EXPECT_FALSE(fl.invalid);
+  EXPECT_TRUE(fl.inexact);
+}
+
+TEST(Fp16Convert, UlpDistance) {
+  EXPECT_EQ(ulp_distance(f16(1.0), f16(1.0)), 0);
+  EXPECT_EQ(ulp_distance(Float16::from_bits(0x3C00), Float16::from_bits(0x3C01)), 1);
+  EXPECT_EQ(ulp_distance(Float16::from_bits(0x0000), Float16::from_bits(0x8000)), 0);
+  EXPECT_EQ(ulp_distance(Float16::from_bits(0x0001), Float16::from_bits(0x8001)), 2);
+}
+
+}  // namespace
+}  // namespace redmule::fp16

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+#if defined(__SIZEOF_FLOAT128__)
+/// Exact FMA reference: products and sums of fp16 values need at most ~90
+/// significand bits, which __float128 (113 bits) holds exactly; the final
+/// cast performs the single rounding.
+Float16 ref_fma(Float16 a, Float16 b, Float16 c) {
+  const __float128 exact = static_cast<__float128>(a.to_double()) *
+                               static_cast<__float128>(b.to_double()) +
+                           static_cast<__float128>(c.to_double());
+  return Float16::from_double(static_cast<double>(exact));
+}
+
+/// True when double(exact) could double-round: exact value within half an
+/// fp16 ulp of the double result is always fine because double keeps 53 bits
+/// and we need 11; the only hazard is a result exactly at an fp16 tie that
+/// double rounding moved. Detect by comparing against the float128 tie.
+bool double_rounding_hazard(Float16 a, Float16 b, Float16 c) {
+  const __float128 exact = static_cast<__float128>(a.to_double()) *
+                               static_cast<__float128>(b.to_double()) +
+                           static_cast<__float128>(c.to_double());
+  const double d = static_cast<double>(exact);
+  return static_cast<__float128>(d) != exact &&
+         Float16::from_double(d).bits() !=
+             Float16::from_double(std::nextafter(d, 0.0)).bits();
+}
+#endif
+
+TEST(Fp16Fma, DirectedValues) {
+  EXPECT_EQ(Float16::fma(f16(2.0), f16(3.0), f16(1.0)).to_double(), 7.0);
+  EXPECT_EQ(Float16::fma(f16(-2.0), f16(3.0), f16(1.0)).to_double(), -5.0);
+  EXPECT_EQ(Float16::fma(f16(0.0), f16(5.0), f16(1.5)).to_double(), 1.5);
+}
+
+TEST(Fp16Fma, SingleRoundingBeatsMulThenAdd) {
+#if defined(__SIZEOF_FLOAT128__)
+  // Fused and unfused results must differ on some inputs (that is the whole
+  // point of an FMA), and whenever they differ the fused result must match
+  // the exactly-computed reference while the unfused one does not.
+  Xoshiro256 rng(321);
+  int differing = 0;
+  for (int i = 0; i < 100000 && differing < 50; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    const Float16 c = Float16::from_bits(rng.next_u16());
+    if (a.is_nan() || b.is_nan() || c.is_nan()) continue;
+    if (a.is_inf() || b.is_inf() || c.is_inf()) continue;
+    const Float16 fused = Float16::fma(a, b, c);
+    const Float16 unfused = Float16::add(Float16::mul(a, b), c);
+    if (fused.bits() == unfused.bits()) continue;
+    if (double_rounding_hazard(a, b, c)) continue;
+    ++differing;
+    const Float16 want = ref_fma(a, b, c);
+    EXPECT_EQ(fused.bits(), want.bits())
+        << "fma(" << a.to_string() << "," << b.to_string() << "," << c.to_string()
+        << ")";
+  }
+  EXPECT_GE(differing, 10);
+#else
+  GTEST_SKIP() << "__float128 unavailable";
+#endif
+}
+
+TEST(Fp16Fma, InfTimesZeroInvalidEvenWithQuietNaNAddend) {
+  Flags fl;
+  const Float16 r = Float16::fma(Float16::from_bits(Float16::kPosInf),
+                                 Float16::from_bits(Float16::kPosZero),
+                                 Float16::from_bits(Float16::kQuietNaN),
+                                 RoundingMode::kRNE, &fl);
+  EXPECT_TRUE(r.is_nan());
+  EXPECT_TRUE(fl.invalid);  // RISC-V mandated
+}
+
+TEST(Fp16Fma, ProductInfOppositeAddend) {
+  Flags fl;
+  EXPECT_TRUE(Float16::fma(Float16::from_bits(Float16::kPosInf), f16(2.0),
+                           Float16::from_bits(Float16::kNegInf), RoundingMode::kRNE,
+                           &fl)
+                  .is_nan());
+  EXPECT_TRUE(fl.invalid);
+  fl.clear();
+  EXPECT_EQ(Float16::fma(Float16::from_bits(Float16::kPosInf), f16(2.0),
+                         Float16::from_bits(Float16::kPosInf), RoundingMode::kRNE, &fl)
+                .bits(),
+            Float16::kPosInf);
+  EXPECT_FALSE(fl.invalid);
+}
+
+TEST(Fp16Fma, ZeroProductSignRules) {
+  const Float16 pz = Float16::from_bits(Float16::kPosZero);
+  const Float16 nz = Float16::from_bits(Float16::kNegZero);
+  // (+0)*(+1) + (+0) = +0 ; (-0)*(+1) + (+0) = +0 ; (-0)*(+1) + (-0) = -0.
+  EXPECT_EQ(Float16::fma(pz, f16(1.0), pz).bits(), Float16::kPosZero);
+  EXPECT_EQ(Float16::fma(nz, f16(1.0), pz).bits(), Float16::kPosZero);
+  EXPECT_EQ(Float16::fma(nz, f16(1.0), nz).bits(), Float16::kNegZero);
+  // Exact cancellation: 1*1 + (-1) = +0 (RNE), -0 (RDN).
+  EXPECT_EQ(Float16::fma(f16(1.0), f16(1.0), f16(-1.0)).bits(), Float16::kPosZero);
+  EXPECT_EQ(
+      Float16::fma(f16(1.0), f16(1.0), f16(-1.0), RoundingMode::kRDN).bits(),
+      Float16::kNegZero);
+}
+
+TEST(Fp16Fma, PaddingIdentity) {
+  // fma(0, 0, acc) == acc for every finite non-(-0) acc: this is what makes
+  // RedMulE's zero-padding numerically transparent (see core/golden.hpp).
+  Xoshiro256 rng(77);
+  const Float16 zero;
+  for (int i = 0; i < 50000; ++i) {
+    const Float16 acc = Float16::from_bits(rng.next_u16());
+    if (acc.is_nan()) continue;
+    const Float16 r = Float16::fma(zero, zero, acc);
+    if (acc.bits() == Float16::kNegZero) {
+      EXPECT_EQ(r.bits(), Float16::kPosZero);  // (+0) + (-0) = +0
+    } else {
+      EXPECT_EQ(r.bits(), acc.bits());
+    }
+  }
+}
+
+TEST(Fp16Fma, RandomizedVsFloat128Reference) {
+#if defined(__SIZEOF_FLOAT128__)
+  Xoshiro256 rng(105);
+  uint64_t tested = 0;
+  for (int i = 0; i < 500000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    const Float16 c = Float16::from_bits(rng.next_u16());
+    if (a.is_nan() || b.is_nan() || c.is_nan()) continue;
+    if (a.is_inf() || b.is_inf() || c.is_inf()) continue;
+    if (double_rounding_hazard(a, b, c)) continue;
+    ++tested;
+    const Float16 got = Float16::fma(a, b, c);
+    const Float16 want = ref_fma(a, b, c);
+    ASSERT_EQ(got.bits(), want.bits())
+        << "fma(" << a.to_string() << ", " << b.to_string() << ", " << c.to_string()
+        << ")";
+  }
+  EXPECT_GT(tested, 100000u);
+#else
+  GTEST_SKIP() << "__float128 unavailable";
+#endif
+}
+
+TEST(Fp16Fma, SubnormalChains) {
+  // Accumulating min-subnormals counts exactly in the subnormal lattice.
+  const Float16 eps = Float16::from_bits(Float16::kMinSubnormal);
+  Float16 acc;
+  for (int i = 0; i < 100; ++i) acc = Float16::fma(eps, f16(1.0), acc);
+  EXPECT_EQ(acc.bits(), 100);  // 100 * 2^-24, still subnormal
+}
+
+TEST(Fp16Fma, DotProductAgainstDouble) {
+  // An 8-term FP16 FMA chain stays within a few ulps of the double result
+  // for benign inputs -- sanity for the GEMM accuracy story.
+  Xoshiro256 rng(106);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Float16 acc;
+    double ref = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      const Float16 x = Float16::from_double(rng.next_double(-1, 1));
+      const Float16 w = Float16::from_double(rng.next_double(-1, 1));
+      acc = Float16::fma(x, w, acc);
+      ref = ref + x.to_double() * w.to_double();
+    }
+    EXPECT_LE(std::abs(acc.to_double() - ref), 8 * std::ldexp(1.0, -11) * 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace redmule::fp16

@@ -1,0 +1,115 @@
+/// Cross-checks the soft-float implementation against the host compiler's
+/// native _Float16 arithmetic (x86-64 AVX512-FP16 or soft-fp lowering), when
+/// available. Native _Float16 follows IEEE binary16 with RNE, which is
+/// exactly our default configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+#if defined(__FLT16_MAX__)
+using NativeF16 = _Float16;
+
+uint16_t native_bits(NativeF16 v) {
+  uint16_t b;
+  static_assert(sizeof(v) == 2);
+  __builtin_memcpy(&b, &v, 2);
+  return b;
+}
+
+NativeF16 native_from_bits(uint16_t b) {
+  NativeF16 v;
+  __builtin_memcpy(&v, &b, 2);
+  return v;
+}
+
+bool both_nan(uint16_t a, uint16_t b) {
+  auto is_nan = [](uint16_t x) { return (x & 0x7C00) == 0x7C00 && (x & 0x3FF) != 0; };
+  return is_nan(a) && is_nan(b);
+}
+
+TEST(Fp16Native, ExhaustiveConversionToFloat) {
+  for (uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(b));
+    const float ours = f.to_float();
+    const float native = static_cast<float>(native_from_bits(static_cast<uint16_t>(b)));
+    if (f.is_nan()) {
+      EXPECT_TRUE(std::isnan(native));
+    } else {
+      EXPECT_EQ(ours, native) << std::hex << b;
+    }
+  }
+}
+
+TEST(Fp16Native, ExhaustiveConversionFromFloatSamples) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 500000; ++i) {
+    // Random float32 patterns biased toward the fp16 range.
+    uint32_t bits = static_cast<uint32_t>(rng.next_u64());
+    float x;
+    __builtin_memcpy(&x, &bits, 4);
+    if (std::isnan(x)) continue;
+    const uint16_t ours = Float16::from_float(x).bits();
+    const uint16_t native = native_bits(static_cast<NativeF16>(x));
+    if (both_nan(ours, native)) continue;
+    EXPECT_EQ(ours, native) << "float bits 0x" << std::hex << bits;
+  }
+}
+
+TEST(Fp16Native, RandomizedAdd) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 500000; ++i) {
+    const uint16_t a = rng.next_u16(), b = rng.next_u16();
+    const uint16_t ours = Float16::add(Float16::from_bits(a), Float16::from_bits(b)).bits();
+    const uint16_t native = native_bits(native_from_bits(a) + native_from_bits(b));
+    if (both_nan(ours, native)) continue;
+    ASSERT_EQ(ours, native) << std::hex << "a=0x" << a << " b=0x" << b;
+  }
+}
+
+TEST(Fp16Native, RandomizedMul) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 500000; ++i) {
+    const uint16_t a = rng.next_u16(), b = rng.next_u16();
+    const uint16_t ours = Float16::mul(Float16::from_bits(a), Float16::from_bits(b)).bits();
+    const uint16_t native = native_bits(native_from_bits(a) * native_from_bits(b));
+    if (both_nan(ours, native)) continue;
+    ASSERT_EQ(ours, native) << std::hex << "a=0x" << a << " b=0x" << b;
+  }
+}
+
+TEST(Fp16Native, RandomizedDiv) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 300000; ++i) {
+    const uint16_t a = rng.next_u16(), b = rng.next_u16();
+    const uint16_t ours = Float16::div(Float16::from_bits(a), Float16::from_bits(b)).bits();
+    const uint16_t native = native_bits(native_from_bits(a) / native_from_bits(b));
+    if (both_nan(ours, native)) continue;
+    ASSERT_EQ(ours, native) << std::hex << "a=0x" << a << " b=0x" << b;
+  }
+}
+
+TEST(Fp16Native, SubnormalOperands) {
+  // Directed sweep over subnormal x subnormal and subnormal x normal edges.
+  for (uint32_t a = 0; a <= 0x3FF; a += 7) {
+    for (uint32_t b = 0x8000; b <= 0x83FF; b += 13) {
+      const uint16_t ua = static_cast<uint16_t>(a), ub = static_cast<uint16_t>(b);
+      const uint16_t ours = Float16::add(Float16::from_bits(ua), Float16::from_bits(ub)).bits();
+      const uint16_t native = native_bits(native_from_bits(ua) + native_from_bits(ub));
+      ASSERT_EQ(ours, native) << std::hex << "a=0x" << a << " b=0x" << b;
+    }
+  }
+}
+#else
+TEST(Fp16Native, Unavailable) {
+  GTEST_SKIP() << "toolchain has no native _Float16; cross-check skipped";
+}
+#endif
+
+}  // namespace
+}  // namespace redmule::fp16

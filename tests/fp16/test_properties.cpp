@@ -1,0 +1,176 @@
+/// Property-based tests of algebraic invariants the soft-float core must
+/// satisfy -- complements the reference cross-checks with laws that hold
+/// for *all* inputs, fuzzed over the full encoding space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+Float16 rand_f16(Xoshiro256& rng) { return Float16::from_bits(rng.next_u16()); }
+
+bool same(Float16 a, Float16 b) {
+  return (a.is_nan() && b.is_nan()) || a.bits() == b.bits();
+}
+
+TEST(Fp16Props, AdditionCommutes) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 200000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    EXPECT_TRUE(same(Float16::add(a, b), Float16::add(b, a)));
+  }
+}
+
+TEST(Fp16Props, MultiplicationCommutes) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 200000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    EXPECT_TRUE(same(Float16::mul(a, b), Float16::mul(b, a)));
+  }
+}
+
+TEST(Fp16Props, FmaCommutesInProduct) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng), c = rand_f16(rng);
+    EXPECT_TRUE(same(Float16::fma(a, b, c), Float16::fma(b, a, c)));
+  }
+}
+
+TEST(Fp16Props, NegationIsExactAndInvolutive) {
+  for (uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(bits));
+    EXPECT_EQ(f.neg().neg().bits(), f.bits());
+    if (!f.is_nan()) {
+      EXPECT_EQ(f.neg().to_double(), -f.to_double());
+    }
+  }
+}
+
+TEST(Fp16Props, MulByOneIsIdentity) {
+  const Float16 one = f16(1.0);
+  for (uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(bits));
+    const Float16 r = Float16::mul(f, one);
+    if (f.is_nan()) {
+      EXPECT_TRUE(r.is_nan());
+    } else {
+      EXPECT_EQ(r.bits(), f.bits()) << std::hex << bits;
+    }
+  }
+}
+
+TEST(Fp16Props, AddZeroIsIdentityForNonZero) {
+  const Float16 pz = Float16::from_bits(Float16::kPosZero);
+  for (uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const Float16 f = Float16::from_bits(static_cast<uint16_t>(bits));
+    if (f.is_nan() || f.is_zero()) continue;
+    EXPECT_EQ(Float16::add(f, pz).bits(), f.bits()) << std::hex << bits;
+  }
+}
+
+TEST(Fp16Props, DirectedRoundingBracketsRNE) {
+  // For any op: RDN result <= RNE result <= RUP result (numerically).
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    if (a.is_nan() || b.is_nan()) continue;
+    const Float16 dn = Float16::mul(a, b, RoundingMode::kRDN);
+    const Float16 ne = Float16::mul(a, b, RoundingMode::kRNE);
+    const Float16 up = Float16::mul(a, b, RoundingMode::kRUP);
+    if (dn.is_nan() || ne.is_nan() || up.is_nan()) continue;
+    EXPECT_LE(dn.to_double(), ne.to_double());
+    EXPECT_LE(ne.to_double(), up.to_double());
+  }
+}
+
+TEST(Fp16Props, RtzNeverIncreasesMagnitude) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    if (a.is_nan() || b.is_nan()) continue;
+    const Float16 tz = Float16::add(a, b, RoundingMode::kRTZ);
+    const Float16 ne = Float16::add(a, b, RoundingMode::kRNE);
+    if (tz.is_nan() || ne.is_nan() || ne.is_inf()) continue;
+    EXPECT_LE(std::abs(tz.to_double()), std::abs(ne.to_double()) + 0.0);
+  }
+}
+
+TEST(Fp16Props, DirectedModesDifferByAtMostOneUlp) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 100000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    if (a.is_nan() || b.is_nan()) continue;
+    const Float16 dn = Float16::mul(a, b, RoundingMode::kRDN);
+    const Float16 up = Float16::mul(a, b, RoundingMode::kRUP);
+    if (!dn.is_finite() || !up.is_finite()) continue;
+    EXPECT_LE(ulp_distance(dn, up), 1);
+  }
+}
+
+TEST(Fp16Props, SubIsAddOfNegated) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    EXPECT_TRUE(same(Float16::sub(a, b), Float16::add(a, b.neg())));
+  }
+}
+
+TEST(Fp16Props, CompareIsTotalOrderOnNonNan) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 100000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    if (a.is_nan() || b.is_nan()) continue;
+    const int rels = static_cast<int>(Float16::lt(a, b)) +
+                     static_cast<int>(Float16::lt(b, a)) +
+                     static_cast<int>(Float16::eq(a, b));
+    EXPECT_EQ(rels, 1);  // exactly one of <, >, ==
+  }
+}
+
+TEST(Fp16Props, MinMaxSelectOperands) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const Float16 a = rand_f16(rng), b = rand_f16(rng);
+    if (a.is_nan() || b.is_nan()) continue;
+    const Float16 lo = Float16::min(a, b);
+    const Float16 hi = Float16::max(a, b);
+    EXPECT_TRUE(lo.bits() == a.bits() || lo.bits() == b.bits());
+    EXPECT_TRUE(hi.bits() == a.bits() || hi.bits() == b.bits());
+    EXPECT_TRUE(Float16::le(lo, hi));
+  }
+}
+
+TEST(Fp16Props, SqrtInverseOfSquareForExactSquares) {
+  for (int i = 0; i <= 255; ++i) {
+    const Float16 x = Float16::from_int32(i);
+    const Float16 sq = Float16::mul(x, x);
+    if (sq.is_inf()) continue;
+    Flags fl;
+    const Float16 root = Float16::sqrt(sq, RoundingMode::kRNE, &fl);
+    EXPECT_EQ(root.to_double(), static_cast<double>(i));
+    if (i * i <= 2048) {
+      EXPECT_FALSE(fl.inexact);  // exact square, exact root
+    }
+  }
+}
+
+TEST(Fp16Props, FlagsAreMonotone) {
+  // Whenever an operation is exact, no flag may be raised; conversions back
+  // and forth of representable values stay silent.
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 50000; ++i) {
+    const Float16 a = rand_f16(rng);
+    if (a.is_nan() || a.is_inf()) continue;
+    Flags fl;
+    Float16::from_double(a.to_double(), RoundingMode::kRNE, &fl);
+    EXPECT_FALSE(fl.any()) << a.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace redmule::fp16

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fp16/float16.hpp"
+
+namespace redmule::fp16 {
+namespace {
+
+class RoundingModeTest : public ::testing::TestWithParam<RoundingMode> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RoundingModeTest,
+                         ::testing::Values(RoundingMode::kRNE, RoundingMode::kRTZ,
+                                           RoundingMode::kRDN, RoundingMode::kRUP,
+                                           RoundingMode::kRMM),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case RoundingMode::kRNE: return "RNE";
+                             case RoundingMode::kRTZ: return "RTZ";
+                             case RoundingMode::kRDN: return "RDN";
+                             case RoundingMode::kRUP: return "RUP";
+                             case RoundingMode::kRMM: return "RMM";
+                           }
+                           return "?";
+                         });
+
+TEST_P(RoundingModeTest, ExactOperationsUnaffected) {
+  const RoundingMode rm = GetParam();
+  Flags fl;
+  EXPECT_EQ(Float16::add(f16(1.0), f16(2.0), rm, &fl).to_double(), 3.0);
+  EXPECT_EQ(Float16::mul(f16(1.5), f16(2.0), rm, &fl).to_double(), 3.0);
+  EXPECT_EQ(Float16::fma(f16(2.0), f16(2.0), f16(0.5), rm, &fl).to_double(), 4.5);
+  EXPECT_FALSE(fl.inexact);
+}
+
+TEST_P(RoundingModeTest, ResultBracketsExactValue) {
+  // For every mode, the rounded result must be one of the two fp16 values
+  // bracketing the exact result, and on the correct side for directed modes.
+  const RoundingMode rm = GetParam();
+  Xoshiro256 rng(555);
+  for (int i = 0; i < 200000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    if (a.is_nan() || b.is_nan() || a.is_inf() || b.is_inf()) continue;
+    const double exact = a.to_double() * b.to_double();
+    const Float16 r = Float16::mul(a, b, rm);
+    if (r.is_inf()) continue;  // overflow checked elsewhere
+    const double rd = r.to_double();
+    switch (rm) {
+      case RoundingMode::kRDN:
+        EXPECT_LE(rd, exact) << a.to_string() << "*" << b.to_string();
+        break;
+      case RoundingMode::kRUP:
+        EXPECT_GE(rd, exact) << a.to_string() << "*" << b.to_string();
+        break;
+      case RoundingMode::kRTZ:
+        EXPECT_LE(std::abs(rd), std::abs(exact)) << a.to_string() << "*" << b.to_string();
+        break;
+      default: {  // nearest modes: within half an ulp step
+        const double err = std::abs(rd - exact);
+        // ulp at the result's scale (subnormal floor 2^-24).
+        const double ulp = std::max(std::ldexp(1.0, -24),
+                                    std::abs(rd) * std::ldexp(1.0, -10));
+        EXPECT_LE(err, ulp) << a.to_string() << "*" << b.to_string();
+        break;
+      }
+    }
+  }
+}
+
+TEST(Fp16Rounding, TieBehaviourDiffersRneRmm) {
+  // 2049 = 2048 + 1: exactly halfway between 2048 and 2050 in fp16.
+  const Float16 rne = Float16::from_int32(2049, RoundingMode::kRNE);
+  const Float16 rmm = Float16::from_int32(2049, RoundingMode::kRMM);
+  EXPECT_EQ(rne.to_double(), 2048.0);  // ties to even
+  EXPECT_EQ(rmm.to_double(), 2050.0);  // ties away from zero
+  const Float16 rne_n = Float16::from_int32(-2049, RoundingMode::kRNE);
+  const Float16 rmm_n = Float16::from_int32(-2049, RoundingMode::kRMM);
+  EXPECT_EQ(rne_n.to_double(), -2048.0);
+  EXPECT_EQ(rmm_n.to_double(), -2050.0);
+}
+
+TEST(Fp16Rounding, DirectedModesOnNegatives) {
+  // exact = -(1 + 2^-11): between -(1+2^-10) and -1.
+  const double v = -(1.0 + std::ldexp(1.0, -11));
+  EXPECT_EQ(Float16::from_double(v, RoundingMode::kRDN).bits(), 0xBC01);
+  EXPECT_EQ(Float16::from_double(v, RoundingMode::kRUP).bits(), 0xBC00);
+  EXPECT_EQ(Float16::from_double(v, RoundingMode::kRTZ).bits(), 0xBC00);
+  EXPECT_EQ(Float16::from_double(v, RoundingMode::kRNE).bits(), 0xBC00);  // tie-even
+  EXPECT_EQ(Float16::from_double(v, RoundingMode::kRMM).bits(), 0xBC01);  // tie-away
+}
+
+TEST(Fp16Rounding, UnderflowDirectedModes) {
+  // Tiny positive value below half the min subnormal.
+  const double tiny = std::ldexp(1.0, -30);
+  EXPECT_EQ(Float16::from_double(tiny, RoundingMode::kRNE).bits(), 0x0000);
+  EXPECT_EQ(Float16::from_double(tiny, RoundingMode::kRTZ).bits(), 0x0000);
+  EXPECT_EQ(Float16::from_double(tiny, RoundingMode::kRDN).bits(), 0x0000);
+  EXPECT_EQ(Float16::from_double(tiny, RoundingMode::kRUP).bits(), 0x0001);
+  EXPECT_EQ(Float16::from_double(-tiny, RoundingMode::kRDN).bits(), 0x8001);
+  EXPECT_EQ(Float16::from_double(-tiny, RoundingMode::kRUP).bits(), 0x8000);
+}
+
+TEST(Fp16Rounding, FlagsPacking) {
+  Flags fl;
+  fl.invalid = true;
+  fl.inexact = true;
+  EXPECT_EQ(fl.to_fflags(), 0b10001);
+  fl.clear();
+  EXPECT_EQ(fl.to_fflags(), 0);
+  EXPECT_FALSE(fl.any());
+  fl.overflow = true;
+  EXPECT_EQ(fl.to_fflags(), 0b00100);
+  EXPECT_TRUE(fl.any());
+}
+
+TEST(Fp16Rounding, InexactFlagExhaustiveOnHalves) {
+  // x + 0.5ulp cases: every odd integer above 2048 is inexact in fp16.
+  Flags fl;
+  Float16::from_int32(2047, RoundingMode::kRNE, &fl);
+  EXPECT_FALSE(fl.inexact);  // 2047 fits in 11 bits
+  Float16::from_int32(2049, RoundingMode::kRNE, &fl);
+  EXPECT_TRUE(fl.inexact);
+}
+
+}  // namespace
+}  // namespace redmule::fp16

@@ -1,0 +1,149 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redmule::isa {
+namespace {
+
+TEST(Assembler, BasicAluOps) {
+  const Program p = assemble(R"(
+    add x1, x2, x3
+    addi t0, t1, -4
+    slli a0, a1, 3
+  )");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAdd);
+  EXPECT_EQ(p.instrs[0].rd, 1);
+  EXPECT_EQ(p.instrs[0].rs1, 2);
+  EXPECT_EQ(p.instrs[0].rs2, 3);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[1].rd, 5);   // t0
+  EXPECT_EQ(p.instrs[1].rs1, 6);  // t1
+  EXPECT_EQ(p.instrs[1].imm, -4);
+  EXPECT_EQ(p.instrs[2].rd, 10);  // a0
+}
+
+TEST(Assembler, AbiAndArchitecturalNamesAgree) {
+  const Program p = assemble("add x10, a0, zero");
+  EXPECT_EQ(p.instrs[0].rd, 10);
+  EXPECT_EQ(p.instrs[0].rs1, 10);
+  EXPECT_EQ(p.instrs[0].rs2, 0);
+  EXPECT_EQ(parse_int_reg("s2"), 18);
+  EXPECT_EQ(parse_int_reg("t3"), 28);
+  EXPECT_EQ(parse_fp_reg("fa0"), 10);
+  EXPECT_EQ(parse_fp_reg("ft8"), 28);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+  start:
+    addi x1, x1, 1
+    beq x1, x2, end
+    j start
+  end:
+    halt
+  )");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.instrs[1].imm, 3);  // end
+  EXPECT_EQ(p.instrs[2].imm, 0);  // start
+}
+
+TEST(Assembler, MemoryOperands) {
+  const Program p = assemble(R"(
+    lw  x5, 8(x6)
+    sh  x7, -2(x8)
+    flh ft0, 0(t0)
+    fsh fa0, 6(t2)
+  )");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kLw);
+  EXPECT_EQ(p.instrs[0].imm, 8);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kSh);
+  EXPECT_EQ(p.instrs[1].imm, -2);
+  EXPECT_EQ(p.instrs[2].op, Opcode::kFlh);
+  EXPECT_EQ(p.instrs[3].op, Opcode::kFsh);
+}
+
+TEST(Assembler, PostIncrementRequiresPulpMnemonic) {
+  const Program p = assemble("p.flh ft0, 2(t0!)");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kFlhPost);
+  EXPECT_EQ(p.instrs[0].imm, 2);
+  EXPECT_THROW(assemble("flh ft0, 2(t0!)"), redmule::Error);
+}
+
+TEST(Assembler, HardwareLoop) {
+  const Program p = assemble(R"(
+    lp.setup t3, body_end
+      addi x1, x1, 1
+      addi x2, x2, 1
+  body_end:
+    halt
+  )");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kLpSetup);
+  EXPECT_EQ(p.instrs[0].rs1, 28);
+  EXPECT_EQ(p.instrs[0].imm, 3);  // exclusive end
+}
+
+TEST(Assembler, FpOps) {
+  const Program p = assemble(R"(
+    fadd.h  fa0, fa1, fa2
+    fmul.h  ft0, ft1, ft2
+    fmadd.h fa0, ft0, ft1, fa0
+    fmv.h.x ft3, zero
+    fmv.x.h a0, fa0
+  )");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kFaddH);
+  EXPECT_EQ(p.instrs[2].op, Opcode::kFmaddH);
+  EXPECT_EQ(p.instrs[2].rs3, 10);  // fa0
+  EXPECT_EQ(p.instrs[3].op, Opcode::kFmvHX);
+  EXPECT_EQ(p.instrs[4].op, Opcode::kFmvXH);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  const Program p = assemble(R"(
+    # full-line comment
+
+    nop   # trailing comment
+  )");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kNop);
+}
+
+TEST(Assembler, Pseudoinstructions) {
+  const Program p = assemble(R"(
+    li  a0, 100
+    mv  a1, a0
+    j   1
+  )");
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[0].rs1, 0);
+  EXPECT_EQ(p.instrs[0].imm, 100);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[2].op, Opcode::kJal);
+  EXPECT_EQ(p.instrs[2].rd, 0);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus x1, x2\n");
+    FAIL() << "expected an assembler error";
+  } catch (const redmule::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  EXPECT_THROW(assemble("a:\nnop\na:\nnop"), redmule::Error);
+}
+
+TEST(Assembler, UnknownRegisterRejected) {
+  EXPECT_THROW(assemble("add x1, x2, x99"), redmule::Error);
+  EXPECT_THROW(assemble("add x1, x2, q7"), redmule::Error);
+}
+
+TEST(Assembler, HexImmediates) {
+  const Program p = assemble("li a0, 0x10000000");
+  EXPECT_EQ(static_cast<uint32_t>(p.instrs[0].imm), 0x10000000u);
+}
+
+}  // namespace
+}  // namespace redmule::isa

@@ -1,0 +1,259 @@
+#include "isa/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/simulator.hpp"
+
+namespace redmule::isa {
+namespace {
+
+struct CoreBench {
+  mem::Tcdm tcdm;
+  mem::Hci hci{tcdm, {}};
+  RiscvCore core{hci, {}};
+  sim::Simulator sim;
+
+  CoreBench() {
+    sim.add(&core);
+    sim.add(&hci);
+  }
+
+  /// Loads the program (which resets the register file), applies the given
+  /// initial registers, then runs to halt.
+  void run(const std::string& asm_text,
+           std::vector<std::pair<uint8_t, uint32_t>> regs = {},
+           uint64_t max_cycles = 10000) {
+    core.load_program(assemble(asm_text));
+    for (const auto& [r, v] : regs) core.set_reg(r, v);
+    ASSERT_TRUE(sim.run_until([&] { return core.halted(); }, max_cycles));
+  }
+  uint32_t base() const { return tcdm.config().base_addr; }
+};
+
+TEST(IssCore, AluBasics) {
+  CoreBench tb;
+  tb.run(R"(
+    li   a0, 21
+    li   a1, 2
+    mul  a2, a0, a1
+    addi a3, a2, -2
+    sub  a4, a2, a1
+    halt
+  )");
+  EXPECT_EQ(tb.core.reg(12), 42u);
+  EXPECT_EQ(tb.core.reg(13), 40u);
+  EXPECT_EQ(tb.core.reg(14), 40u);
+}
+
+TEST(IssCore, X0IsHardwiredZero) {
+  CoreBench tb;
+  tb.run(R"(
+    addi zero, zero, 5
+    add  a0, zero, zero
+    halt
+  )");
+  EXPECT_EQ(tb.core.reg(0), 0u);
+  EXPECT_EQ(tb.core.reg(10), 0u);
+}
+
+TEST(IssCore, BranchesAndLoops) {
+  CoreBench tb;
+  // Sum 1..10 with a software loop.
+  tb.run(R"(
+    li  a0, 0
+    li  a1, 1
+    li  a2, 11
+  loop:
+    add a0, a0, a1
+    addi a1, a1, 1
+    blt a1, a2, loop
+    halt
+  )");
+  EXPECT_EQ(tb.core.reg(10), 55u);
+}
+
+TEST(IssCore, HardwareLoopSemantics) {
+  CoreBench tb;
+  tb.run(R"(
+    li a0, 0
+    li t3, 7
+    lp.setup t3, loop_end
+      addi a0, a0, 3
+  loop_end:
+    halt
+  )");
+  EXPECT_EQ(tb.core.reg(10), 21u);  // 7 iterations
+}
+
+TEST(IssCore, HardwareLoopHasNoBranchOverhead) {
+  CoreBench tb;
+  tb.core.load_program(assemble(R"(
+    li t3, 100
+    lp.setup t3, e
+      addi a0, a0, 1
+  e:
+    halt
+  )"));
+  ASSERT_TRUE(tb.sim.run_until([&] { return tb.core.halted(); }, 1000));
+  // 2 setup + 100 body + 1 halt = 103 retired; cycles ~ retired (no bubbles).
+  EXPECT_EQ(tb.core.stats().retired, 103u);
+  EXPECT_LE(tb.core.stats().cycles, 105u);
+}
+
+TEST(IssCore, NestedHardwareLoops) {
+  CoreBench tb;
+  tb.run(R"(
+    li a0, 0
+    li t3, 4
+    lp.setup t3, outer_end
+      li t4, 5
+      lp.setup t4, inner_end
+        addi a0, a0, 1
+  inner_end:
+      addi a0, a0, 10
+  outer_end:
+    halt
+  )");
+  EXPECT_EQ(tb.core.reg(10), 4u * (5 + 10));
+}
+
+TEST(IssCore, LoadStoreWord) {
+  CoreBench tb;
+  tb.tcdm.write_word(tb.base() + 0x40, 0xDEAD0042);
+  tb.run(R"(
+    lw  a1, 0x40(a0)
+    sw  a1, 0x44(a0)
+    halt
+  )",
+         {{10, tb.base()}});
+  EXPECT_EQ(tb.core.reg(11), 0xDEAD0042u);
+  EXPECT_EQ(tb.tcdm.read_word(tb.base() + 0x44), 0xDEAD0042u);
+}
+
+TEST(IssCore, HalfwordSignedness) {
+  CoreBench tb;
+  tb.tcdm.backdoor_write_u16(tb.base() + 2, 0x8001);
+  tb.run(R"(
+    lh  a1, 2(a0)
+    lhu a2, 2(a0)
+    halt
+  )",
+         {{10, tb.base()}});
+  EXPECT_EQ(tb.core.reg(11), 0xFFFF8001u);
+  EXPECT_EQ(tb.core.reg(12), 0x00008001u);
+}
+
+TEST(IssCore, PostIncrementAddressing) {
+  CoreBench tb;
+  tb.tcdm.backdoor_write_u16(tb.base(), 0x0001);
+  tb.tcdm.backdoor_write_u16(tb.base() + 2, 0x0002);
+  tb.run(R"(
+    p.lhu a1, 2(a0!)
+    p.lhu a2, 2(a0!)
+    halt
+  )",
+         {{10, tb.base()}});
+  EXPECT_EQ(tb.core.reg(11), 1u);
+  EXPECT_EQ(tb.core.reg(12), 2u);
+  EXPECT_EQ(tb.core.reg(10), tb.base() + 4);  // pointer advanced twice
+}
+
+TEST(IssCore, Fp16ArithmeticBitAccurate) {
+  CoreBench tb;
+  tb.tcdm.backdoor_write_u16(tb.base() + 0, fp16::f16(1.5).bits());
+  tb.tcdm.backdoor_write_u16(tb.base() + 2, fp16::f16(2.5).bits());
+  tb.run(R"(
+    flh ft0, 0(a0)
+    flh ft1, 2(a0)
+    fadd.h fa0, ft0, ft1
+    fmul.h fa1, ft0, ft1
+    fmadd.h fa2, ft0, ft1, fa0
+    fsh fa2, 4(a0)
+    halt
+  )",
+         {{10, tb.base()}});
+  EXPECT_EQ(tb.core.freg(10).to_double(), 4.0);
+  EXPECT_EQ(tb.core.freg(11).to_double(), 3.75);
+  EXPECT_EQ(tb.core.freg(12).to_double(), 7.75);
+  EXPECT_EQ(tb.tcdm.backdoor_read_u16(tb.base() + 4), fp16::f16(7.75).bits());
+}
+
+TEST(IssCore, FpLatencyCreatesDependencyStalls) {
+  mem::Tcdm tcdm;
+  mem::Hci hci(tcdm, {});
+  CoreConfig cfg;
+  cfg.fpu_latency = 5;
+  RiscvCore core(hci, cfg);
+  sim::Simulator sim;
+  sim.add(&core);
+  sim.add(&hci);
+  // Chain of dependent fadds: each must wait the full latency.
+  core.load_program(assemble(R"(
+    fadd.h fa0, fa0, fa0
+    fadd.h fa0, fa0, fa0
+    fadd.h fa0, fa0, fa0
+    halt
+  )"));
+  ASSERT_TRUE(sim.run_until([&] { return core.halted(); }, 100));
+  EXPECT_GE(core.stats().cycles, 1u + 2 * 5);
+  EXPECT_GT(core.stats().raw_stalls, 0u);
+}
+
+TEST(IssCore, LoadUseBubble) {
+  CoreBench tb;
+  tb.core.load_program(assemble(R"(
+    lw  a1, 0(a0)
+    addi a2, a1, 1
+    halt
+  )"));
+  tb.core.set_reg(10, tb.base());
+  ASSERT_TRUE(tb.sim.run_until([&] { return tb.core.halted(); }, 100));
+  // load(1) + bubble(1) + addi(1) + halt(1) = 4 cycles.
+  EXPECT_EQ(tb.core.stats().raw_stalls, 1u);
+}
+
+TEST(IssCore, TwoCoresConflictOnSameBank) {
+  mem::Tcdm tcdm;
+  mem::Hci hci(tcdm, {});
+  CoreConfig c0, c1;
+  c0.hci_port = 0;
+  c1.hci_port = 1;
+  RiscvCore core0(hci, c0), core1(hci, c1);
+  sim::Simulator sim;
+  sim.add(&core0);
+  sim.add(&core1);
+  sim.add(&hci);
+  const std::string prog = R"(
+    li t3, 50
+    lp.setup t3, e
+      lw a1, 0(a0)
+  e:
+    halt
+  )";
+  core0.load_program(assemble(prog));
+  core1.load_program(assemble(prog));
+  core0.set_reg(10, tcdm.config().base_addr);  // same bank
+  core1.set_reg(10, tcdm.config().base_addr);
+  ASSERT_TRUE(sim.run_until([&] { return core0.halted() && core1.halted(); }, 10000));
+  // 50 loads each on one bank: at most one grant/cycle -> contention stalls.
+  EXPECT_GT(core0.stats().mem_stalls + core1.stats().mem_stalls, 20u);
+}
+
+TEST(IssCore, DivStallsManyCycles) {
+  CoreBench tb;
+  tb.core.load_program(assemble(R"(
+    li a0, 100
+    li a1, 7
+    div a2, a0, a1
+    rem a3, a0, a1
+    halt
+  )"));
+  ASSERT_TRUE(tb.sim.run_until([&] { return tb.core.halted(); }, 1000));
+  EXPECT_EQ(tb.core.reg(12), 14u);
+  EXPECT_EQ(tb.core.reg(13), 2u);
+  EXPECT_GE(tb.core.stats().cycles, 2u * 34);
+}
+
+}  // namespace
+}  // namespace redmule::isa

@@ -1,0 +1,124 @@
+#include "mem/dma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace redmule::mem {
+namespace {
+
+struct DmaBench {
+  Tcdm tcdm;
+  Hci hci{tcdm, {}};
+  L2Memory l2;
+  DmaEngine dma{hci, l2, {}};
+  sim::Simulator sim;
+
+  DmaBench() {
+    sim.add(&dma);
+    sim.add(&hci);
+  }
+  uint32_t tcdm_base() const { return tcdm.config().base_addr; }
+  uint32_t l2_base() const { return l2.config().base_addr; }
+};
+
+TEST(Dma, L2ToTcdmTransfer) {
+  DmaBench tb;
+  std::vector<uint8_t> data(256);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  tb.l2.write(tb.l2_base(), data.data(), data.size());
+
+  DmaTransfer t;
+  t.l2_addr = tb.l2_base();
+  t.tcdm_addr = tb.tcdm_base();
+  t.len_bytes = 256;
+  t.dir = DmaDirection::kL2ToTcdm;
+  const uint64_t id = tb.dma.submit(t);
+
+  ASSERT_TRUE(tb.sim.run_until([&] { return tb.dma.done(id); }, 1000));
+  std::vector<uint8_t> got(256);
+  tb.tcdm.backdoor_read(tb.tcdm_base(), got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST(Dma, TcdmToL2Transfer) {
+  DmaBench tb;
+  std::vector<uint8_t> data(128);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(255 - i);
+  tb.tcdm.backdoor_write(tb.tcdm_base() + 64, data.data(), data.size());
+
+  DmaTransfer t;
+  t.l2_addr = tb.l2_base() + 0x1000;
+  t.tcdm_addr = tb.tcdm_base() + 64;
+  t.len_bytes = 128;
+  t.dir = DmaDirection::kTcdmToL2;
+  const uint64_t id = tb.dma.submit(t);
+
+  ASSERT_TRUE(tb.sim.run_until([&] { return tb.dma.done(id); }, 1000));
+  std::vector<uint8_t> got(128);
+  tb.l2.read(tb.l2_base() + 0x1000, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST(Dma, BandwidthBound) {
+  DmaBench tb;
+  // 1 KiB at 8 B/cycle L2 bandwidth -> at least 128 cycles + latency.
+  std::vector<uint8_t> data(1024, 0xAB);
+  tb.l2.write(tb.l2_base(), data.data(), data.size());
+  DmaTransfer t;
+  t.l2_addr = tb.l2_base();
+  t.tcdm_addr = tb.tcdm_base();
+  t.len_bytes = 1024;
+  const uint64_t id = tb.dma.submit(t);
+  const uint64_t start = tb.sim.cycle();
+  ASSERT_TRUE(tb.sim.run_until([&] { return tb.dma.done(id); }, 5000));
+  const uint64_t cycles = tb.sim.cycle() - start;
+  EXPECT_GE(cycles, 1024u / 8u);
+  EXPECT_LE(cycles, 1024u / 8u + tb.l2.config().access_latency + 20);
+}
+
+TEST(Dma, QueuedTransfersCompleteInOrder) {
+  DmaBench tb;
+  const uint8_t pat1[4] = {1, 1, 1, 1};
+  const uint8_t pat2[4] = {2, 2, 2, 2};
+  tb.l2.write(tb.l2_base(), pat1, 4);
+  tb.l2.write(tb.l2_base() + 4, pat2, 4);
+  DmaTransfer t1{tb.l2_base(), tb.tcdm_base(), 4, DmaDirection::kL2ToTcdm};
+  DmaTransfer t2{tb.l2_base() + 4, tb.tcdm_base() + 4, 4, DmaDirection::kL2ToTcdm};
+  const uint64_t id1 = tb.dma.submit(t1);
+  const uint64_t id2 = tb.dma.submit(t2);
+  ASSERT_TRUE(tb.sim.run_until([&] { return tb.dma.done(id2); }, 1000));
+  EXPECT_TRUE(tb.dma.done(id1));
+  EXPECT_EQ(tb.tcdm.read_word(tb.tcdm_base()), 0x01010101u);
+  EXPECT_EQ(tb.tcdm.read_word(tb.tcdm_base() + 4), 0x02020202u);
+}
+
+TEST(Dma, RejectsBadArguments) {
+  DmaBench tb;
+  DmaTransfer t;
+  t.l2_addr = tb.l2_base();
+  t.tcdm_addr = tb.tcdm_base() + 2;  // not word aligned
+  t.len_bytes = 8;
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  t.tcdm_addr = tb.tcdm_base();
+  t.len_bytes = 6;  // not a multiple of 4
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  t.len_bytes = 0;
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+}
+
+TEST(L2, ReadWriteAndBounds) {
+  L2Memory l2;
+  uint32_t v = 0x12345678;
+  l2.write(l2.config().base_addr + 16, &v, 4);
+  uint32_t got = 0;
+  l2.read(l2.config().base_addr + 16, &got, 4);
+  EXPECT_EQ(got, v);
+  EXPECT_THROW(l2.read(l2.config().base_addr + l2.config().size_bytes, &got, 4),
+               redmule::Error);
+}
+
+}  // namespace
+}  // namespace redmule::mem

@@ -1,0 +1,219 @@
+#include "mem/hci.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace redmule::mem {
+namespace {
+
+struct HciBench {
+  Tcdm tcdm;
+  Hci hci{tcdm, {}};
+  uint32_t base() const { return tcdm.config().base_addr; }
+  /// One cycle: callers have already posted; arbitrate and publish.
+  void cycle() {
+    hci.tick();
+    hci.commit();
+  }
+};
+
+TEST(Hci, SingleLogReadHasOneCycleLatency) {
+  HciBench tb;
+  tb.tcdm.write_word(tb.base() + 8, 0xCAFE0001);
+  LogRequest req;
+  req.addr = tb.base() + 8;
+  tb.hci.post_log(0, req);
+  EXPECT_FALSE(tb.hci.log_result(0).granted);  // not visible pre-arbitration
+  tb.cycle();
+  EXPECT_TRUE(tb.hci.log_result(0).granted);
+  EXPECT_EQ(tb.hci.log_result(0).rdata, 0xCAFE0001u);
+  tb.cycle();
+  EXPECT_FALSE(tb.hci.log_result(0).granted);  // result latched one cycle only
+}
+
+TEST(Hci, LogWriteThenRead) {
+  HciBench tb;
+  LogRequest wr;
+  wr.addr = tb.base() + 12;
+  wr.we = true;
+  wr.wdata = 0x55AA55AA;
+  tb.hci.post_log(1, wr);
+  tb.cycle();
+  EXPECT_TRUE(tb.hci.log_result(1).granted);
+  EXPECT_EQ(tb.tcdm.read_word(tb.base() + 12), 0x55AA55AAu);
+}
+
+TEST(Hci, BankConflictGrantsExactlyOne) {
+  HciBench tb;
+  LogRequest req;
+  req.addr = tb.base();  // same bank for both
+  tb.hci.post_log(0, req);
+  tb.hci.post_log(1, req);
+  tb.cycle();
+  const int granted = tb.hci.log_result(0).granted + tb.hci.log_result(1).granted;
+  EXPECT_EQ(granted, 1);
+  EXPECT_EQ(tb.hci.log_conflict_stalls(), 1u);
+}
+
+TEST(Hci, RoundRobinIsFairUnderPersistentConflict) {
+  HciBench tb;
+  int grants[2] = {0, 0};
+  LogRequest req;
+  req.addr = tb.base();
+  for (int i = 0; i < 20; ++i) {
+    tb.hci.post_log(0, req);
+    tb.hci.post_log(1, req);
+    tb.cycle();
+    grants[0] += tb.hci.log_result(0).granted;
+    grants[1] += tb.hci.log_result(1).granted;
+  }
+  EXPECT_EQ(grants[0], 10);
+  EXPECT_EQ(grants[1], 10);
+}
+
+TEST(Hci, DifferentBanksProceedInParallel) {
+  HciBench tb;
+  LogRequest r0, r1;
+  r0.addr = tb.base() + 0;   // bank 0
+  r1.addr = tb.base() + 4;   // bank 1
+  tb.hci.post_log(0, r0);
+  tb.hci.post_log(1, r1);
+  tb.cycle();
+  EXPECT_TRUE(tb.hci.log_result(0).granted);
+  EXPECT_TRUE(tb.hci.log_result(1).granted);
+}
+
+TEST(Hci, ShallowReadsWideLine) {
+  HciBench tb;
+  for (unsigned h = 0; h < 16; ++h)
+    tb.tcdm.backdoor_write_u16(tb.base() + 2 * h, static_cast<uint16_t>(0x1000 + h));
+  ShallowRequest req;
+  req.addr = tb.base();
+  req.n_halfwords = 16;
+  tb.hci.post_shallow(req);
+  tb.cycle();
+  ASSERT_TRUE(tb.hci.shallow_result().granted);
+  for (unsigned h = 0; h < 16; ++h)
+    EXPECT_EQ(tb.hci.shallow_result().rdata[h], 0x1000 + h);
+}
+
+TEST(Hci, ShallowMisalignedAccessUsesNinthWord) {
+  HciBench tb;
+  // Start at a 16-bit (not 32-bit) boundary: spans 9 words.
+  for (unsigned h = 0; h < 17; ++h)
+    tb.tcdm.backdoor_write_u16(tb.base() + 2 * h, static_cast<uint16_t>(0x2000 + h));
+  ShallowRequest req;
+  req.addr = tb.base() + 2;
+  req.n_halfwords = 16;
+  tb.hci.post_shallow(req);
+  tb.cycle();
+  ASSERT_TRUE(tb.hci.shallow_result().granted);
+  for (unsigned h = 0; h < 16; ++h)
+    EXPECT_EQ(tb.hci.shallow_result().rdata[h], 0x2001 + h);
+}
+
+TEST(Hci, ShallowWriteWithStrobes) {
+  HciBench tb;
+  ShallowRequest req;
+  req.addr = tb.base() + 2;
+  req.n_halfwords = 4;
+  req.we = true;
+  req.strb = 0b1011;  // halfword 2 masked off
+  for (unsigned h = 0; h < 4; ++h) req.wdata[h] = static_cast<uint16_t>(0xAA00 + h);
+  tb.hci.post_shallow(req);
+  tb.cycle();
+  EXPECT_EQ(tb.tcdm.backdoor_read_u16(tb.base() + 2), 0xAA00);
+  EXPECT_EQ(tb.tcdm.backdoor_read_u16(tb.base() + 4), 0xAA01);
+  EXPECT_EQ(tb.tcdm.backdoor_read_u16(tb.base() + 6), 0x0000);  // masked
+  EXPECT_EQ(tb.tcdm.backdoor_read_u16(tb.base() + 8), 0xAA03);
+}
+
+TEST(Hci, ShallowPriorityBeatsLogOnConflict) {
+  HciBench tb;  // default: shallow has priority
+  ShallowRequest s;
+  s.addr = tb.base();
+  s.n_halfwords = 16;
+  LogRequest l;
+  l.addr = tb.base();  // bank 0: conflicts with the wide access
+  tb.hci.post_shallow(s);
+  tb.hci.post_log(0, l);
+  tb.cycle();
+  EXPECT_TRUE(tb.hci.shallow_result().granted);
+  EXPECT_FALSE(tb.hci.log_result(0).granted);
+}
+
+TEST(Hci, LogToFreeBankProceedsDespiteShallow) {
+  HciBench tb;
+  ShallowRequest s;
+  s.addr = tb.base();
+  s.n_halfwords = 16;  // words 0..7 -> banks 0..7
+  LogRequest l;
+  l.addr = tb.base() + 4 * 12;  // bank 12: free
+  tb.hci.post_shallow(s);
+  tb.hci.post_log(0, l);
+  tb.cycle();
+  EXPECT_TRUE(tb.hci.shallow_result().granted);
+  EXPECT_TRUE(tb.hci.log_result(0).granted);
+}
+
+TEST(Hci, RotationPreventsLogStarvation) {
+  Tcdm tcdm;
+  HciConfig cfg;
+  cfg.max_stall = 4;
+  Hci hci(tcdm, cfg);
+  const uint32_t base = tcdm.config().base_addr;
+  int log_grants = 0;
+  for (int i = 0; i < 40; ++i) {
+    ShallowRequest s;
+    s.addr = base;
+    s.n_halfwords = 16;
+    hci.post_shallow(s);
+    LogRequest l;
+    l.addr = base;
+    hci.post_log(0, l);
+    hci.tick();
+    hci.commit();
+    log_grants += hci.log_result(0).granted;
+  }
+  // Every max_stall+1 cycles the starving log branch gets one grant.
+  EXPECT_GE(log_grants, 40 / 5 - 1);
+  EXPECT_GT(hci.rotation_events(), 0u);
+}
+
+TEST(Hci, RotationPreventsShallowStarvationWhenLogHasPriority) {
+  Tcdm tcdm;
+  HciConfig cfg;
+  cfg.shallow_has_priority = false;
+  cfg.max_stall = 4;
+  Hci hci(tcdm, cfg);
+  const uint32_t base = tcdm.config().base_addr;
+  int shallow_grants = 0;
+  for (int i = 0; i < 40; ++i) {
+    ShallowRequest s;
+    s.addr = base;
+    s.n_halfwords = 16;
+    hci.post_shallow(s);
+    LogRequest l;
+    l.addr = base;
+    hci.post_log(0, l);
+    hci.tick();
+    hci.commit();
+    shallow_grants += hci.shallow_result().granted;
+  }
+  EXPECT_GE(shallow_grants, 40 / 5 - 1);
+}
+
+TEST(Hci, StatsAccumulate) {
+  HciBench tb;
+  LogRequest l;
+  l.addr = tb.base();
+  tb.hci.post_log(0, l);
+  tb.cycle();
+  EXPECT_EQ(tb.hci.log_grants(), 1u);
+  tb.hci.reset_stats();
+  EXPECT_EQ(tb.hci.log_grants(), 0u);
+}
+
+}  // namespace
+}  // namespace redmule::mem

@@ -1,0 +1,76 @@
+#include "mem/tcdm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redmule::mem {
+namespace {
+
+TEST(Tcdm, AddressMapInterleavesBanks) {
+  Tcdm t;
+  const uint32_t base = t.config().base_addr;
+  for (unsigned w = 0; w < 64; ++w)
+    EXPECT_EQ(t.bank_of(base + 4 * w), w % t.config().n_banks);
+}
+
+TEST(Tcdm, ReadWriteWord) {
+  Tcdm t;
+  const uint32_t a = t.config().base_addr + 0x100;
+  t.write_word(a, 0xDEADBEEF);
+  EXPECT_EQ(t.read_word(a), 0xDEADBEEFu);
+}
+
+TEST(Tcdm, ByteEnables) {
+  Tcdm t;
+  const uint32_t a = t.config().base_addr;
+  t.write_word(a, 0xFFFFFFFF, 0xF);
+  t.write_word(a, 0x000000AB, 0x1);  // only byte 0
+  EXPECT_EQ(t.read_word(a), 0xFFFFFFABu);
+  t.write_word(a, 0xCD000000, 0x8);  // only byte 3
+  EXPECT_EQ(t.read_word(a), 0xCDFFFFABu);
+  t.write_word(a, 0x00123400, 0x6);  // bytes 1..2
+  EXPECT_EQ(t.read_word(a), 0xCD1234ABu);
+}
+
+TEST(Tcdm, BackdoorRoundTrip) {
+  Tcdm t;
+  const uint32_t a = t.config().base_addr + 64;
+  uint8_t src[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  t.backdoor_write(a, src, sizeof(src));
+  uint8_t dst[10] = {};
+  t.backdoor_read(a, dst, sizeof(dst));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(Tcdm, BackdoorHalfwords) {
+  Tcdm t;
+  const uint32_t a = t.config().base_addr + 0x20;
+  t.backdoor_write_u16(a + 2, 0xABCD);
+  EXPECT_EQ(t.backdoor_read_u16(a + 2), 0xABCD);
+  // The halfword lands in the upper half of the containing word.
+  EXPECT_EQ(t.read_word(a), 0xABCD0000u);
+}
+
+TEST(Tcdm, OutOfRangeRejected) {
+  Tcdm t;
+  const uint32_t end = t.config().base_addr + t.config().size_bytes();
+  uint8_t b = 0;
+  EXPECT_THROW(t.backdoor_write(end, &b, 1), redmule::Error);
+  EXPECT_THROW(t.backdoor_read(t.config().base_addr - 1, &b, 1), redmule::Error);
+}
+
+TEST(Tcdm, FillClears) {
+  Tcdm t;
+  t.write_word(t.config().base_addr, 0x12345678);
+  t.fill(0);
+  EXPECT_EQ(t.read_word(t.config().base_addr), 0u);
+}
+
+TEST(Tcdm, ConfigSizes) {
+  TcdmConfig cfg;
+  cfg.n_banks = 16;
+  cfg.words_per_bank = 2048;
+  EXPECT_EQ(cfg.size_bytes(), 128u * 1024u);
+}
+
+}  // namespace
+}  // namespace redmule::mem

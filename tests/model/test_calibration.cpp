@@ -1,0 +1,92 @@
+/// Regression tests pinning the area/power/energy model to every absolute
+/// number the paper publishes (DESIGN.md §3 calibration anchors).
+#include <gtest/gtest.h>
+
+#include "model/energy.hpp"
+
+namespace redmule::model {
+namespace {
+
+const core::Geometry kPaperGeometry{};  // H=4, L=8, P=3
+
+TEST(Calibration, RedmuleAreaMatchesPaper) {
+  const double area = redmule_area(kPaperGeometry).total();
+  EXPECT_NEAR(area, 0.07, 0.005);  // 0.07 mm^2
+}
+
+TEST(Calibration, RedmuleIs14PercentOfCluster) {
+  const double frac = redmule_area(kPaperGeometry).total() / cluster_area();
+  EXPECT_NEAR(frac, 0.14, 0.015);
+}
+
+TEST(Calibration, AreaSweepAnchors) {
+  // Fig. 4b: 256 FMAs ~ cluster area; 512 FMAs ~ 2x cluster area.
+  const double a256 = redmule_area(core::Geometry{8, 32, 3}).total();
+  EXPECT_NEAR(a256 / cluster_area(), 1.0, 0.12);
+  const double a512 = redmule_area(core::Geometry{16, 32, 3}).total();
+  EXPECT_NEAR(a512 / cluster_area(), 2.0, 0.2);
+}
+
+TEST(Calibration, ClusterPowerAtPeakEfficiencyPoint) {
+  const auto p = cluster_power(kPaperGeometry, op_peak_efficiency(), 0.988);
+  EXPECT_NEAR(p.total(), 43.5, 1.0);  // mW
+  EXPECT_NEAR(p.redmule / p.total(), 0.69, 0.02);
+  EXPECT_NEAR(p.tcdm_hci / p.total(), 0.171, 0.02);
+}
+
+TEST(Calibration, ClusterPowerAtPeakPerformancePoint) {
+  const auto p = cluster_power(kPaperGeometry, op_peak_performance(), 0.988);
+  EXPECT_NEAR(p.total(), 90.7, 4.0);  // mW (paper: 90.7)
+}
+
+TEST(Calibration, PeakEnergyEfficiency) {
+  // 688 GFLOPS/W at 0.65 V with 31.6 MAC/cycle.
+  const double eff = gops_per_watt(kPaperGeometry, op_peak_efficiency(), 31.6);
+  EXPECT_NEAR(eff, 688.0, 25.0);
+}
+
+TEST(Calibration, PeakPerformanceEfficiency) {
+  // 462 GFLOPS/W at 0.8 V.
+  const double eff = gops_per_watt(kPaperGeometry, op_peak_performance(), 31.6);
+  EXPECT_NEAR(eff, 462.0, 25.0);
+}
+
+TEST(Calibration, PeakThroughput) {
+  // 42 GFLOPS at 666 MHz; 30 GOPS at 476 MHz (Table I).
+  EXPECT_NEAR(gops(op_peak_performance(), 31.6), 42.0, 1.0);
+  EXPECT_NEAR(gops(op_peak_efficiency(), 31.6), 30.0, 1.0);
+}
+
+TEST(Calibration, EnergyPerMacAtPeak) {
+  // 43.5 mW / (476 MHz * 31.6 MAC/cycle) ~ 2.89 pJ/MAC.
+  const double e = energy_per_mac_pj(kPaperGeometry, op_peak_efficiency(), 31.6);
+  EXPECT_NEAR(e, 2.89, 0.15);
+}
+
+TEST(Calibration, TechNode65nm) {
+  EXPECT_NEAR(cluster_area(TechNode::k65nm), 3.85, 0.01);
+  const auto p = cluster_power(kPaperGeometry, op_65nm(), 0.985, TechNode::k65nm);
+  EXPECT_NEAR(p.total(), 89.1, 4.0);  // mW (paper Table I)
+  // 12.6 GOPS at 200 MHz.
+  EXPECT_NEAR(gops(op_65nm(), 31.5), 12.6, 0.2);
+}
+
+TEST(Calibration, OperatingPointsMatchPaper) {
+  EXPECT_EQ(op_peak_efficiency().vdd, 0.65);
+  EXPECT_EQ(op_peak_efficiency().freq_mhz, 476.0);
+  EXPECT_EQ(op_peak_performance().vdd, 0.80);
+  EXPECT_EQ(op_peak_performance().freq_mhz, 666.0);
+  EXPECT_EQ(op_synthesis_corner().freq_mhz, 208.0);
+  EXPECT_EQ(op_65nm().vdd, 1.20);
+}
+
+TEST(Calibration, MemPortScalingClaim) {
+  // §III-A: H 4 -> 5 adds two 32-bit memory ports (9 -> 11).
+  const core::Geometry h4{4, 8, 3};
+  const core::Geometry h5{5, 8, 3};
+  EXPECT_EQ(h4.mem_ports(), 9u);
+  EXPECT_EQ(h5.mem_ports(), 11u);
+}
+
+}  // namespace
+}  // namespace redmule::model

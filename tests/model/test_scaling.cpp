@@ -1,0 +1,84 @@
+/// Scaling-law properties of the analytical model (monotonicity, physical
+/// sanity) -- guards against calibration edits breaking the curve shapes.
+#include <gtest/gtest.h>
+
+#include "model/energy.hpp"
+
+namespace redmule::model {
+namespace {
+
+const core::Geometry kG{};  // paper default
+
+TEST(Scaling, AreaMonotoneInFmas) {
+  double prev = 0.0;
+  for (unsigned l : {4u, 8u, 16u, 32u}) {
+    const double a = redmule_area(core::Geometry{4, l, 3}).total();
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Scaling, AreaDatapathDominates) {
+  // Fig. 3a: the FMA datapath is the largest single contributor.
+  const auto a = redmule_area(kG);
+  EXPECT_GT(a.datapath, a.buffers());
+  EXPECT_GT(a.datapath, a.streamer);
+  EXPECT_GT(a.datapath, a.control);
+  EXPECT_GT(a.datapath / a.total(), 0.5);
+}
+
+TEST(Scaling, Area65nmLarger) {
+  EXPECT_GT(redmule_area(kG, TechNode::k65nm).total(),
+            redmule_area(kG, TechNode::k22nm).total() * 5);
+}
+
+TEST(Scaling, PowerGrowsWithVoltageAndFrequency) {
+  const auto lo = cluster_power(kG, op_peak_efficiency(), 0.988);
+  const auto hi = cluster_power(kG, op_peak_performance(), 0.988);
+  EXPECT_GT(hi.total(), lo.total() * 1.5);
+}
+
+TEST(Scaling, PowerGrowsWithUtilization) {
+  const auto idle = cluster_power(kG, op_peak_efficiency(), 0.1);
+  const auto busy = cluster_power(kG, op_peak_efficiency(), 0.988);
+  EXPECT_GT(busy.total(), idle.total());
+  EXPECT_GT(idle.total(), 0.0);  // static + control floor
+}
+
+TEST(Scaling, EnergyPerMacDropsWithThroughput) {
+  // Fig. 3c: energy per operation falls as utilization rises.
+  double prev = 1e9;
+  for (double mpc : {1.0, 4.0, 8.0, 16.0, 31.6}) {
+    const double e = energy_per_mac_pj(kG, op_peak_efficiency(), mpc);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Scaling, EfficiencyPeaksAtLowVoltage) {
+  // 0.65 V beats 0.8 V in GFLOPS/W (Table I first vs second row).
+  EXPECT_GT(gops_per_watt(kG, op_peak_efficiency(), 31.6),
+            gops_per_watt(kG, op_peak_performance(), 31.6));
+}
+
+TEST(Scaling, RedmulePowerBreakdownShares) {
+  // Fig. 3b: datapath dominates RedMulE's own power at full load.
+  const auto p = redmule_power(kG, op_peak_efficiency(), 0.988);
+  EXPECT_GT(p.datapath / p.total(), 0.5);
+  EXPECT_GT(p.buffers, 0.0);
+  EXPECT_GT(p.streamer, 0.0);
+  EXPECT_GT(p.control, 0.0);
+}
+
+TEST(Scaling, ThroughputRejectsNonsense) {
+  EXPECT_THROW(energy_per_mac_pj(kG, op_peak_efficiency(), 0.0), redmule::Error);
+}
+
+TEST(Scaling, BiggerArraysConsumeMore) {
+  const auto small = redmule_power(core::Geometry{4, 8, 3}, op_peak_efficiency(), 1.0);
+  const auto big = redmule_power(core::Geometry{8, 16, 3}, op_peak_efficiency(), 1.0);
+  EXPECT_GT(big.total(), small.total() * 2);
+}
+
+}  // namespace
+}  // namespace redmule::model

@@ -1,0 +1,64 @@
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redmule::sim {
+namespace {
+
+TEST(Fifo, PushVisibleOnlyAfterCommit) {
+  Fifo<int> f(4);
+  f.push(1);
+  EXPECT_FALSE(f.can_pop());  // registered queue: not yet visible
+  f.commit();
+  ASSERT_TRUE(f.can_pop());
+  EXPECT_EQ(f.front(), 1);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_FALSE(f.can_pop());
+}
+
+TEST(Fifo, CapacityCountsStagedElements) {
+  Fifo<int> f(2);
+  f.push(1);
+  ASSERT_TRUE(f.can_push());
+  f.push(2);
+  EXPECT_FALSE(f.can_push());  // staged elements occupy space
+  f.commit();
+  EXPECT_FALSE(f.can_push());
+  f.pop();
+  EXPECT_TRUE(f.can_push());
+}
+
+TEST(Fifo, FifoOrderPreserved) {
+  Fifo<int> f(8);
+  for (int i = 0; i < 4; ++i) f.push(i);
+  f.commit();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(f.pop(), i);
+}
+
+TEST(Fifo, InterleavedPushPop) {
+  Fifo<int> f(2);
+  f.push(10);
+  f.commit();
+  f.push(20);        // staged
+  EXPECT_EQ(f.pop(), 10);  // pops committed element
+  f.commit();
+  EXPECT_EQ(f.pop(), 20);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, ClearEmptiesEverything) {
+  Fifo<int> f(4);
+  f.push(1);
+  f.commit();
+  f.push(2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.can_pop());
+}
+
+TEST(Fifo, ZeroCapacityRejected) {
+  EXPECT_THROW(Fifo<int>(0), Error);
+}
+
+}  // namespace
+}  // namespace redmule::sim

@@ -1,0 +1,83 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redmule::sim {
+namespace {
+
+class TickCounter : public Clocked {
+ public:
+  void tick() override { ++ticks; }
+  void commit() override { ++commits; }
+  int ticks = 0;
+  int commits = 0;
+};
+
+/// Records the global order in which tick/commit phases run.
+class PhaseRecorder : public Clocked {
+ public:
+  PhaseRecorder(std::vector<std::string>& log, std::string name)
+      : log_(log), name_(std::move(name)) {}
+  void tick() override { log_.push_back(name_ + ".tick"); }
+  void commit() override { log_.push_back(name_ + ".commit"); }
+
+ private:
+  std::vector<std::string>& log_;
+  std::string name_;
+};
+
+TEST(Simulator, StepTicksAndCommitsAll) {
+  Simulator sim;
+  TickCounter a, b;
+  sim.add(&a);
+  sim.add(&b);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(a.ticks, 2);
+  EXPECT_EQ(a.commits, 2);
+  EXPECT_EQ(b.ticks, 2);
+  EXPECT_EQ(sim.cycle(), 2u);
+}
+
+TEST(Simulator, AllTicksBeforeAnyCommit) {
+  Simulator sim;
+  std::vector<std::string> log;
+  PhaseRecorder a(log, "a"), b(log, "b");
+  sim.add(&a);
+  sim.add(&b);
+  sim.step();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "a.tick");
+  EXPECT_EQ(log[1], "b.tick");
+  EXPECT_EQ(log[2], "a.commit");
+  EXPECT_EQ(log[3], "b.commit");
+}
+
+TEST(Simulator, RunUntilStopsOnCondition) {
+  Simulator sim;
+  TickCounter a;
+  sim.add(&a);
+  const bool ok = sim.run_until([&] { return a.ticks >= 5; }, 100);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(a.ticks, 5);
+}
+
+TEST(Simulator, RunUntilTimesOut) {
+  Simulator sim;
+  TickCounter a;
+  sim.add(&a);
+  const bool ok = sim.run_until([] { return false; }, 10);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(sim.cycle(), 10u);
+}
+
+TEST(Simulator, ConditionCheckedBeforeFirstStep) {
+  Simulator sim;
+  TickCounter a;
+  sim.add(&a);
+  EXPECT_TRUE(sim.run_until([] { return true; }, 10));
+  EXPECT_EQ(a.ticks, 0);
+}
+
+}  // namespace
+}  // namespace redmule::sim

@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace redmule::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  Trace t;
+  t.record("sig", 0, 1);
+  EXPECT_EQ(t.samples("sig"), nullptr);
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable(true);
+  t.record("grant", 1, 1);
+  t.record("grant", 2, 0);
+  t.record("occupancy", 1, 7);
+  const auto* s = t.samples("grant");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_EQ((*s)[0], (std::pair<uint64_t, int64_t>{1, 1}));
+  EXPECT_EQ((*s)[1], (std::pair<uint64_t, int64_t>{2, 0}));
+}
+
+TEST(Trace, DumpCsvRoundTrip) {
+  Trace t;
+  t.enable(true);
+  t.record("a", 10, -5);
+  t.record("b", 11, 42);
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  EXPECT_EQ(t.dump_csv(path), 2u);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof(buf), f)) content += buf;
+  std::fclose(f);
+  EXPECT_NE(content.find("signal,cycle,value"), std::string::npos);
+  EXPECT_NE(content.find("a,10,-5"), std::string::npos);
+  EXPECT_NE(content.find("b,11,42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ClearDropsSamples) {
+  Trace t;
+  t.enable(true);
+  t.record("x", 0, 0);
+  t.clear();
+  EXPECT_EQ(t.samples("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace redmule::sim

@@ -1,0 +1,56 @@
+#include "workloads/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redmule::workloads {
+namespace {
+
+TEST(GemmWorkloads, RandomMatrixDeterministic) {
+  Xoshiro256 a(1), b(1);
+  const auto ma = random_matrix(4, 4, a);
+  const auto mb = random_matrix(4, 4, b);
+  EXPECT_TRUE(ma == mb);
+}
+
+TEST(GemmWorkloads, RandomMatrixRange) {
+  Xoshiro256 rng(2);
+  const auto m = random_matrix(16, 16, rng, -2.0, 2.0);
+  for (size_t r = 0; r < 16; ++r)
+    for (size_t c = 0; c < 16; ++c) {
+      const double v = m(r, c).to_double();
+      EXPECT_GE(v, -2.0);
+      EXPECT_LT(v, 2.0);
+    }
+}
+
+TEST(GemmWorkloads, ConstantMatrix) {
+  const auto m = constant_matrix(3, 3, 0.5);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c).to_double(), 0.5);
+}
+
+TEST(GemmWorkloads, SquareSweepShapes) {
+  const auto shapes = square_sweep({8, 16, 32});
+  ASSERT_EQ(shapes.size(), 3u);
+  EXPECT_EQ(shapes[1].m, 16u);
+  EXPECT_EQ(shapes[1].n, 16u);
+  EXPECT_EQ(shapes[1].k, 16u);
+  EXPECT_EQ(shapes[1].macs(), 16ull * 16 * 16);
+  EXPECT_EQ(shapes[1].bytes(), 3ull * 16 * 16 * 2);
+}
+
+TEST(GemmWorkloads, RaggedSweepCoversLeftoverClasses) {
+  const auto shapes = ragged_sweep();
+  bool m_ragged = false, n_ragged = false, k_ragged = false;
+  for (const auto& s : shapes) {
+    if (s.m % 8 != 0) m_ragged = true;
+    if (s.n % 4 != 0) n_ragged = true;
+    if (s.k % 16 != 0) k_ragged = true;
+  }
+  EXPECT_TRUE(m_ragged);
+  EXPECT_TRUE(n_ragged);
+  EXPECT_TRUE(k_ragged);
+}
+
+}  // namespace
+}  // namespace redmule::workloads

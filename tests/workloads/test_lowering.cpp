@@ -1,0 +1,138 @@
+#include "workloads/lowering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "core/golden.hpp"
+
+namespace redmule::workloads {
+namespace {
+
+TEST(Lowering, OutputShapeArithmetic) {
+  Conv2dParams p;
+  p.in_channels = 3;
+  p.out_channels = 8;
+  p.in_h = p.in_w = 16;
+  p.kernel = 3;
+  p.stride = 1;
+  p.pad = 1;
+  EXPECT_EQ(p.out_h(), 16u);  // "same" padding
+  EXPECT_EQ(p.out_w(), 16u);
+  const auto s = p.gemm_shape();
+  EXPECT_EQ(s.m, 8u);
+  EXPECT_EQ(s.n, 27u);
+  EXPECT_EQ(s.k, 256u);
+  Conv2dParams strided = p;
+  strided.stride = 2;
+  strided.pad = 0;
+  EXPECT_EQ(strided.out_h(), 7u);
+}
+
+TEST(Lowering, Im2colIdentityKernel) {
+  // 1x1 kernel, no padding: im2col is the identity reshape.
+  Conv2dParams p;
+  p.in_channels = 2;
+  p.in_h = 3;
+  p.in_w = 4;
+  p.kernel = 1;
+  Xoshiro256 rng(1);
+  const auto x = random_matrix(2, 12, rng);
+  const auto patches = im2col(x, p);
+  ASSERT_EQ(patches.rows(), 2u);
+  ASSERT_EQ(patches.cols(), 12u);
+  EXPECT_TRUE(patches == x);
+}
+
+TEST(Lowering, Im2colZeroPadsBorders) {
+  Conv2dParams p;
+  p.in_channels = 1;
+  p.in_h = p.in_w = 2;
+  p.kernel = 3;
+  p.pad = 1;
+  const auto x = constant_matrix(1, 4, 1.0);
+  const auto patches = im2col(x, p);
+  ASSERT_EQ(patches.rows(), 9u);
+  ASSERT_EQ(patches.cols(), 4u);
+  // Top-left output: only the bottom-right 2x2 taps see the image.
+  // Patch row (ky, kx) = (0,0) for output (0,0) is padding.
+  EXPECT_EQ(patches(0, 0).bits(), 0x0000);
+  EXPECT_EQ(patches(4, 0).to_double(), 1.0);  // center tap hits pixel (0,0)
+}
+
+TEST(Lowering, GemmPathMatchesDirectConvolutionBitExactly) {
+  Conv2dParams p;
+  p.in_channels = 3;
+  p.out_channels = 5;
+  p.in_h = 8;
+  p.in_w = 10;
+  p.kernel = 3;
+  p.stride = 1;
+  p.pad = 1;
+  Xoshiro256 rng(2);
+  const auto x = random_matrix(p.in_channels, p.in_h * p.in_w, rng);
+  const auto w = random_matrix(p.out_channels, p.in_channels * 9, rng);
+  const auto via_gemm = conv2d_via_gemm(x, w, p);
+  const auto direct = conv2d_direct(x, w, p);
+  ASSERT_TRUE(via_gemm.same_shape(direct));
+  for (size_t r = 0; r < direct.rows(); ++r)
+    for (size_t c = 0; c < direct.cols(); ++c)
+      ASSERT_EQ(via_gemm(r, c).bits(), direct(r, c).bits()) << r << "," << c;
+}
+
+TEST(Lowering, StridedConvolutionMatches) {
+  Conv2dParams p;
+  p.in_channels = 2;
+  p.out_channels = 4;
+  p.in_h = p.in_w = 9;
+  p.kernel = 3;
+  p.stride = 2;
+  p.pad = 0;
+  Xoshiro256 rng(3);
+  const auto x = random_matrix(2, 81, rng);
+  const auto w = random_matrix(4, 18, rng);
+  const auto a = conv2d_via_gemm(x, w, p);
+  const auto b = conv2d_direct(x, w, p);
+  for (size_t r = 0; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c) ASSERT_EQ(a(r, c).bits(), b(r, c).bits());
+}
+
+TEST(Lowering, ConvolutionOffloadsToRedmule) {
+  // The whole point: the lowered GEMM runs on the cycle-accurate engine and
+  // matches the functional convolution except for the array's zero padding
+  // (numerically identical, -0 excepted -- compare with eq()).
+  Conv2dParams p;
+  p.in_channels = 2;
+  p.out_channels = 8;
+  p.in_h = p.in_w = 8;
+  p.kernel = 3;
+  p.pad = 1;
+  Xoshiro256 rng(4);
+  const auto x = random_matrix(2, 64, rng);
+  const auto w = random_matrix(8, 18, rng);
+  const auto patches = im2col(x, p);
+
+  cluster::Cluster cl;
+  cluster::RedmuleDriver drv(cl);
+  const auto res = drv.gemm(w, patches);
+  const auto golden = core::golden_gemm_padded(w, patches, cl.config().geometry);
+  const auto direct = conv2d_direct(x, w, p);
+  for (size_t r = 0; r < direct.rows(); ++r)
+    for (size_t c = 0; c < direct.cols(); ++c) {
+      ASSERT_EQ(res.z(r, c).bits(), golden(r, c).bits());
+      ASSERT_TRUE(fp16::Float16::eq(res.z(r, c), direct(r, c)));
+    }
+  EXPECT_GT(res.stats.macs_per_cycle(), 8.0);  // K = 64 keeps the array busy
+}
+
+TEST(Lowering, RejectsBadShapes) {
+  Conv2dParams p;
+  p.in_channels = 1;
+  p.in_h = p.in_w = 2;
+  p.kernel = 5;  // larger than padded input
+  const auto x = constant_matrix(1, 4, 0.0);
+  EXPECT_THROW(im2col(x, p), redmule::Error);
+}
+
+}  // namespace
+}  // namespace redmule::workloads
