@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/driver.hpp"
@@ -62,5 +64,48 @@ inline void print_header(const char* experiment, const char* claim) {
   std::printf("Paper claim: %s\n", claim);
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable bench output: a flat list of (name, value, unit) records
+/// written as JSON alongside whatever human-readable table the bench prints.
+/// Downstream tooling (CI perf tracking, plots) consumes the JSON; humans
+/// read the table. Records keep insertion order.
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    records_.push_back({name, value, unit});
+  }
+
+  /// Writes {"bench": ..., "records": [{"name","value","unit"}...]} to
+  /// \p path. Returns false (and prints to stderr) on I/O failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonBenchWriter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", bench_name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}%s\n",
+                   r.name.c_str(), r.value, r.unit.c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace redmule::bench

@@ -14,10 +14,19 @@ XBuffer::XBuffer(const Geometry& g) : geom_(g) {}
 void XBuffer::open_group(uint64_t tile, uint32_t q, unsigned valid_rows) {
   REDMULE_ASSERT(can_accept_group());
   XGroup grp;
+  if (!free_pool_.empty()) {  // recycle a retired group's row storage
+    grp = std::move(free_pool_.back());
+    free_pool_.pop_back();
+  }
   grp.tile = tile;
   grp.q = q;
   grp.valid_rows = valid_rows;
-  grp.rows.assign(geom_.l, Line(geom_.j_slots()));  // invalid rows stay zero
+  grp.loaded_rows = 0;
+  grp.uses = 0;
+  grp.rows.resize(geom_.l);
+  for (Line& row : grp.rows) {
+    row.assign(geom_.j_slots(), fp16::Float16{});  // invalid rows stay zero
+  }
   groups_.push_back(std::move(grp));
 }
 
@@ -27,6 +36,16 @@ void XBuffer::deliver_row(Line line) {
   REDMULE_ASSERT(grp.loaded_rows < grp.valid_rows);
   REDMULE_ASSERT(line.size() == geom_.j_slots());
   grp.rows[grp.loaded_rows] = std::move(line);
+  ++grp.loaded_rows;
+}
+
+void XBuffer::deliver_row_bits(const uint16_t* bits, unsigned n_valid) {
+  REDMULE_ASSERT(!groups_.empty());
+  XGroup& grp = groups_.back();
+  REDMULE_ASSERT(grp.loaded_rows < grp.valid_rows);
+  REDMULE_ASSERT(n_valid <= geom_.j_slots());
+  Line& row = grp.rows[grp.loaded_rows];  // pre-sized and zeroed by open_group
+  for (unsigned h = 0; h < n_valid; ++h) row[h] = fp16::Float16::from_bits(bits[h]);
   ++grp.loaded_rows;
 }
 
@@ -42,40 +61,74 @@ XGroup* XBuffer::find_ready(uint64_t tile, uint32_t q) {
 
 void XBuffer::pop_front() {
   REDMULE_ASSERT(!groups_.empty());
+  free_pool_.push_back(std::move(groups_.front()));  // recycle the storage
   groups_.pop_front();
+}
+
+void XBuffer::reset() {
+  while (!groups_.empty()) pop_front();
 }
 
 // ---------------------------------------------------------------------------
 // WBuffer
 // ---------------------------------------------------------------------------
 
-WBuffer::WBuffer(const Geometry& g) : geom_(g), cols_(g.h) {}
+WBuffer::WBuffer(const Geometry& g) : geom_(g), cols_(g.h) {
+  // Pre-size every ring slot: push/pop never allocate after this.
+  for (ColRing& ring : cols_)
+    for (WLine& slot : ring.slots) slot.elems.resize(g.j_slots());
+}
 
 bool WBuffer::can_push(unsigned col) const {
   REDMULE_ASSERT(col < geom_.h);
-  return cols_[col].size() < kDepth;
+  return cols_[col].count < kDepth;
+}
+
+WLine& WBuffer::next_slot(unsigned col) {
+  REDMULE_ASSERT(can_push(col));
+  ColRing& ring = cols_[col];
+  WLine& slot = ring.slots[(ring.head + ring.count) % kDepth];
+  ++ring.count;
+  return slot;
 }
 
 void WBuffer::push(unsigned col, WLine line) {
-  REDMULE_ASSERT(can_push(col));
   REDMULE_ASSERT(line.elems.size() == geom_.j_slots());
-  cols_[col].push_back(std::move(line));
+  next_slot(col) = std::move(line);
+}
+
+void WBuffer::push_bits(unsigned col, uint64_t tile, uint32_t trav,
+                        const uint16_t* bits, unsigned n_valid) {
+  REDMULE_ASSERT(n_valid <= geom_.j_slots());
+  WLine& slot = next_slot(col);
+  slot.tile = tile;
+  slot.trav = trav;
+  slot.elems.resize(geom_.j_slots());  // no-op unless push() swapped storage
+  unsigned h = 0;
+  for (; h < n_valid; ++h) slot.elems[h] = fp16::Float16::from_bits(bits[h]);
+  for (; h < geom_.j_slots(); ++h) slot.elems[h] = fp16::Float16{};
 }
 
 const WLine* WBuffer::front_if(unsigned col, uint64_t tile, uint32_t trav) const {
   REDMULE_ASSERT(col < geom_.h);
-  if (cols_[col].empty()) return nullptr;
-  const WLine& f = cols_[col].front();
+  const ColRing& ring = cols_[col];
+  if (ring.count == 0) return nullptr;
+  const WLine& f = ring.slots[ring.head];
   return (f.tile == tile && f.trav == trav) ? &f : nullptr;
 }
 
 void WBuffer::pop(unsigned col) {
-  REDMULE_ASSERT(col < geom_.h && !cols_[col].empty());
-  cols_[col].pop_front();
+  REDMULE_ASSERT(col < geom_.h && cols_[col].count > 0);
+  ColRing& ring = cols_[col];
+  ring.head = (ring.head + 1) % kDepth;
+  --ring.count;
 }
 
 void WBuffer::reset() {
-  for (auto& c : cols_) c.clear();
+  for (ColRing& ring : cols_) {
+    ring.head = 0;
+    ring.count = 0;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -91,8 +144,13 @@ bool ZBuffer::can_open_tile() const {
 void ZBuffer::open_tile(uint64_t tile) {
   REDMULE_ASSERT(can_open_tile());
   TileBuf buf;
+  if (!tile_pool_.empty()) {  // recycle a closed tile's capture storage
+    buf = std::move(tile_pool_.back());
+    tile_pool_.pop_back();
+  }
   buf.tile = tile;
-  buf.rows.assign(geom_.l, Line(geom_.j_slots()));
+  buf.rows.resize(geom_.l);
+  for (Line& row : buf.rows) row.assign(geom_.j_slots(), fp16::Float16{});
   open_tiles_.push_back(std::move(buf));
 }
 
@@ -129,16 +187,24 @@ void ZBuffer::close_tile(uint64_t tile, uint32_t z_ptr, const Job& job, unsigned
   const unsigned valid_rows = std::min<unsigned>(geom_.l, job.m - r0);
   for (unsigned r = 0; r < valid_rows; ++r) {
     ZStore st;
+    if (!store_pool_.empty()) {  // recycle a drained store's data storage
+      st = std::move(store_pool_.back());
+      store_pool_.pop_back();
+    }
     st.addr = z_ptr + ((r0 + r) * job.k + j0) * 2;
     st.n_halfwords = valid_cols;
     st.data.assign(buf.rows[r].begin(), buf.rows[r].begin() + valid_cols);
     stores_.push_back(std::move(st));
   }
+  tile_pool_.push_back(std::move(buf));  // recycle the capture buffer
 }
 
 void ZBuffer::reset() {
-  open_tiles_.clear();
-  stores_.clear();
+  while (!open_tiles_.empty()) {
+    tile_pool_.push_back(std::move(open_tiles_.front()));
+    open_tiles_.pop_front();
+  }
+  while (!stores_.empty()) pop_store();
 }
 
 }  // namespace redmule::core

@@ -43,10 +43,14 @@ class XBuffer {
 
   /// Streamer side: space for starting a new group?
   bool can_accept_group() const { return groups_.size() < kCapacity; }
-  /// Opens a new group (rows arrive one by one via deliver_row).
+  /// Opens a new group (rows arrive one by one via deliver_row). Retired
+  /// groups are recycled, so steady-state operation never allocates.
   void open_group(uint64_t tile, uint32_t q, unsigned valid_rows);
   /// Delivers a loaded row line into the most recently opened group.
   void deliver_row(Line line);
+  /// Allocation-free delivery: fills the next row in place from raw
+  /// halfword encodings (\p n_valid elements; the tail stays zero-padded).
+  void deliver_row_bits(const uint16_t* bits, unsigned n_valid);
 
   /// Engine side: is the group tagged (tile, q) present and fully loaded?
   const XGroup* find_ready(uint64_t tile, uint32_t q) const;
@@ -56,13 +60,14 @@ class XBuffer {
   bool empty() const { return groups_.empty(); }
   size_t occupancy() const { return groups_.size(); }
 
-  void reset() { groups_.clear(); }
+  void reset();
 
   static constexpr size_t kCapacity = 2;
 
  private:
   Geometry geom_;
   std::deque<XGroup> groups_;
+  std::vector<XGroup> free_pool_;  ///< retired groups, storage recycled
 };
 
 /// One buffered W line: w[n, j0 .. j0+j_slots) for a given traversal/column.
@@ -78,6 +83,10 @@ class WBuffer {
 
   bool can_push(unsigned col) const;
   void push(unsigned col, WLine line);
+  /// Allocation-free push: fills the next slot of \p col in place from raw
+  /// halfword encodings (\p n_valid elements; the tail stays zero-padded).
+  void push_bits(unsigned col, uint64_t tile, uint32_t trav, const uint16_t* bits,
+                 unsigned n_valid);
 
   /// Engine side: front line of column \p col if it matches (tile, trav).
   const WLine* front_if(unsigned col, uint64_t tile, uint32_t trav) const;
@@ -88,8 +97,17 @@ class WBuffer {
   static constexpr size_t kDepth = 2;
 
  private:
+  /// Fixed ring of kDepth pre-sized lines per column: the physical W shift
+  /// registers; push/pop never allocate.
+  struct ColRing {
+    WLine slots[kDepth];
+    unsigned head = 0;
+    unsigned count = 0;
+  };
+  WLine& next_slot(unsigned col);
+
   Geometry geom_;
-  std::vector<std::deque<WLine>> cols_;
+  std::vector<ColRing> cols_;
 };
 
 /// A pending Z row store produced by the Z-buffer.
@@ -117,7 +135,10 @@ class ZBuffer {
   /// Streamer side.
   bool has_store() const { return !stores_.empty(); }
   const ZStore& front_store() const { return stores_.front(); }
-  void pop_store() { stores_.pop_front(); }
+  void pop_store() {
+    store_pool_.push_back(std::move(stores_.front()));  // recycle the storage
+    stores_.pop_front();
+  }
   size_t pending_stores() const { return stores_.size(); }
 
   bool drained() const { return stores_.empty() && open_tiles_.empty(); }
@@ -136,6 +157,8 @@ class ZBuffer {
   Geometry geom_;
   std::deque<TileBuf> open_tiles_;
   std::deque<ZStore> stores_;
+  std::vector<TileBuf> tile_pool_;   ///< retired capture buffers, recycled
+  std::vector<ZStore> store_pool_;   ///< retired store records, recycled
 };
 
 }  // namespace redmule::core

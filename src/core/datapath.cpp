@@ -1,5 +1,6 @@
 #include "core/datapath.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace redmule::core {
@@ -9,11 +10,21 @@ using fp16::Float16;
 Datapath::Datapath(const Geometry& g) : geom_(g) {
   g.validate();
   pipes_.assign(g.h, std::vector<Slot>(g.fma_latency()));
+  outs_.assign(g.h, Slot{});
+  // Pre-size every per-row value vector once; advance() never reallocates.
+  for (auto& pipe : pipes_)
+    for (auto& slot : pipe) slot.values.resize(g.l);
+  for (auto& slot : outs_) slot.values.resize(g.l);
 }
 
 void Datapath::reset() {
   for (auto& pipe : pipes_)
-    for (auto& slot : pipe) slot = Slot{};
+    for (auto& slot : pipe) {
+      slot.valid = false;
+      slot.tag = PipeTag{};
+      std::fill(slot.values.begin(), slot.values.end(), Float16{});
+    }
+  for (auto& slot : outs_) slot.valid = false;
   fma_ops_ = 0;
 }
 
@@ -30,22 +41,25 @@ std::optional<Datapath::Capture> Datapath::advance(
   const unsigned l = geom_.l;
   REDMULE_ASSERT(issues.size() == h);
 
-  // Phase A: registered outputs of every column (deepest pipeline stage).
-  std::vector<Slot> outs(h);
-  for (unsigned c = 0; c < h; ++c) outs[c] = pipes_[c].back();
+  // Phase A: the registered output of every column is its deepest pipeline
+  // stage. Swap (not copy) it into outs_: the deepest slot is about to be
+  // overwritten by the shift anyway, and the swap recycles last cycle's
+  // outs_ storage back into the pipe -- the whole loop is allocation-free.
+  for (unsigned c = 0; c < h; ++c) std::swap(outs_[c], pipes_[c].back());
 
   // Phase B: shift all pipes and insert this cycle's issues at stage 0.
+  // Rotating the (now stale) deepest slot to the front shifts every live
+  // stage one deeper and leaves a reusable slot at stage 0.
   std::optional<Capture> capture;
   for (unsigned c = 0; c < h; ++c) {
     auto& pipe = pipes_[c];
-    for (unsigned i = static_cast<unsigned>(pipe.size()) - 1; i > 0; --i)
-      pipe[i] = std::move(pipe[i - 1]);
+    std::rotate(pipe.begin(), pipe.end() - 1, pipe.end());
 
-    Slot in;
+    Slot& in = pipe[0];
     const ColumnIssue& issue = issues[c];
+    in.valid = issue.active;
     if (issue.active) {
       REDMULE_ASSERT(issue.x.size() == l);
-      in.valid = true;
       in.tag = issue.tag;
       in.values.resize(l);
 
@@ -53,11 +67,11 @@ std::optional<Datapath::Capture> Datapath::advance(
       // column 0, or zero on the very first traversal of a tile.
       const Slot* acc = nullptr;
       if (c > 0) {
-        acc = &outs[c - 1];
+        acc = &outs_[c - 1];
         REDMULE_ASSERT_MSG(acc->valid, "upstream column bubble at issue time");
         REDMULE_ASSERT_MSG(acc->tag == issue.tag, "systolic schedule misaligned");
       } else if (!issue.first_traversal) {
-        acc = &outs[h - 1];
+        acc = &outs_[h - 1];
         REDMULE_ASSERT_MSG(acc->valid, "feedback bubble at issue time");
         REDMULE_ASSERT_MSG(acc->tag.tile == issue.tag.tile &&
                                acc->tag.trav + 1 == issue.tag.trav &&
@@ -75,12 +89,11 @@ std::optional<Datapath::Capture> Datapath::advance(
       }
       fma_ops_ += l;
     }
-    pipe[0] = std::move(in);
   }
 
   // Phase C: a last-traversal entry emerging from the final column is a
   // finished chunk of Z destined for the Z-buffer.
-  const Slot& last = outs[h - 1];
+  const Slot& last = outs_[h - 1];
   if (last.valid && last.tag.last_traversal) {
     capture = Capture{last.tag, last.values};
   }

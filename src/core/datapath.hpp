@@ -79,6 +79,10 @@ class Datapath {
   Geometry geom_;
   /// pipes_[c][i]: stage i of column c; stage p (deepest) is the output.
   std::vector<std::vector<Slot>> pipes_;
+  /// Registered column outputs of the current cycle. Member (not a local in
+  /// advance()) so the per-row value vectors are allocated once and recycled
+  /// by swapping with the retiring deepest pipeline slots every cycle.
+  std::vector<Slot> outs_;
   uint64_t fma_ops_ = 0;
 };
 

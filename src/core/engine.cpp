@@ -24,6 +24,12 @@ RedmuleEngine::RedmuleEngine(const Geometry& g, mem::Hci& hci)
                   "cycle model supports up to 32 j-slots (use the analytical "
                   "model for wider geometries)");
   x_regs_.assign(g.h, std::vector<Float16>(g.l));
+  steps_.resize(g.h);
+  issues_.resize(g.h);
+  for (auto& issue : issues_) {
+    issue.x.reserve(g.l);
+    issue.init_acc.reserve(g.l);
+  }
 }
 
 void RedmuleEngine::reg_write(uint32_t offset, uint32_t value) {
@@ -60,6 +66,12 @@ void RedmuleEngine::start_job() {
   total_span_ = static_cast<uint64_t>(tiling_->tiles()) * tiling_->n_chunks *
                 geom_.j_slots();
   for (auto& regs : x_regs_) std::fill(regs.begin(), regs.end(), Float16{});
+  std::fill(steps_.begin(), steps_.end(), ColStep{});
+  for (auto& issue : issues_) {
+    issue = Datapath::ColumnIssue{};
+    issue.x.reserve(geom_.l);
+    issue.init_acc.reserve(geom_.l);
+  }
   cur_stats_ = JobStats{};
   cur_stats_.macs = job_.macs();
   state_ = State::kRunning;
@@ -80,23 +92,14 @@ bool RedmuleEngine::try_advance() {
   const unsigned lat = geom_.fma_latency();
   const Tiling& tl = *tiling_;
 
-  // Decoded schedule step for one column.
-  struct ColStep {
-    bool active = false;
-    uint64_t tile = 0;
-    uint32_t trav = 0;
-    uint32_t tau = 0;
-    uint64_t n = 0;
-    bool padded = false;  // n >= N: zero lane, no buffer involvement
-  };
-  std::vector<ColStep> steps(h);
-
   // --- Phase 1: decode and check every requirement; stall on any miss
-  // (global HWPE enable, nothing moves on a stall).
+  // (global HWPE enable, nothing moves on a stall). steps_ is engine-owned
+  // scratch, reused every cycle without allocation.
   for (unsigned c = 0; c < h; ++c) {
+    ColStep& st = steps_[c];
+    st = ColStep{};
     const int64_t local = static_cast<int64_t>(ac_) - static_cast<int64_t>(c) * lat;
     if (local < 0 || local >= static_cast<int64_t>(total_span_)) continue;
-    ColStep& st = steps[c];
     st.active = true;
     const uint64_t t_global = static_cast<uint64_t>(local) / js;
     st.tile = t_global / tl.n_chunks;
@@ -108,7 +111,8 @@ bool RedmuleEngine::try_advance() {
     if (!st.padded) {
       // The W element is consumed from the column's shift register every
       // cycle of the traversal window.
-      if (wbuf_.front_if(c, st.tile, st.trav) == nullptr) return false;
+      st.wline = wbuf_.front_if(c, st.tile, st.trav);
+      if (st.wline == nullptr) return false;
       // The X operand registers load from the X-buffer at tau == 0 only;
       // afterwards the line may be retired (the operands are held locally).
       if (st.tau == 0 &&
@@ -127,12 +131,22 @@ bool RedmuleEngine::try_advance() {
   }
 
   // --- Phase 2: all operands present; perform latches, pops, and the
-  // datapath step.
-  std::vector<Datapath::ColumnIssue> issues(h);
+  // datapath step. issues_ is reused scratch: reset the per-column fields
+  // (clear() keeps vector capacity, so steady state never allocates).
   for (unsigned c = 0; c < h; ++c) {
-    const ColStep& st = steps[c];
-    Datapath::ColumnIssue& issue = issues[c];
-    if (!st.active) continue;
+    const ColStep& st = steps_[c];
+    Datapath::ColumnIssue& issue = issues_[c];
+    issue.active = false;
+    issue.first_traversal = false;
+    issue.init_acc.clear();
+    // Padded columns never assign w below, so a stale broadcast from an
+    // earlier cycle (possibly Inf/NaN) must not leak into their FMAs.
+    issue.w = Float16{};
+    if (!st.active) {
+      issue.tag = PipeTag{};
+      issue.x.clear();  // observers must not see a stale operand snapshot
+      continue;
+    }
 
     if (st.tau == 0) {
       // Operand-register load: latch the X elements for this traversal.
@@ -165,17 +179,16 @@ bool RedmuleEngine::try_advance() {
       if (st.tau == js - 1) ybuf_.pop_front();  // Y tile fully injected
     }
     if (!st.padded) {
-      const WLine* wl = wbuf_.front_if(c, st.tile, st.trav);
-      REDMULE_ASSERT(wl != nullptr);
-      issue.w = wl->elems[st.tau];
+      REDMULE_ASSERT(st.wline != nullptr);
+      issue.w = st.wline->elems[st.tau];
       if (st.tau == js - 1) wbuf_.pop(c);  // line fully broadcast
     }
     if (c == h - 1 && st.trav == tl.n_chunks - 1 && st.tau == 0)
       zbuf_.open_tile(st.tile);
   }
 
-  const std::optional<Datapath::Capture> cap = datapath_.advance(issues);
-  if (observer_) observer_(ac_, issues, cap);
+  const std::optional<Datapath::Capture> cap = datapath_.advance(issues_);
+  if (observer_) observer_(ac_, issues_, cap);
   if (cap.has_value()) {
     zbuf_.capture(cap->tag.tile, cap->tag.tau, cap->values);
     if (cap->tag.tau == js - 1) {  // tile fully captured: emit row stores

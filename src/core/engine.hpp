@@ -72,9 +72,27 @@ class RedmuleEngine : public sim::Clocked {
   // --- Clocked ---------------------------------------------------------------
   void tick() override;
   void commit() override;
+  /// Quiescent when no job is running and the streamer has fully drained;
+  /// the only way to wake up is an external reg_write(), so tick()/commit()
+  /// are no-ops until then (see sim::Clocked::is_idle contract).
+  bool is_idle() const override {
+    return state_ == State::kIdle && streamer_.idle();
+  }
 
  private:
   enum class State { kIdle, kRunning };
+
+  /// Decoded schedule step for one column (phase-1 scratch; lives in the
+  /// engine so the hot loop never allocates).
+  struct ColStep {
+    bool active = false;
+    uint64_t tile = 0;
+    uint32_t trav = 0;
+    uint32_t tau = 0;
+    uint64_t n = 0;
+    bool padded = false;  // n >= N: zero lane, no buffer involvement
+    const WLine* wline = nullptr;  ///< phase-1 lookup, consumed by phase 2
+  };
 
   void start_job();
   void finish_job();
@@ -100,6 +118,12 @@ class RedmuleEngine : public sim::Clocked {
   /// j-slot of each traversal and held for the whole H*(P+1) window, as the
   /// paper describes ("X-matrix elements of each FMA are held steady").
   std::vector<std::vector<fp16::Float16>> x_regs_;
+  /// Pre-allocated per-cycle scratch for try_advance(): sized once at
+  /// construction (H entries each), reset in start_job(), reused every
+  /// cycle. Hoisting these out of the hot loop removes the two per-cycle
+  /// heap allocations the seed kernel paid.
+  std::vector<ColStep> steps_;
+  std::vector<Datapath::ColumnIssue> issues_;
 
   JobStats cur_stats_;
   JobStats last_stats_;

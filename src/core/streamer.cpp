@@ -29,12 +29,19 @@ void Streamer::start(const Job& job) {
 void Streamer::stop() {
   REDMULE_ASSERT(idle());
   running_ = false;
+  // Clear the per-cycle port snapshot: once stopped the engine may be
+  // idle-skipped by the kernel, and tick() (which normally refreshes these)
+  // will no longer run.
+  posted_this_cycle_ = false;
+  posted_kind_ = 0;
 }
 
 void Streamer::soft_clear() {
   running_ = false;
   in_flight_.reset();
   retry_.reset();
+  posted_this_cycle_ = false;
+  posted_kind_ = 0;
 }
 
 bool Streamer::idle() const {
@@ -243,31 +250,18 @@ void Streamer::commit() {
     return;
   }
   InFlight& f = *in_flight_;
+  // Deliveries fill pre-sized buffer storage in place (push_bits /
+  // deliver_row_bits): the grant path is allocation-free.
   switch (f.kind) {
-    case Kind::kWLoad: {
-      WLine line;
-      line.tile = f.tile;
-      line.trav = f.trav;
-      line.elems.assign(geom_.j_slots(), Float16{});
-      for (unsigned h = 0; h < f.valid_halfwords; ++h)
-        line.elems[h] = Float16::from_bits(res.rdata[h]);
-      wbuf_.push(f.col, std::move(line));
+    case Kind::kWLoad:
+      wbuf_.push_bits(f.col, f.tile, f.trav, res.rdata.data(), f.valid_halfwords);
       break;
-    }
-    case Kind::kXLoad: {
-      Line line(geom_.j_slots());
-      for (unsigned h = 0; h < f.valid_halfwords; ++h)
-        line[h] = Float16::from_bits(res.rdata[h]);
-      xbuf_.deliver_row(std::move(line));
+    case Kind::kXLoad:
+      xbuf_.deliver_row_bits(res.rdata.data(), f.valid_halfwords);
       break;
-    }
-    case Kind::kYLoad: {
-      Line line(geom_.j_slots());
-      for (unsigned h = 0; h < f.valid_halfwords; ++h)
-        line[h] = Float16::from_bits(res.rdata[h]);
-      ybuf_.deliver_row(std::move(line));
+    case Kind::kYLoad:
+      ybuf_.deliver_row_bits(res.rdata.data(), f.valid_halfwords);
       break;
-    }
     case Kind::kZStore:
       zbuf_.pop_store();
       break;

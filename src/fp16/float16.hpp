@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 namespace redmule::fp16 {
@@ -116,8 +117,21 @@ class Float16 {
                       Flags* flags = nullptr);
   /// Fused multiply-add: round(a*b + c) with a single rounding -- the exact
   /// operation each RedMulE datapath element performs every cycle.
+  ///
+  /// Dispatching entry point: when the operands are all normal, the mode is
+  /// RNE and the caller does not observe flags, the result is produced by a
+  /// native-arithmetic fast path (defined inline below; see the comment
+  /// there for the proof that it rounds identically); every other case --
+  /// subnormals, NaN/Inf, non-RNE modes, flag-observing callers -- takes the
+  /// bit-exact soft-float core.
   static Float16 fma(Float16 a, Float16 b, Float16 c,
                      RoundingMode rm = RoundingMode::kRNE, Flags* flags = nullptr);
+  /// The soft-float FMA core: unpack / exact significand arithmetic / single
+  /// round_pack(). Kept callable as the bit-exact oracle the fast path is
+  /// continuously cross-checked against (tests/fp16/test_hw_crosscheck.cpp).
+  static Float16 fma_soft(Float16 a, Float16 b, Float16 c,
+                          RoundingMode rm = RoundingMode::kRNE,
+                          Flags* flags = nullptr);
 
   Float16 neg() const { return from_bits(static_cast<uint16_t>(bits_ ^ 0x8000)); }
   Float16 abs() const { return from_bits(static_cast<uint16_t>(bits_ & 0x7FFF)); }
@@ -155,6 +169,105 @@ static_assert(sizeof(Float16) == 2, "Float16 must have the hardware layout");
 
 /// Shorthand used throughout the codebase.
 inline Float16 f16(double x) { return Float16::from_double(x); }
+
+/// Process-wide kill switch for the native-FMA fast path (on by default).
+/// Benches use it to measure soft-core vs fast-path kernel throughput; with
+/// the fast path disabled every fma() call takes the soft-float core.
+void set_fast_fma_enabled(bool on);
+bool fast_fma_enabled();
+
+namespace detail {
+
+extern bool g_fast_fma_enabled;
+
+/// True for every encoding the FMA fast path accepts as an operand: normals
+/// and signed zeros (no subnormals, infinities or NaNs).
+inline bool is_normal_or_zero(Float16 f) {
+  return f.exp_field() != 0x1F && (f.exp_field() != 0 || f.frac_field() == 0);
+}
+
+/// Exact conversion of a normal-or-zero fp16 value to binary64: rebias the
+/// exponent and widen the fraction (zeros keep their sign). Not valid for
+/// subnormals, infinities or NaNs (the fast path excludes them).
+inline double normal_to_double(Float16 f) {
+  const uint64_t bits =
+      f.exp_field() == 0
+          ? static_cast<uint64_t>(f.sign()) << 63
+          : (static_cast<uint64_t>(f.sign()) << 63) |
+                ((static_cast<uint64_t>(f.exp_field()) - 15 + 1023) << 52) |
+                (static_cast<uint64_t>(f.frac_field()) << 42);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// RNE-rounds a binary64 value to binary16, succeeding only when the result
+/// is a *normal* fp16 (the exactness window of the fast path). Returns false
+/// -- the caller falls back to the soft core -- for results that are zero,
+/// subnormal, or (would round to) out of the normal range.
+inline bool fast_pack_rne(double v, uint16_t* out) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  const int e = static_cast<int>((b >> 52) & 0x7FF) - 1023;
+  if (e < Float16::kEmin || e > Float16::kEmax) return false;
+  const uint64_t frac = b & ((1ull << 52) - 1);
+  uint64_t kept = frac >> 42;
+  const uint64_t round_bit = (frac >> 41) & 1;
+  const uint64_t sticky = frac & ((1ull << 41) - 1);
+  kept += round_bit & (static_cast<uint64_t>(sticky != 0) | (kept & 1));
+  int ee = e;
+  if (kept == (1u << Float16::kFracBits)) {  // carry out of rounding
+    kept = 0;
+    ++ee;
+    if (ee > Float16::kEmax) return false;  // rounded up to overflow
+  }
+  *out = static_cast<uint16_t>(((b >> 63) << 15) |
+                               (static_cast<uint64_t>(ee + Float16::kBias) << 10) |
+                               kept);
+  return true;
+}
+
+}  // namespace detail
+
+// Native-arithmetic FMA fast path, inlined into the datapath's hot loop.
+// Eligibility: RNE, no flag observer, all three operands normal or zero
+// (zeros matter: padded lanes multiply by zero and every first traversal
+// accumulates onto +0). Why the result is bit-identical to the soft core
+// (fma_soft):
+//
+//  1. normal-or-zero fp16 -> binary64 is exact (11-bit significands, 53-bit
+//     target; zeros keep their sign, and binary64 zero-sign rules for the
+//     product and sum match the soft core's under RNE);
+//  2. the binary64 product is exact: the significand of a*b has <= 22 bits;
+//  3. the binary64 add then performs ONE rounding, so the double holds
+//     fl53(a*b + c): the exact value rounded once to 53 bits;
+//  4. rounding fl53(v) to 11 bits equals rounding v to 11 bits directly
+//     ("innocuous double rounding"). Failure would need the exact v to lie
+//     within half a binary64 ulp (2^(e-53) at result exponent e) of an
+//     11-bit rounding boundary without being on it. v = p + c is a sum on
+//     the lattice generated by ulp(p) and ulp(c): ulp(p) >= 2^(ep-21) and
+//     ulp(c) >= 2^(ec-10), and whenever a term is small enough not to bound
+//     the lattice it is also too small to cancel the other term's distance
+//     to a boundary, so any nonzero distance is >= 2^(e-34) >> 2^(e-53).
+//     (Exhaustively cross-checked against the soft core in
+//     tests/fp16/test_hw_crosscheck.cpp, including all rounding modes and
+//     the flag-observing entry points.)
+//
+// fast_pack_rne() bails (-> soft core) when the 53-bit result is outside the
+// fp16 *normal* range: subnormal/zero results need the soft core's tininess
+// and signed-zero handling, overflow its saturation logic.
+inline Float16 Float16::fma(Float16 a, Float16 b, Float16 c, RoundingMode rm,
+                            Flags* flags) {
+  if (detail::g_fast_fma_enabled && rm == RoundingMode::kRNE && flags == nullptr &&
+      detail::is_normal_or_zero(a) && detail::is_normal_or_zero(b) &&
+      detail::is_normal_or_zero(c)) {
+    const double v = detail::normal_to_double(a) * detail::normal_to_double(b) +
+                     detail::normal_to_double(c);
+    uint16_t bits;
+    if (detail::fast_pack_rne(v, &bits)) return from_bits(bits);
+  }
+  return fma_soft(a, b, c, rm, flags);
+}
 
 /// ULP distance between two finite encodings (for test tolerances).
 int32_t ulp_distance(Float16 a, Float16 b);

@@ -392,7 +392,15 @@ Float16 Float16::mul(Float16 a, Float16 b, RoundingMode rm, Flags* flags) {
   return round_pack(sign, ua.exp + ub.exp, sig, false, rm, flags);
 }
 
-Float16 Float16::fma(Float16 a, Float16 b, Float16 c, RoundingMode rm, Flags* flags) {
+namespace detail {
+bool g_fast_fma_enabled = true;
+}  // namespace detail
+
+void set_fast_fma_enabled(bool on) { detail::g_fast_fma_enabled = on; }
+bool fast_fma_enabled() { return detail::g_fast_fma_enabled; }
+
+Float16 Float16::fma_soft(Float16 a, Float16 b, Float16 c, RoundingMode rm,
+                          Flags* flags) {
   // RISC-V: inf * 0 raises NV even when the addend is a quiet NaN.
   const bool inf_times_zero =
       (a.is_inf() && b.is_zero()) || (a.is_zero() && b.is_inf());

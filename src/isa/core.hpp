@@ -74,6 +74,10 @@ class RiscvCore : public sim::Clocked {
 
   void tick() override;
   void commit() override;
+  /// A halted core only burns host time: tick() is a no-op until the next
+  /// load_program() (which resets the scoreboard, so the frozen internal
+  /// cycle stamp is unobservable).
+  bool is_idle() const override { return halted_; }
 
  private:
   struct PendingMem {

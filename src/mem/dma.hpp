@@ -43,6 +43,11 @@ class DmaEngine : public sim::Clocked {
   bool idle() const { return active_.empty() && queue_.empty(); }
 
   void tick() override;
+  /// Quiescent with no queued or active transfer (in-flight beats only exist
+  /// while a transfer is active); only an external submit() wakes the engine.
+  bool is_idle() const override { return idle(); }
+  /// The DMA stages nothing across the clock edge: keep it off phase 2.
+  bool has_commit() const override { return false; }
 
   uint64_t busy_cycles() const { return busy_cycles_; }
   uint64_t stall_cycles() const { return stall_cycles_; }

@@ -14,6 +14,8 @@ Hci::Hci(Tcdm& tcdm, HciConfig cfg) : tcdm_(tcdm), cfg_(cfg) {
   log_res_visible_.resize(cfg.n_log_ports);
   log_res_staged_.resize(cfg.n_log_ports);
   bank_rr_.assign(tcdm.config().n_banks, 0);
+  posted_ports_.reserve(cfg.n_log_ports);
+  shallow_bank_.assign(tcdm.config().n_banks, 0);
 }
 
 void Hci::post_log(unsigned port, const LogRequest& req) {
@@ -22,6 +24,12 @@ void Hci::post_log(unsigned port, const LogRequest& req) {
   REDMULE_ASSERT_MSG(tcdm_.contains(req.addr, 4), "log request outside TCDM");
   REDMULE_ASSERT_MSG(!log_req_[port].has_value(), "one request per port per cycle");
   log_req_[port] = req;
+  // Keep the posted list sorted ascending: arbitration scans candidates in
+  // port order, so the fast path below must see them the same way the full
+  // port scan would.
+  auto it = std::lower_bound(posted_ports_.begin(), posted_ports_.end(), port);
+  posted_ports_.insert(it, port);
+  reqs_pending_ = true;
 }
 
 void Hci::post_shallow(const ShallowRequest& req) {
@@ -34,6 +42,7 @@ void Hci::post_shallow(const ShallowRequest& req) {
   REDMULE_ASSERT_MSG(span.n_words <= cfg_.shallow_words,
                      "shallow request wider than the port");
   shallow_req_ = req;
+  reqs_pending_ = true;
 }
 
 const LogResult& Hci::log_result(unsigned port) const {
@@ -54,10 +63,18 @@ Hci::BankSpan Hci::shallow_span(const ShallowRequest& req) const {
 }
 
 void Hci::serve_shallow(const ShallowRequest& req) {
-  const uint32_t word_base = req.addr & ~3u;
   if (!req.we) {
-    for (unsigned h = 0; h < req.n_halfwords; ++h)
-      shallow_res_staged_.rdata[h] = tcdm_.backdoor_read_u16(req.addr + 2 * h);
+    // One contiguous backdoor copy instead of n_halfwords bank reads: the
+    // span is a single wide access by construction (all banks granted
+    // together), so batching is observation-equivalent and much cheaper.
+    tcdm_.backdoor_read(req.addr, shallow_res_staged_.rdata.data(),
+                        2 * req.n_halfwords);
+  } else if (const uint32_t full = req.n_halfwords >= 32
+                                       ? 0xFFFFFFFFu
+                                       : (1u << req.n_halfwords) - 1;
+             req.strb == full) {
+    // Full-strobe store (the common case): batch it the same way.
+    tcdm_.backdoor_write(req.addr, req.wdata.data(), 2 * req.n_halfwords);
   } else {
     for (unsigned h = 0; h < req.n_halfwords; ++h) {
       if ((req.strb & (1u << h)) == 0) continue;
@@ -69,27 +86,30 @@ void Hci::serve_shallow(const ShallowRequest& req) {
       tcdm_.write_word(word_addr, wdata, be);
     }
   }
-  (void)word_base;
   shallow_res_staged_.granted = true;
 }
 
 void Hci::tick() {
   const unsigned n_banks = tcdm_.config().n_banks;
 
-  // Which banks would the shallow request occupy?
-  std::vector<bool> shallow_bank(n_banks, false);
+  // Which banks would the shallow request occupy? shallow_bank_ is hoisted
+  // scratch (sized once in the constructor); clear only the touched span.
   if (shallow_req_.has_value()) {
     const BankSpan span = shallow_span(*shallow_req_);
     for (unsigned i = 0; i < span.n_words && i < n_banks; ++i)
-      shallow_bank[(span.first_word + i) % n_banks] = true;
+      shallow_bank_[(span.first_word + i) % n_banks] = 1;
   }
 
-  // Is there a log request contesting one of those banks?
+  // Is there a log request contesting one of those banks? Only the posted
+  // ports need checking.
   bool contested = false;
   if (shallow_req_.has_value()) {
-    for (unsigned p = 0; p < cfg_.n_log_ports && !contested; ++p)
-      if (log_req_[p].has_value() && shallow_bank[tcdm_.bank_of(log_req_[p]->addr)])
+    for (const unsigned p : posted_ports_) {
+      if (shallow_bank_[tcdm_.bank_of(log_req_[p]->addr)]) {
         contested = true;
+        break;
+      }
+    }
   }
 
   // Rotation-based branch arbitration (starvation-free by max_stall bound).
@@ -118,24 +138,36 @@ void Hci::tick() {
   const bool shallow_holds_banks = shallow_granted;
 
   // Serve the log branch: per-bank round robin among the requesting ports.
+  // Iterate only the posted ports (kept ascending) instead of scanning
+  // n_banks x n_log_ports: for each not-yet-served posted port, gather the
+  // other candidates of its bank in port order and arbitrate that bank.
   bool log_blocked_by_shallow = false;
-  for (unsigned b = 0; b < n_banks; ++b) {
-    // Gather requesting ports for this bank.
+  bool any_log_grant = false;
+  const size_t n_posted = posted_ports_.size();
+  bool served[64] = {};
+  REDMULE_ASSERT(n_posted <= 64);
+  for (size_t i = 0; i < n_posted; ++i) {
+    if (served[i]) continue;
+    const unsigned b = tcdm_.bank_of(log_req_[posted_ports_[i]]->addr);
+    // Candidates of bank b, ascending (posted_ports_ is sorted).
     unsigned candidates[64];
     unsigned n_cand = 0;
-    for (unsigned p = 0; p < cfg_.n_log_ports; ++p)
-      if (log_req_[p].has_value() && tcdm_.bank_of(log_req_[p]->addr) == b)
-        candidates[n_cand++] = p;
-    if (n_cand == 0) continue;
-    if (shallow_holds_banks && shallow_bank[b]) {
+    for (size_t j = i; j < n_posted; ++j) {
+      if (served[j]) continue;
+      const unsigned p = posted_ports_[j];
+      if (tcdm_.bank_of(log_req_[p]->addr) != b) continue;
+      candidates[n_cand++] = p;
+      served[j] = true;  // this bank is arbitrated exactly once this cycle
+    }
+    if (shallow_holds_banks && shallow_bank_[b]) {
       log_blocked_by_shallow = true;
       continue;  // bank taken by the wide port this cycle; all candidates stall
     }
     // Round-robin pick starting from the pointer.
     unsigned pick = candidates[0];
-    for (unsigned i = 0; i < n_cand; ++i) {
-      if (candidates[i] >= bank_rr_[b]) {
-        pick = candidates[i];
+    for (unsigned k = 0; k < n_cand; ++k) {
+      if (candidates[k] >= bank_rr_[b]) {
+        pick = candidates[k];
         break;
       }
     }
@@ -148,6 +180,7 @@ void Hci::tick() {
       res.rdata = tcdm_.read_word(req.addr);
     }
     log_res_staged_[pick] = res;
+    any_log_grant = true;
     ++log_grants_;
     log_conflict_stalls_ += n_cand - 1;
     bank_rr_[b] = (pick + 1) % cfg_.n_log_ports;
@@ -157,16 +190,36 @@ void Hci::tick() {
   else
     log_stall_streak_ = 0;
 
+  staged_log_grants_ = any_log_grant;
+  staged_shallow_grant_ = shallow_granted;
+
   // Consume this cycle's requests; ungranted initiators must repost.
-  std::fill(log_req_.begin(), log_req_.end(), std::nullopt);
-  shallow_req_.reset();
+  for (const unsigned p : posted_ports_) log_req_[p].reset();
+  posted_ports_.clear();
+  if (shallow_req_.has_value()) {
+    const BankSpan span = shallow_span(*shallow_req_);
+    for (unsigned i = 0; i < span.n_words && i < n_banks; ++i)
+      shallow_bank_[(span.first_word + i) % n_banks] = 0;
+    shallow_req_.reset();
+  }
+  reqs_pending_ = false;
 }
 
 void Hci::commit() {
-  log_res_visible_ = log_res_staged_;
-  std::fill(log_res_staged_.begin(), log_res_staged_.end(), LogResult{});
-  shallow_res_visible_ = shallow_res_staged_;
-  shallow_res_staged_ = ShallowResult{};
+  // Publishing an all-clear result set over an already-clear one is a no-op;
+  // skip each branch's copies unless a grant is staged or still visible.
+  if (staged_log_grants_ || log_results_live_) {
+    log_res_visible_ = log_res_staged_;
+    std::fill(log_res_staged_.begin(), log_res_staged_.end(), LogResult{});
+  }
+  if (staged_shallow_grant_ || shallow_result_live_) {
+    shallow_res_visible_ = shallow_res_staged_;
+    shallow_res_staged_ = ShallowResult{};
+  }
+  log_results_live_ = staged_log_grants_;
+  shallow_result_live_ = staged_shallow_grant_;
+  staged_log_grants_ = false;
+  staged_shallow_grant_ = false;
 }
 
 void Hci::reset_stats() {

@@ -94,6 +94,17 @@ class Hci : public sim::Clocked {
   // --- Clocked --------------------------------------------------------------
   void tick() override;    ///< arbitrate + access banks (tick after initiators)
   void commit() override;  ///< publish results
+  /// Quiescent when no initiator posted a request this cycle and no grant is
+  /// still visible from the previous one: tick() would arbitrate nothing and
+  /// commit() would republish an all-clear result set. The query is made
+  /// after all initiators ticked (registration order), so same-cycle posts
+  /// are already accounted for. Note the rotation streaks need no reset on
+  /// skipped cycles: a nonzero streak implies an ungranted initiator, which
+  /// must repost next cycle, so the HCI cannot be idle while a streak is
+  /// live (skipping never misses a streak reset).
+  bool is_idle() const override {
+    return !reqs_pending_ && !log_results_live_ && !shallow_result_live_;
+  }
 
   // --- Statistics -----------------------------------------------------------
   uint64_t log_grants() const { return log_grants_; }
@@ -126,6 +137,17 @@ class Hci : public sim::Clocked {
   std::vector<unsigned> bank_rr_;  ///< per-bank round-robin pointer (log branch)
   unsigned shallow_stall_streak_ = 0;
   unsigned log_stall_streak_ = 0;
+
+  /// Ports with a request this cycle, ascending (round-robin scans in port
+  /// order). Lets tick() arbitrate only contested banks instead of scanning
+  /// n_banks x n_log_ports every cycle.
+  std::vector<unsigned> posted_ports_;
+  std::vector<uint8_t> shallow_bank_;  ///< per-bank scratch, hoisted out of tick()
+  bool reqs_pending_ = false;           ///< any request posted this cycle
+  bool log_results_live_ = false;       ///< visible log results not all-clear
+  bool shallow_result_live_ = false;    ///< visible shallow result not all-clear
+  bool staged_log_grants_ = false;      ///< this tick staged >= 1 log grant
+  bool staged_shallow_grant_ = false;   ///< this tick staged a shallow grant
 
   uint64_t log_grants_ = 0;
   uint64_t log_conflict_stalls_ = 0;

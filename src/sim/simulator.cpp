@@ -7,18 +7,57 @@ namespace redmule::sim {
 void Simulator::add(Clocked* module) {
   REDMULE_ASSERT(module != nullptr);
   modules_.push_back(module);
+  module_has_commit_.push_back(module->has_commit());
+  active_commit_.reserve(modules_.size());
 }
 
-void Simulator::step() {
-  for (Clocked* m : modules_) m->tick();
-  for (Clocked* m : modules_) m->commit();
+bool Simulator::step_internal() {
+  active_commit_.clear();
+  bool any_ran = false;
+  const size_t n = modules_.size();
+  for (size_t i = 0; i < n; ++i) {
+    Clocked* m = modules_[i];
+    // The idle query is made at the module's slot in the tick order, so posts
+    // from earlier initiators this cycle are already visible to it.
+    if (idle_skipping_ && m->is_idle()) {
+      ++skipped_module_ticks_;
+      continue;
+    }
+    m->tick();
+    any_ran = true;
+    if (module_has_commit_[i]) active_commit_.push_back(m);
+  }
+  for (Clocked* m : active_commit_) m->commit();
   ++cycle_;
+  return any_ran;
+}
+
+void Simulator::step() { step_internal(); }
+
+bool Simulator::quiescent() const {
+  for (const Clocked* m : modules_)
+    if (!m->is_idle()) return false;
+  return true;
 }
 
 bool Simulator::run_until(const std::function<bool()>& done, uint64_t max_cycles) {
+  // Once a step runs no module phase at all, the design is quiescent and can
+  // only be woken by external input; run_until() provides none (done() must
+  // be a pure observation, which every predicate in the tree is), so the
+  // remaining cycles are pure clock advance. Detecting quiescence as a
+  // byproduct of step_internal() keeps the busy path free of extra is_idle
+  // scans.
+  bool fast_forwarding = false;
   for (uint64_t i = 0; i < max_cycles; ++i) {
     if (done()) return true;
-    step();
+    if (fast_forwarding) {
+      // Keep evaluating done() each cycle since it may observe cycle().
+      ++cycle_;
+      ++fast_forwarded_cycles_;
+      continue;
+    }
+    const bool any_ran = step_internal();
+    fast_forwarding = idle_skipping_ && !any_ran;
   }
   return done();
 }

@@ -50,6 +50,28 @@ TEST(EngineGemm, MinimalProblem) {
   expect_gemm_matches(cl, 1, 1, 1, 4);
 }
 
+TEST(EngineGemm, PaddedColumnsIgnoreStaleWBroadcast) {
+  // Regression: with N not a multiple of H, the trailing columns of the last
+  // traversal are padded lanes (x = 0, no W assignment). The engine's reused
+  // issue scratch must not leak the W element broadcast on an earlier cycle
+  // into them -- an Inf there would turn the padded 0*W into NaN and poison
+  // every accumulator. Place an Inf in the last W element so the stale
+  // broadcast is maximally toxic, then require bit-exactness as usual.
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(77);
+  const uint32_t m = 8, n = 5, k = 16;
+  const auto x = random_matrix(m, n, rng);
+  auto w = random_matrix(n, k, rng);
+  w(1, k - 1) = fp16::Float16::from_bits(fp16::Float16::kPosInf);
+  const auto res = drv.gemm(x, w);
+  const auto golden = golden_gemm_padded(x, w, cl.config().geometry);
+  for (uint32_t i = 0; i < m; ++i)
+    for (uint32_t j = 0; j < k; ++j)
+      ASSERT_EQ(res.z(i, j).bits(), golden(i, j).bits())
+          << "Z(" << i << "," << j << ")";
+}
+
 TEST(EngineGemm, PaddedGoldenEqualsPlainGoldenNumerically) {
   // Padding may only flip -0 to +0; numerically the results are equal.
   Xoshiro256 rng(50);

@@ -111,5 +111,131 @@ TEST(Fp16Native, Unavailable) {
 }
 #endif
 
+// ---------------------------------------------------------------------------
+// Fast-path FMA vs soft-float core. Float16::fma() dispatches normal/RNE/
+// flag-free operands to a native-arithmetic fast path; Float16::fma_soft()
+// is the bit-exact oracle. These tests pin the dispatch contract: bit-equal
+// results everywhere, identical flag behavior, correct fallback on every
+// eligibility edge (subnormals, NaN/Inf, non-RNE, flag observers).
+// ---------------------------------------------------------------------------
+
+TEST(Fp16FastFma, FuzzRneBitExact) {
+  // >= 10M uniform-random encoding triples under the dispatching entry point
+  // (RNE, no flags): the configuration where the fast path actually engages.
+  ASSERT_TRUE(fast_fma_enabled());
+  Xoshiro256 rng(1234);
+  for (int i = 0; i < 4'000'000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    const Float16 c = Float16::from_bits(rng.next_u16());
+    const uint16_t fast = Float16::fma(a, b, c).bits();
+    const uint16_t soft = Float16::fma_soft(a, b, c).bits();
+    ASSERT_EQ(fast, soft) << std::hex << "a=0x" << a.bits() << " b=0x" << b.bits()
+                          << " c=0x" << c.bits();
+  }
+}
+
+TEST(Fp16FastFma, FuzzRneNormalBiasedBitExact) {
+  // Uniform encodings make ~94% of triples all-normal but most products
+  // over/underflow. Bias exponents toward the middle so results land in the
+  // normal range and the fast path's pack (not just its bail-out) is hit.
+  ASSERT_TRUE(fast_fma_enabled());
+  Xoshiro256 rng(5678);
+  auto mid_normal = [&rng]() {
+    const uint16_t sign = static_cast<uint16_t>((rng.next_u16() & 1u) << 15);
+    const uint16_t e = static_cast<uint16_t>(8 + (rng.next_u16() % 15));  // 8..22
+    const uint16_t frac = static_cast<uint16_t>(rng.next_u16() & 0x3FF);
+    return Float16::from_bits(static_cast<uint16_t>(sign | (e << 10) | frac));
+  };
+  for (int i = 0; i < 6'000'000; ++i) {
+    const Float16 a = mid_normal(), b = mid_normal(), c = mid_normal();
+    const uint16_t fast = Float16::fma(a, b, c).bits();
+    const uint16_t soft = Float16::fma_soft(a, b, c).bits();
+    ASSERT_EQ(fast, soft) << std::hex << "a=0x" << a.bits() << " b=0x" << b.bits()
+                          << " c=0x" << c.bits();
+  }
+}
+
+TEST(Fp16FastFma, AllRoundingModesWithAndWithoutFlags) {
+  // Non-RNE modes and flag observers must fall back to (and agree with) the
+  // soft core, with identical flag behavior.
+  Xoshiro256 rng(91);
+  const RoundingMode modes[] = {RoundingMode::kRNE, RoundingMode::kRTZ,
+                                RoundingMode::kRDN, RoundingMode::kRUP,
+                                RoundingMode::kRMM};
+  for (int i = 0; i < 400'000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    const Float16 c = Float16::from_bits(rng.next_u16());
+    for (const RoundingMode rm : modes) {
+      Flags fl_fast, fl_soft;
+      const uint16_t fast = Float16::fma(a, b, c, rm, &fl_fast).bits();
+      const uint16_t soft = Float16::fma_soft(a, b, c, rm, &fl_soft).bits();
+      ASSERT_EQ(fast, soft) << std::hex << "rm=" << static_cast<int>(rm) << " a=0x"
+                            << a.bits() << " b=0x" << b.bits() << " c=0x" << c.bits();
+      ASSERT_EQ(fl_fast.to_fflags(), fl_soft.to_fflags())
+          << std::hex << "rm=" << static_cast<int>(rm) << " a=0x" << a.bits()
+          << " b=0x" << b.bits() << " c=0x" << c.bits();
+      const uint16_t fast_nf = Float16::fma(a, b, c, rm).bits();
+      ASSERT_EQ(fast_nf, soft) << std::hex << "rm=" << static_cast<int>(rm) << " a=0x"
+                               << a.bits() << " b=0x" << b.bits() << " c=0x"
+                               << c.bits();
+    }
+  }
+}
+
+TEST(Fp16FastFma, DirectedEligibilityEdges) {
+  // Sweep the boundary encodings where the fast path must either engage and
+  // round identically or detect ineligibility: around the subnormal/normal
+  // border, max normal (overflow bail), min normal (underflow bail), zeros,
+  // infinities and NaNs, plus exact cancellations (v == 0).
+  const uint16_t interesting[] = {
+      0x0000, 0x8000,          // +-0
+      0x0001, 0x8001,          // min subnormal
+      0x03FF, 0x83FF,          // max subnormal
+      0x0400, 0x8400,          // min normal
+      0x0401, 0x8401,          // just above min normal
+      0x3BFF, 0x3C00, 0x3C01,  // around 1.0
+      0x7BFF, 0xFBFF,          // max normal
+      0x7BFE, 0x7800,          // near max normal
+      0x7C00, 0xFC00,          // +-inf
+      0x7E00, 0x7D55, 0x7C01,  // quiet and signaling NaNs
+      0x0402, 0x1400, 0x2E66,  // assorted normals
+  };
+  for (const uint16_t ab : interesting)
+    for (const uint16_t bb : interesting)
+      for (const uint16_t cb : interesting) {
+        const Float16 a = Float16::from_bits(ab);
+        const Float16 b = Float16::from_bits(bb);
+        const Float16 c = Float16::from_bits(cb);
+        const uint16_t fast = Float16::fma(a, b, c).bits();
+        const uint16_t soft = Float16::fma_soft(a, b, c).bits();
+        ASSERT_EQ(fast, soft) << std::hex << "a=0x" << ab << " b=0x" << bb << " c=0x"
+                              << cb;
+      }
+  // Exact cancellation a*b == -c: the binary64 sum is exactly +0.0, which
+  // must bail to the soft core (RNE result is +0 with no flags).
+  const Float16 one = Float16::from_bits(0x3C00);
+  const Float16 two = Float16::from_bits(0x4000);
+  const Float16 neg_two = Float16::from_bits(0xC000);
+  EXPECT_EQ(Float16::fma(one, two, neg_two).bits(),
+            Float16::fma_soft(one, two, neg_two).bits());
+}
+
+TEST(Fp16FastFma, KillSwitchForcesSoftCore) {
+  // The bench kill switch must route every call through the soft core.
+  set_fast_fma_enabled(false);
+  EXPECT_FALSE(fast_fma_enabled());
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Float16 a = Float16::from_bits(rng.next_u16());
+    const Float16 b = Float16::from_bits(rng.next_u16());
+    const Float16 c = Float16::from_bits(rng.next_u16());
+    ASSERT_EQ(Float16::fma(a, b, c).bits(), Float16::fma_soft(a, b, c).bits());
+  }
+  set_fast_fma_enabled(true);
+  EXPECT_TRUE(fast_fma_enabled());
+}
+
 }  // namespace
 }  // namespace redmule::fp16
