@@ -1,0 +1,281 @@
+/// Aggregate-throughput benchmark of the batched simulation subsystem
+/// (sim/batch_runner.hpp): how many simulated cycles / MACs / jobs per host
+/// second the simulator sustains when a queue of independent RedMulE jobs is
+/// drained by a pool of worker threads with pooled, reset()-reused cluster
+/// instances.
+///
+/// Three job mixes are swept across thread counts 1..max(4, hw_concurrency):
+///  - uniform:        identical default-geometry GEMMs (homogeneous traffic);
+///  - mixed_geometry: assorted H/L/P accelerator geometries and shapes (the
+///    multi-tenant case: every user simulates a different configuration);
+///  - short_long:     ~200x MAC spread between jobs (worst case for static
+///    partitioning; exercises the work-stealing cursor).
+///
+/// Every sweep validates the determinism guarantee: per-job simulated cycle
+/// counts, stall/advance splits, FMA-op counts, and Z-output hashes must be
+/// bit-identical across all thread counts and against the serial reference;
+/// any mismatch is a fatal error (nonzero exit), not a statistic.
+///
+/// The 1-thread runs additionally quantify reset-vs-reconstruct: the same
+/// batch with cluster reuse disabled (a fresh module hierarchy per job, the
+/// pre-batch-runner way of scripting job sequences).
+///
+/// Usage: bench_throughput [--smoke] [--out <path>] [--max-threads N] [--reps N]
+///   --smoke        tiny problems, threads {1,2} (CI rot check, not a
+///                  measurement)
+///   --out          JSON output path (default: BENCH_batch.json in the CWD;
+///                  run from the repo root to refresh the committed file)
+///   --max-threads  top of the thread sweep (default max(4, hw_concurrency))
+///   --reps         batch repetitions of each mix's base job set
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/batch_runner.hpp"
+
+using namespace redmule;
+using namespace redmule::bench;
+
+namespace {
+
+constexpr uint64_t kBatchSeed = 42;
+
+struct Mix {
+  std::string name;
+  std::vector<sim::BatchJob> jobs;
+};
+
+/// Repeats the base job set \p reps times and assigns every job its own
+/// deterministic RNG stream from the batch seed.
+std::vector<sim::BatchJob> replicate(std::vector<sim::BatchJob> base, unsigned reps) {
+  std::vector<sim::BatchJob> jobs;
+  jobs.reserve(base.size() * reps);
+  for (unsigned r = 0; r < reps; ++r)
+    for (const sim::BatchJob& j : base) jobs.push_back(j);
+  for (size_t i = 0; i < jobs.size(); ++i)
+    jobs[i].seed = split_seed(kBatchSeed, i);
+  return jobs;
+}
+
+std::vector<Mix> make_mixes(bool smoke, unsigned reps) {
+  const core::Geometry kDefault{4, 8, 3};
+  std::vector<Mix> mixes;
+
+  {  // Homogeneous traffic: one geometry, one shape.
+    const uint32_t s = smoke ? 16 : 64;
+    std::vector<sim::BatchJob> base;
+    sim::BatchJob j;
+    j.shape = {std::to_string(s) + "^3", s, s, s};
+    j.geometry = kDefault;
+    base.push_back(j);
+    mixes.push_back({"uniform", replicate(std::move(base), smoke ? 2 : 48 * reps)});
+  }
+
+  {  // Short-job traffic: per-job overhead (programming, reset) dominates,
+     // so this is where pooled-cluster reuse pays the most.
+    const uint32_t s = smoke ? 8 : 16;
+    std::vector<sim::BatchJob> base;
+    sim::BatchJob j;
+    j.shape = {std::to_string(s) + "^3", s, s, s};
+    j.geometry = kDefault;
+    base.push_back(j);
+    mixes.push_back({"short_uniform", replicate(std::move(base), smoke ? 2 : 384 * reps)});
+  }
+
+  {  // Multi-tenant traffic: every job a different geometry/shape pair.
+    const std::vector<std::pair<core::Geometry, workloads::GemmShape>> pairs = {
+        {{4, 8, 3}, {"64x64x64", 64, 64, 64}},
+        {{2, 4, 3}, {"32x48x32", 32, 48, 32}},
+        {{8, 8, 3}, {"48x64x48", 48, 64, 48}},
+        {{4, 4, 3}, {"33x31x17", 33, 31, 17}},
+        {{4, 8, 3}, {"24x20x40", 24, 20, 40}},
+        {{2, 4, 3}, {"16x16x16", 16, 16, 16}},
+        {{8, 8, 3}, {"72x24x56", 72, 24, 56}},
+        {{4, 8, 3}, {"17x33x31", 17, 33, 31}},
+    };
+    std::vector<sim::BatchJob> base;
+    for (const auto& [g, s] : pairs) {
+      sim::BatchJob j;
+      j.shape = smoke ? workloads::GemmShape{"12x12x12", 12, 12, 12} : s;
+      j.geometry = g;
+      j.accumulate = base.size() % 4 == 3;  // keep the Y-path hot in batch mode
+      base.push_back(j);
+    }
+    mixes.push_back({"mixed_geometry", replicate(std::move(base), smoke ? 1 : 12 * reps)});
+  }
+
+  {  // Short-vs-long mix on the default geometry.
+    std::vector<sim::BatchJob> base;
+    for (const workloads::GemmShape& s : workloads::short_long_sweep()) {
+      sim::BatchJob j;
+      j.shape = smoke ? workloads::GemmShape{"8x8x8", 8, 8, 8} : s;
+      j.geometry = kDefault;
+      base.push_back(j);
+    }
+    mixes.push_back({"short_long", replicate(std::move(base), smoke ? 1 : 9 * reps)});
+  }
+  return mixes;
+}
+
+/// Fingerprint of one job outcome; everything that must be thread-invariant.
+struct Outcome {
+  uint64_t cycles, advance, stall, fma_ops, z_hash;
+  bool ok;
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome outcome_of(const sim::BatchResult& r) {
+  return {r.stats.cycles, r.stats.advance_cycles, r.stats.stall_cycles,
+          r.stats.fma_ops, r.z_hash, r.ok};
+}
+
+struct SweepPoint {
+  unsigned threads;
+  sim::BatchStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_batch.json";
+  unsigned max_threads = 0;
+  unsigned reps = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--max-threads") == 0 && i + 1 < argc)
+      max_threads = static_cast<unsigned>(std::clamp(std::atoi(argv[++i]), 0, 256));
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = static_cast<unsigned>(std::clamp(std::atoi(argv[++i]), 1, 1024));
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (max_threads == 0) max_threads = smoke ? 2 : std::max(4u, hw);
+
+  print_header("Batched multi-cluster throughput (host-side performance)",
+               "independent jobs scale across worker threads with pooled, "
+               "reset()-reused clusters; per-job results stay bit-identical");
+  std::printf("host hardware_concurrency: %u, sweeping 1..%u threads\n\n", hw,
+              max_threads);
+
+  // Thread sweep: 1, 2, 4, ... up to max_threads (always including it).
+  std::vector<unsigned> sweep{1};
+  for (unsigned t = 2; t < max_threads; t *= 2) sweep.push_back(t);
+  if (max_threads > 1) sweep.push_back(max_threads);
+
+  JsonBenchWriter json("batch_throughput");
+  json.add("smoke", smoke ? 1 : 0, "bool");
+  json.add("host.hardware_concurrency", hw, "threads");
+
+  bool all_deterministic = true;
+  TablePrinter table({"Mix", "Jobs", "Threads", "Wall s", "SimCycles/s", "SimMACs/s",
+                      "Jobs/s", "Speedup", "Efficiency"});
+
+  for (Mix& mix : make_mixes(smoke, reps)) {
+    const std::string& mn = mix.name;
+    json.add(mn + ".jobs", static_cast<double>(mix.jobs.size()), "jobs");
+
+    // Serial reference outcomes (fresh cluster per job, no pool): the ground
+    // truth every sweep point must reproduce bit-identically.
+    std::vector<Outcome> reference;
+    reference.reserve(mix.jobs.size());
+    for (const sim::BatchJob& j : mix.jobs)
+      reference.push_back(outcome_of(sim::BatchRunner::run_one(j, {}, false)));
+
+    // Best-of-N timed batches after a warmup batch: host-scheduler noise on
+    // shared machines easily exceeds the effects being measured, and the
+    // fastest repetition is the least-perturbed one.
+    const int timed_reps = smoke ? 1 : 3;
+
+    // Reset-vs-reconstruct at 1 thread: same batch, reuse disabled.
+    double no_reuse_wall = 0.0;
+    {
+      sim::BatchConfig cfg;
+      cfg.n_threads = 1;
+      cfg.reuse_clusters = false;
+      sim::BatchRunner runner(cfg);
+      (void)runner.run(mix.jobs);  // warmup (page cache, allocator)
+      for (int r = 0; r < timed_reps; ++r) {
+        (void)runner.run(mix.jobs);
+        const double w = runner.last_batch_stats().wall_s;
+        if (r == 0 || w < no_reuse_wall) no_reuse_wall = w;
+      }
+    }
+
+    std::vector<SweepPoint> points;
+    for (const unsigned t : sweep) {
+      sim::BatchConfig cfg;
+      cfg.n_threads = t;
+      sim::BatchRunner runner(cfg);
+      (void)runner.run(mix.jobs);  // warmup: workers build their pools
+      sim::BatchStats best;
+      for (int r = 0; r < timed_reps; ++r) {
+        // Every repetition is validated against the serial reference -- a
+        // divergence in a slower (discarded-for-timing) batch must fail the
+        // bench just the same.
+        const std::vector<sim::BatchResult> results = runner.run(mix.jobs);
+        const sim::BatchStats& st = runner.last_batch_stats();
+        if (r == 0 || st.wall_s < best.wall_s) best = st;
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (outcome_of(results[i]) == reference[i]) continue;
+          std::fprintf(stderr,
+                       "FATAL: job %zu of mix %s diverged at %u threads, rep %d "
+                       "(cycles %" PRIu64 " vs %" PRIu64 ", z_hash %016" PRIx64
+                       " vs %016" PRIx64 ", ok=%d)\n",
+                       i, mn.c_str(), t, r, results[i].stats.cycles,
+                       reference[i].cycles, results[i].z_hash, reference[i].z_hash,
+                       results[i].ok ? 1 : 0);
+          all_deterministic = false;
+        }
+        if (st.jobs_failed != 0) {
+          std::fprintf(stderr, "FATAL: %" PRIu64 " job(s) of mix %s failed\n",
+                       st.jobs_failed, mn.c_str());
+          all_deterministic = false;
+        }
+      }
+      points.push_back({t, best});
+    }
+
+    const double base_cps = points.front().stats.cycles_per_sec();
+    json.add(mn + ".t1.reset_vs_reconstruct_speedup",
+             points.front().stats.wall_s > 0 ? no_reuse_wall / points.front().stats.wall_s
+                                             : 0.0,
+             "x");
+    for (const SweepPoint& p : points) {
+      const std::string prefix = mn + ".t" + std::to_string(p.threads);
+      const double speedup = base_cps > 0 ? p.stats.cycles_per_sec() / base_cps : 0.0;
+      json.add(prefix + ".cycles_per_sec", p.stats.cycles_per_sec(), "cycle/s");
+      json.add(prefix + ".macs_per_sec", p.stats.macs_per_sec(), "MAC/s");
+      json.add(prefix + ".jobs_per_sec", p.stats.jobs_per_sec(), "job/s");
+      json.add(prefix + ".speedup_vs_t1", speedup, "x");
+      json.add(prefix + ".efficiency", speedup / p.threads, "frac");
+      json.add(prefix + ".cluster_reuses", static_cast<double>(p.stats.cluster_reuses),
+               "jobs");
+      table.add_row({mn, TablePrinter::fmt_int(mix.jobs.size()),
+                     TablePrinter::fmt_int(p.threads), TablePrinter::fmt(p.stats.wall_s, 3),
+                     TablePrinter::fmt(p.stats.cycles_per_sec(), 0),
+                     TablePrinter::fmt(p.stats.macs_per_sec(), 0),
+                     TablePrinter::fmt(p.stats.jobs_per_sec(), 1),
+                     TablePrinter::fmt(speedup, 2),
+                     TablePrinter::fmt(speedup / p.threads, 2)});
+    }
+  }
+
+  json.add("determinism_ok", all_deterministic ? 1 : 0, "bool");
+  table.print(stdout, smoke ? "smoke run (not a measurement)"
+                            : "per-point: warmup batch + measured batch");
+
+  if (!all_deterministic) {
+    std::fprintf(stderr,
+                 "FATAL: batched execution is not bit-identical to serial "
+                 "execution; see mismatches above\n");
+    return 1;
+  }
+  std::printf("\nall per-job outcomes bit-identical across thread counts "
+              "and vs the serial reference\n");
+  return json.write(out_path) ? 0 : 1;
+}

@@ -77,23 +77,58 @@ class JsonBenchWriter {
     records_.push_back({name, value, unit});
   }
 
+  /// Escapes \p s for use inside a JSON string literal (quotes, backslashes,
+  /// control characters). Record names routinely embed generated geometry /
+  /// shape labels, so they cannot be trusted to be JSON-clean.
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
   /// Writes {"bench": ..., "records": [{"name","value","unit"}...]} to
-  /// \p path. Returns false (and prints to stderr) on I/O failure.
+  /// \p path. Returns false (and prints to stderr) on any I/O failure --
+  /// including short writes detected at fclose, not just open errors -- so
+  /// `return json.write(path) ? 0 : 1;` makes a bench fail loudly instead of
+  /// letting CI smoke runs silently produce nothing.
   bool write(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "JsonBenchWriter: cannot open %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", bench_name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+                 json_escape(bench_name_).c_str());
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}%s\n",
-                   r.name.c_str(), r.value, r.unit.c_str(),
+                   json_escape(r.name).c_str(), r.value, json_escape(r.unit).c_str(),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    const bool io_ok = std::ferror(f) == 0;
+    const bool close_ok = std::fclose(f) == 0;
+    if (!io_ok || !close_ok) {
+      std::fprintf(stderr, "JsonBenchWriter: write to %s failed\n", path.c_str());
+      return false;
+    }
     std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
     return true;
   }

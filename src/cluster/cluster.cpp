@@ -42,4 +42,15 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   sim_.add(hci_.get());
 }
 
+void Cluster::reset() {
+  // Order mirrors construction: storage, interconnect, initiators, kernel.
+  tcdm_->reset();
+  l2_->reset();
+  hci_->reset();
+  dma_->reset();
+  redmule_->reset();
+  for (auto& c : cores_) c->reset();
+  sim_.reset_counters();
+}
+
 }  // namespace redmule::cluster

@@ -48,6 +48,15 @@ class Cluster {
   uint32_t redmule_periph_base() const { return cfg_.periph_base; }
   sim::Simulator& sim() { return sim_; }
 
+  /// In-place re-initialization of the whole module hierarchy to the
+  /// freshly-constructed state: memories zeroed, interconnect arbitration
+  /// and statistics cleared, cores halted, RedMulE aborted and cleared, the
+  /// cycle counter rewound. Everything observable afterwards is bit-equal to
+  /// a new Cluster with the same config, at a fraction of the construction
+  /// cost -- this is what lets batch workers pool cluster instances instead
+  /// of rebuilding them per job (see sim/batch_runner.hpp).
+  void reset();
+
   uint64_t cycle() const { return sim_.cycle(); }
   void step() { sim_.step(); }
   bool run_until(const std::function<bool()>& done, uint64_t max_cycles) {

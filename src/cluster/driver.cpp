@@ -20,6 +20,11 @@ void RedmuleDriver::free_all() {
   next_free_ = cluster_.tcdm().config().base_addr;
 }
 
+void RedmuleDriver::reset() {
+  cluster_.reset();
+  free_all();
+}
+
 uint32_t RedmuleDriver::bytes_free() const {
   const auto& cfg = cluster_.tcdm().config();
   return cfg.base_addr + cfg.size_bytes() - round_up(next_free_, 4u);

@@ -27,6 +27,12 @@ class RedmuleDriver {
   void free_all();
   uint32_t bytes_free() const;
 
+  /// Full in-place re-initialization: rewinds the allocator and resets the
+  /// whole cluster (Cluster::reset). After this call the pair behaves
+  /// bit-identically to a freshly constructed Cluster + RedmuleDriver, even
+  /// after an aborted or timed-out job.
+  void reset();
+
   /// Copies a matrix into TCDM at \p addr (backdoor, zero simulated time --
   /// data movement is measured separately via the DMA, see examples).
   void write_matrix(uint32_t addr, const MatrixF16& m);

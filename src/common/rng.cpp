@@ -50,4 +50,13 @@ double Xoshiro256::next_double(double lo, double hi) {
   return lo + (hi - lo) * next_double();
 }
 
+uint64_t split_seed(uint64_t base, uint64_t stream) {
+  // Two splitmix64 steps over the golden-ratio-mixed pair: adjacent stream
+  // indices land in unrelated parts of the sequence, and (base, stream) ->
+  // seed is a pure function of its inputs (no global state).
+  uint64_t x = base ^ (stream * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace redmule

@@ -28,4 +28,11 @@ class Xoshiro256 {
   uint64_t s_[4];
 };
 
+/// Derives an independent, reproducible stream seed from (\p base, \p
+/// stream): a splitmix64 finalization over the mixed pair. Used by the batch
+/// runner to give every job its own RNG stream from one batch seed, so
+/// workloads are bit-identical regardless of which worker thread runs the
+/// job or in which order the batch is drained.
+uint64_t split_seed(uint64_t base, uint64_t stream);
+
 }  // namespace redmule

@@ -49,6 +49,31 @@ void RedmuleEngine::reg_write(uint32_t offset, uint32_t value) {
   if (triggered) start_job();
 }
 
+void RedmuleEngine::reset() {
+  state_ = State::kIdle;
+  regfile_.reset();
+  datapath_.reset();
+  xbuf_.reset();
+  ybuf_.reset();
+  wbuf_.reset();
+  zbuf_.reset();
+  streamer_.reset();
+  job_ = Job{};
+  tiling_.reset();
+  ac_ = 0;
+  total_span_ = 0;
+  done_event_ = false;
+  for (auto& regs : x_regs_) std::fill(regs.begin(), regs.end(), Float16{});
+  std::fill(steps_.begin(), steps_.end(), ColStep{});
+  for (auto& issue : issues_) {
+    issue = Datapath::ColumnIssue{};
+    issue.x.reserve(geom_.l);
+    issue.init_acc.reserve(geom_.l);
+  }
+  cur_stats_ = JobStats{};
+  last_stats_ = JobStats{};
+}
+
 bool RedmuleEngine::take_done_event() {
   const bool e = done_event_;
   done_event_ = false;
@@ -188,7 +213,7 @@ bool RedmuleEngine::try_advance() {
   }
 
   const std::optional<Datapath::Capture> cap = datapath_.advance(issues_);
-  if (observer_) observer_(ac_, issues_, cap);
+  if (observer_active_) observer_(ac_, issues_, cap);
   if (cap.has_value()) {
     zbuf_.capture(cap->tag.tile, cap->tag.tau, cap->values);
     if (cap->tag.tau == js - 1) {  // tile fully captured: emit row stores

@@ -67,7 +67,20 @@ class RedmuleEngine : public sim::Clocked {
   using ScheduleObserver =
       std::function<void(uint64_t ac, const std::vector<Datapath::ColumnIssue>&,
                          const std::optional<Datapath::Capture>&)>;
-  void set_schedule_observer(ScheduleObserver obs) { observer_ = std::move(obs); }
+  void set_schedule_observer(ScheduleObserver obs) {
+    observer_ = std::move(obs);
+    // Cache the engaged/empty state so the hot loop tests one bool instead
+    // of dispatching through the std::function emptiness check every advance.
+    observer_active_ = static_cast<bool>(observer_);
+  }
+
+  /// In-place re-initialization to the freshly-constructed state: aborts any
+  /// running job, clears datapath/buffers/streamer/register file and all
+  /// job statistics. Strictly stronger than a kRegSoftClear write (which
+  /// keeps job ids and programmed job registers). Part of the cluster reset
+  /// path used by pooled batch workers; the debug observer is testbench
+  /// wiring and survives.
+  void reset();
 
   // --- Clocked ---------------------------------------------------------------
   void tick() override;
@@ -128,6 +141,7 @@ class RedmuleEngine : public sim::Clocked {
   JobStats cur_stats_;
   JobStats last_stats_;
   ScheduleObserver observer_;
+  bool observer_active_ = false;  ///< cached observer_ engagement (hot path)
 };
 
 }  // namespace redmule::core

@@ -98,6 +98,9 @@ class RegFile {
     ++finished_jobs_;
   }
   void soft_clear() { busy_ = false; }
+  /// Full re-initialization (unlike soft_clear, which keeps job ids and the
+  /// programmed registers): freshly-constructed state for cluster reuse.
+  void reset() { *this = RegFile{}; }
 
  private:
   Job job_;

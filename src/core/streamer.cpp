@@ -273,4 +273,14 @@ void Streamer::reset_stats() {
   issued_loads_ = issued_stores_ = retry_cycles_ = idle_port_cycles_ = 0;
 }
 
+void Streamer::reset() {
+  soft_clear();
+  job_ = Job{};
+  tiling_.reset();
+  w_iter_ = WIter{};
+  x_iter_ = XIter{};
+  y_iter_ = YIter{};
+  reset_stats();
+}
+
 }  // namespace redmule::core

@@ -50,6 +50,11 @@ class Streamer {
   uint64_t idle_port_cycles() const { return idle_port_cycles_; }
   void reset_stats();
 
+  /// In-place re-initialization to the freshly-constructed state (soft_clear
+  /// plus iterators, job state, and statistics). Part of the cluster reset
+  /// path; the buffers it feeds are reset by the engine.
+  void reset();
+
  private:
   enum class Kind { kWLoad, kXLoad, kYLoad, kZStore };
 

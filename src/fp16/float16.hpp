@@ -13,6 +13,7 @@
 ///    one quiet NaN, signaling NaNs raise NV.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -173,12 +174,17 @@ inline Float16 f16(double x) { return Float16::from_double(x); }
 /// Process-wide kill switch for the native-FMA fast path (on by default).
 /// Benches use it to measure soft-core vs fast-path kernel throughput; with
 /// the fast path disabled every fma() call takes the soft-float core.
+/// Stored as a relaxed atomic so batch worker threads can read it while a
+/// controlling thread flips it (a relaxed load compiles to a plain load on
+/// every target we care about; the fast path pays nothing). Toggling while
+/// jobs are in flight is still a bench-protocol error: workers may observe
+/// the change mid-job.
 void set_fast_fma_enabled(bool on);
 bool fast_fma_enabled();
 
 namespace detail {
 
-extern bool g_fast_fma_enabled;
+extern std::atomic<bool> g_fast_fma_enabled;
 
 /// True for every encoding the FMA fast path accepts as an operand: normals
 /// and signed zeros (no subnormals, infinities or NaNs).
@@ -258,7 +264,8 @@ inline bool fast_pack_rne(double v, uint16_t* out) {
 // and signed-zero handling, overflow its saturation logic.
 inline Float16 Float16::fma(Float16 a, Float16 b, Float16 c, RoundingMode rm,
                             Flags* flags) {
-  if (detail::g_fast_fma_enabled && rm == RoundingMode::kRNE && flags == nullptr &&
+  if (detail::g_fast_fma_enabled.load(std::memory_order_relaxed) &&
+      rm == RoundingMode::kRNE && flags == nullptr &&
       detail::is_normal_or_zero(a) && detail::is_normal_or_zero(b) &&
       detail::is_normal_or_zero(c)) {
     const double v = detail::normal_to_double(a) * detail::normal_to_double(b) +

@@ -393,11 +393,15 @@ Float16 Float16::mul(Float16 a, Float16 b, RoundingMode rm, Flags* flags) {
 }
 
 namespace detail {
-bool g_fast_fma_enabled = true;
+std::atomic<bool> g_fast_fma_enabled{true};
 }  // namespace detail
 
-void set_fast_fma_enabled(bool on) { detail::g_fast_fma_enabled = on; }
-bool fast_fma_enabled() { return detail::g_fast_fma_enabled; }
+void set_fast_fma_enabled(bool on) {
+  detail::g_fast_fma_enabled.store(on, std::memory_order_relaxed);
+}
+bool fast_fma_enabled() {
+  return detail::g_fast_fma_enabled.load(std::memory_order_relaxed);
+}
 
 Float16 Float16::fma_soft(Float16 a, Float16 b, Float16 c, RoundingMode rm,
                           Flags* flags) {

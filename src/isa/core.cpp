@@ -76,6 +76,20 @@ void RiscvCore::load_program(const Program& prog) {
   halted_ = prog_.empty();
 }
 
+void RiscvCore::reset() {
+  prog_ = Program{};
+  pc_ = 0;
+  x_.fill(0);
+  f_.fill(Float16{});
+  ready_.fill(0);
+  loops_ = {};
+  pending_ = PendingMem{};
+  stall_cycles_left_ = 0;
+  halted_ = true;
+  now_ = 0;
+  stats_ = CoreStats{};
+}
+
 void RiscvCore::set_reg(uint8_t reg, uint32_t value) {
   REDMULE_ASSERT(reg < 32);
   if (reg != 0) x_[reg] = value;

@@ -72,6 +72,11 @@ class RiscvCore : public sim::Clocked {
   const CoreStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CoreStats{}; }
 
+  /// In-place re-initialization to the freshly-constructed state (halted, no
+  /// program, clean register file/scoreboard/stats). The peripheral mapping
+  /// is wiring, not state, and survives. Part of the cluster reset path.
+  void reset();
+
   void tick() override;
   void commit() override;
   /// A halted core only burns host time: tick() is a no-op until the next

@@ -52,6 +52,19 @@ class DmaEngine : public sim::Clocked {
   uint64_t busy_cycles() const { return busy_cycles_; }
   uint64_t stall_cycles() const { return stall_cycles_; }
 
+  /// In-place re-initialization to the freshly-constructed state: drops any
+  /// queued/active transfers and in-flight beats, rewinds transfer ids and
+  /// statistics. Part of the cluster reset path.
+  void reset() {
+    queue_.clear();
+    active_.clear();
+    in_flight_.clear();
+    next_id_ = 0;
+    completed_ = 0;
+    busy_cycles_ = 0;
+    stall_cycles_ = 0;
+  }
+
  private:
   struct Active {
     DmaTransfer t;

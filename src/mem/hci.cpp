@@ -227,4 +227,24 @@ void Hci::reset_stats() {
   shallow_grants_ = shallow_stalls_ = rotation_events_ = 0;
 }
 
+void Hci::reset() {
+  for (auto& r : log_req_) r.reset();
+  shallow_req_.reset();
+  std::fill(log_res_visible_.begin(), log_res_visible_.end(), LogResult{});
+  std::fill(log_res_staged_.begin(), log_res_staged_.end(), LogResult{});
+  shallow_res_visible_ = ShallowResult{};
+  shallow_res_staged_ = ShallowResult{};
+  std::fill(bank_rr_.begin(), bank_rr_.end(), 0u);
+  shallow_stall_streak_ = 0;
+  log_stall_streak_ = 0;
+  posted_ports_.clear();
+  std::fill(shallow_bank_.begin(), shallow_bank_.end(), uint8_t{0});
+  reqs_pending_ = false;
+  log_results_live_ = false;
+  shallow_result_live_ = false;
+  staged_log_grants_ = false;
+  staged_shallow_grant_ = false;
+  reset_stats();
+}
+
 }  // namespace redmule::mem

@@ -114,6 +114,11 @@ class Hci : public sim::Clocked {
   uint64_t rotation_events() const { return rotation_events_; }
   void reset_stats();
 
+  /// In-place re-initialization to the freshly-constructed state: pending
+  /// requests, staged/visible results, round-robin pointers, rotation
+  /// streaks, and statistics. Part of the cluster reset path.
+  void reset();
+
  private:
   /// Bank set [first, first + count) mod n_banks touched by a shallow request.
   struct BankSpan {

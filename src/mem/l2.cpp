@@ -13,6 +13,7 @@ L2Memory::L2Memory(L2Config cfg) : cfg_(cfg) {
 void L2Memory::write(uint32_t addr, const void* src, uint32_t len) {
   REDMULE_REQUIRE(contains(addr, len), "write outside L2");
   std::memcpy(bytes_.data() + (addr - cfg_.base_addr), src, len);
+  dirty_ = true;
 }
 
 void L2Memory::read(uint32_t addr, void* dst, uint32_t len) const {
@@ -22,6 +23,7 @@ void L2Memory::read(uint32_t addr, void* dst, uint32_t len) const {
 
 void L2Memory::fill(uint8_t byte) {
   std::memset(bytes_.data(), byte, bytes_.size());
+  dirty_ = byte != 0;  // all-zero is exactly the freshly-constructed state
 }
 
 }  // namespace redmule::mem

@@ -37,9 +37,17 @@ class L2Memory {
   void read(uint32_t addr, void* dst, uint32_t len) const;
   void fill(uint8_t byte = 0);
 
+  /// In-place re-initialization to the freshly-constructed state. Zeroing
+  /// 1.5 MiB per pooled-cluster reset would dominate short jobs, so the fill
+  /// is skipped while the memory was never written since the last reset.
+  void reset() {
+    if (dirty_) fill(0);
+  }
+
  private:
   L2Config cfg_;
   std::vector<uint8_t> bytes_;
+  bool dirty_ = false;
 };
 
 }  // namespace redmule::mem

@@ -52,6 +52,10 @@ class Tcdm {
   void backdoor_write_u16(uint32_t addr, uint16_t v);
   void fill(uint8_t byte = 0);
 
+  /// In-place re-initialization to the freshly-constructed state (all words
+  /// zero). Part of the cluster reset path used by pooled batch workers.
+  void reset() { fill(0); }
+
  private:
   uint32_t word_index(uint32_t addr) const {
     REDMULE_ASSERT(contains(addr, 4));

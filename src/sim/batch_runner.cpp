@@ -1,0 +1,222 @@
+#include "sim/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace redmule::sim {
+
+namespace {
+
+/// FNV-1a over the row-major FP16 bit patterns.
+uint64_t hash_matrix(const core::MatrixF16& m) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* p = reinterpret_cast<const uint8_t*>(m.data());
+  for (size_t i = 0; i < m.size_bytes(); ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Cluster configuration a job needs: the base config with the job's
+/// geometry, banks widened to the geometry's port count and TCDM capacity
+/// grown to the working set. A pure function of (base, job), so every
+/// worker -- and the serial reference path -- derives the identical config.
+cluster::ClusterConfig config_for(const cluster::ClusterConfig& base,
+                                  const BatchJob& job) {
+  cluster::ClusterConfig cfg = base;
+  cfg.geometry = job.geometry;
+  while (cfg.tcdm.n_banks < cfg.geometry.mem_ports()) cfg.tcdm.n_banks *= 2;
+  uint64_t need = job.shape.bytes() + 4096;
+  if (job.accumulate)
+    need += 2ull * job.shape.m * job.shape.k;  // the Y operand
+  while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) < need)
+    cfg.tcdm.words_per_bank *= 2;
+  return cfg;
+}
+
+/// Pool key: every config field that config_for() can vary per job.
+uint64_t pool_key(const cluster::ClusterConfig& cfg) {
+  uint64_t k = cfg.geometry.h;
+  k = k * 257 + cfg.geometry.l;
+  k = k * 257 + cfg.geometry.p;
+  k = k * 8209 + cfg.tcdm.n_banks;
+  k = k * 1048583 + cfg.tcdm.words_per_bank;
+  return k;
+}
+
+/// Generates inputs from the job's seed and runs it on \p cl, which must be
+/// in the freshly-constructed/reset state.
+BatchResult execute(cluster::Cluster& cl, const BatchJob& job, bool keep_outputs) {
+  cluster::RedmuleDriver drv(cl);
+  Xoshiro256 rng(job.seed);
+  const auto x = workloads::random_matrix(job.shape.m, job.shape.n, rng);
+  const auto w = workloads::random_matrix(job.shape.n, job.shape.k, rng);
+  cluster::RedmuleDriver::GemmResult g;
+  if (job.accumulate) {
+    const auto y = workloads::random_matrix(job.shape.m, job.shape.k, rng);
+    g = drv.gemm_acc(x, w, y);
+  } else {
+    g = drv.gemm(x, w);
+  }
+  BatchResult res;
+  res.ok = true;
+  res.stats = g.stats;
+  res.z_hash = hash_matrix(g.z);
+  if (keep_outputs) res.z = std::move(g.z);
+  return res;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchConfig cfg) : cfg_(cfg) {
+  n_threads_ = cfg.n_threads != 0 ? cfg.n_threads
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  workers_.resize(n_threads_);
+  threads_.reserve(n_threads_ - 1);
+  for (unsigned i = 1; i < n_threads_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) {
+  stats_ = BatchStats{};
+  if (jobs.empty()) return {};
+
+  auto batch = std::make_shared<Batch>();
+  batch->jobs = jobs;
+  batch->results.resize(jobs.size());
+
+  // Per-batch pool counters. Safe without a lock: between batches workers
+  // only ever touch these inside run_job(), which cannot run before the new
+  // batch is published below.
+  for (Worker& w : workers_) {
+    w.constructed = 0;
+    w.reused = 0;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> l(m_);
+    current_ = batch;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  // The calling thread is worker 0: with one thread this is a plain serial
+  // loop, with N threads it drains alongside the pool instead of idling.
+  drain(workers_[0], *batch);
+  {
+    std::unique_lock<std::mutex> l(m_);
+    cv_done_.wait(l, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->jobs.size();
+    });
+  }
+  stats_.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (const BatchResult& r : batch->results) {
+    if (r.ok) {
+      ++stats_.jobs_ok;
+      stats_.sim_cycles += r.stats.cycles;
+      stats_.macs += r.stats.macs;
+    } else {
+      ++stats_.jobs_failed;
+    }
+  }
+  // Safe without synchronization: pool counters only move inside run_job(),
+  // and every run_job() of this batch completed before done reached size.
+  for (const Worker& w : workers_) {
+    stats_.clusters_constructed += w.constructed;
+    stats_.cluster_reuses += w.reused;
+  }
+  return std::move(batch->results);
+}
+
+void BatchRunner::worker_loop(unsigned idx) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> l(m_);
+      cv_start_.wait(l, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = current_;
+    }
+    if (batch) drain(workers_[idx], *batch);
+  }
+}
+
+void BatchRunner::drain(Worker& w, Batch& b) {
+  const size_t n = b.jobs.size();
+  size_t i;
+  while ((i = b.next.fetch_add(1, std::memory_order_relaxed)) < n) {
+    b.results[i] = run_job(w, b.jobs[i]);
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> l(m_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+BatchResult BatchRunner::run_job(Worker& w, const BatchJob& job) {
+  BatchResult res;
+  try {
+    const cluster::ClusterConfig cfg = config_for(cfg_.base, job);
+    if (!cfg_.reuse_clusters) {
+      // Baseline mode: pay full construction/destruction per job.
+      cluster::Cluster cl(cfg);
+      ++w.constructed;
+      return execute(cl, job, cfg_.keep_outputs);
+    }
+    const uint64_t key = pool_key(cfg);
+    PooledCluster* pc = nullptr;
+    for (PooledCluster& cand : w.pool)
+      if (cand.key == key) {
+        pc = &cand;
+        break;
+      }
+    if (pc == nullptr) {
+      w.pool.push_back(PooledCluster{key, std::make_unique<cluster::Cluster>(cfg), 0});
+      pc = &w.pool.back();
+      ++w.constructed;
+    } else {
+      // Unconditional reset before (not after) each job: this also recovers
+      // the instance from a previous job that timed out or threw mid-run.
+      pc->cl->reset();
+      ++w.reused;
+    }
+    ++pc->jobs_run;
+    return execute(*pc->cl, job, cfg_.keep_outputs);
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.error = e.what();
+    return res;
+  }
+}
+
+BatchResult BatchRunner::run_one(const BatchJob& job,
+                                 const cluster::ClusterConfig& base,
+                                 bool keep_outputs) {
+  BatchResult res;
+  try {
+    cluster::Cluster cl(config_for(base, job));
+    return execute(cl, job, keep_outputs);
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.error = e.what();
+    return res;
+  }
+}
+
+}  // namespace redmule::sim

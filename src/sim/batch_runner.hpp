@@ -1,0 +1,152 @@
+/// \file batch_runner.hpp
+/// \brief Batched multi-cluster simulation: a thread-pooled job runner.
+///
+/// RedMulE jobs are embarrassingly parallel -- each GEMM/autoencoder-layer
+/// offload is a self-contained cluster simulation with no shared state -- so
+/// the path from "one job on one thread" to "heavy multi-user traffic" is a
+/// worker pool where every worker simulates whole clusters independently:
+///
+///  - a BatchRunner owns N worker threads (the calling thread is worker 0,
+///    so n_threads == 1 degenerates to a plain serial loop with no thread
+///    machinery in the timed path);
+///  - jobs are drained from a shared queue via an atomic cursor (cheap
+///    work stealing: a worker that finishes early simply fetches the next
+///    undone index, so long jobs never serialize behind short ones);
+///  - every worker owns a pool of *reusable cluster instances*, keyed by the
+///    accelerator geometry and TCDM sizing a job needs. A pooled cluster is
+///    re-initialized in place with Cluster::reset() -- memories zeroed,
+///    arbitration and counters rewound -- instead of reconstructing the
+///    whole module hierarchy, which for short jobs is a significant
+///    fraction of wall time (BENCH_batch.json quantifies it).
+///
+/// Determinism guarantee: per-job results (simulated cycle counts, the FP16
+/// Z output, the full JobStats) are a pure function of the BatchJob record.
+/// Inputs are generated from the job's own RNG seed (derive it with
+/// redmule::split_seed(batch_seed, job_index)), and each job runs on a
+/// cluster whose observable state is bit-equal to a freshly constructed one.
+/// Batch order, thread count, and cluster reuse therefore never change any
+/// outcome (tests/sim/test_batch_runner.cpp asserts all three).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::sim {
+
+/// One independent offload: a GEMM (optionally with Y-accumulation) of the
+/// given shape on an accelerator of the given geometry, with inputs drawn
+/// from \p seed. Results depend on nothing else.
+struct BatchJob {
+  workloads::GemmShape shape;
+  core::Geometry geometry{};  ///< per-job accelerator geometry
+  uint64_t seed = 1;          ///< input-generation seed (see split_seed)
+  bool accumulate = false;    ///< Z = Y + X*W instead of Z = X*W
+};
+
+/// Per-job outcome. z_hash is an FNV-1a digest over the Z bit patterns so
+/// determinism checks stay cheap; the full matrix is kept only on request.
+struct BatchResult {
+  bool ok = false;
+  std::string error;          ///< set when the job threw (timeout, bad job)
+  core::JobStats stats;
+  uint64_t z_hash = 0;
+  core::MatrixF16 z;          ///< populated only with BatchConfig::keep_outputs
+};
+
+/// Aggregate counters of the last run() batch.
+struct BatchStats {
+  uint64_t jobs_ok = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t sim_cycles = 0;    ///< sum of per-job simulated cycles
+  uint64_t macs = 0;          ///< sum of per-job useful MACs
+  double wall_s = 0.0;        ///< run() entry to last job completion
+  uint64_t clusters_constructed = 0;  ///< across all workers, this batch
+  uint64_t cluster_reuses = 0;        ///< jobs served by a reset() instance
+
+  double cycles_per_sec() const { return wall_s > 0 ? sim_cycles / wall_s : 0.0; }
+  double macs_per_sec() const { return wall_s > 0 ? macs / wall_s : 0.0; }
+  double jobs_per_sec() const {
+    return wall_s > 0 ? (jobs_ok + jobs_failed) / wall_s : 0.0;
+  }
+};
+
+struct BatchConfig {
+  unsigned n_threads = 1;      ///< 0 = hardware_concurrency
+  bool reuse_clusters = true;  ///< false: reconstruct per job (baseline mode)
+  bool keep_outputs = false;   ///< store Z matrices in results (tests)
+  cluster::ClusterConfig base; ///< geometry/TCDM are overridden per job
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchConfig cfg = {});
+  ~BatchRunner();
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Executes every job and returns results in job order. Blocks until the
+  /// batch is complete; per-job failures are reported in BatchResult::error,
+  /// not thrown (a failed job never poisons its worker's pooled clusters).
+  std::vector<BatchResult> run(const std::vector<BatchJob>& jobs);
+
+  unsigned n_threads() const { return n_threads_; }
+  const BatchStats& last_batch_stats() const { return stats_; }
+
+  /// Reference path for tests: one job, fresh everything, no pool involved.
+  /// Same failure contract as run(): errors land in BatchResult, not throws.
+  static BatchResult run_one(const BatchJob& job,
+                             const cluster::ClusterConfig& base = {},
+                             bool keep_outputs = true);
+
+ private:
+  /// A batch in flight. Workers hold the shared_ptr while draining, so a
+  /// straggler waking up late can never touch freed storage.
+  struct Batch {
+    std::vector<BatchJob> jobs;
+    std::vector<BatchResult> results;
+    std::atomic<size_t> next{0};  ///< work-stealing cursor
+    std::atomic<size_t> done{0};
+  };
+
+  /// Worker-owned cluster pool entry (single-threaded access by design).
+  struct PooledCluster {
+    uint64_t key = 0;
+    std::unique_ptr<cluster::Cluster> cl;
+    uint64_t jobs_run = 0;
+  };
+  struct Worker {
+    std::vector<PooledCluster> pool;
+    uint64_t constructed = 0;
+    uint64_t reused = 0;
+  };
+
+  void worker_loop(unsigned idx);
+  void drain(Worker& w, Batch& b);
+  BatchResult run_job(Worker& w, const BatchJob& job);
+
+  BatchConfig cfg_;
+  unsigned n_threads_ = 1;
+  std::vector<Worker> workers_;      ///< index 0 = the calling thread
+  std::vector<std::thread> threads_; ///< workers 1..n_threads-1
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::shared_ptr<Batch> current_;
+
+  BatchStats stats_;
+};
+
+}  // namespace redmule::sim

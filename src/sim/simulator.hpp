@@ -78,6 +78,14 @@ class Simulator {
 
   uint64_t cycle() const { return cycle_; }
   void reset_cycle_counter() { cycle_ = 0; }
+  /// Rewinds the cycle counter and the kernel statistics (module list and
+  /// skipping mode are wiring/config, not state). Part of the cluster reset
+  /// path: a reused cluster starts counting like a freshly built one.
+  void reset_counters() {
+    cycle_ = 0;
+    skipped_module_ticks_ = 0;
+    fast_forwarded_cycles_ = 0;
+  }
 
   /// True when every registered module reports is_idle(): no module phase
   /// can change any state until external input arrives.

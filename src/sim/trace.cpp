@@ -6,9 +6,9 @@
 
 namespace redmule::sim {
 
-void Trace::record(const std::string& signal, uint64_t cycle, int64_t value) {
-  if (!enabled_) return;
+void Trace::record_slow(const std::string& signal, uint64_t cycle, int64_t value) {
   signals_[signal].emplace_back(cycle, value);
+  if (hook_active_) hook_(signal, cycle, value);
 }
 
 size_t Trace::dump_csv(const std::string& path) const {

@@ -2,9 +2,16 @@
 /// \brief Lightweight scalar-signal tracer. Modules record named values per
 ///        cycle; the trace can be dumped as CSV for waveform-style debugging
 ///        of schedules (port grants, buffer occupancies, FSM states).
+///
+/// Hot-path contract: record() is an inline guard on one cached bool. While
+/// tracing is disabled (the default -- benches and batch workers) a call
+/// site pays a single predictable branch: no std::string hashing, no map
+/// touch, and in particular no dispatch through the std::function hook.
+/// Only when the trace is enabled does the out-of-line slow path run.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,12 +20,29 @@ namespace redmule::sim {
 
 class Trace {
  public:
+  /// Live-streaming sink invoked for every recorded sample (on top of the
+  /// in-memory store): external waveform viewers, test probes. Dispatching
+  /// through it costs a std::function call, so it is only ever reached when
+  /// the trace is enabled *and* a hook is installed.
+  using Hook = std::function<void(const std::string& signal, uint64_t cycle,
+                                  int64_t value)>;
+
   /// Globally enable/disable recording (disabled by default: zero overhead
-  /// in benches).
+  /// in benches and batch workers beyond the inline flag test).
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  void record(const std::string& signal, uint64_t cycle, int64_t value);
+  void set_hook(Hook hook) {
+    hook_ = std::move(hook);
+    // Cached engagement flag: the slow path tests a bool instead of the
+    // std::function's emptiness on every sample.
+    hook_active_ = static_cast<bool>(hook_);
+  }
+
+  void record(const std::string& signal, uint64_t cycle, int64_t value) {
+    if (!enabled_) return;  // inline fast exit: tracing off costs one branch
+    record_slow(signal, cycle, value);
+  }
 
   /// Dumps "signal,cycle,value" rows; returns number of samples written.
   size_t dump_csv(const std::string& path) const;
@@ -28,7 +52,11 @@ class Trace {
   void clear() { signals_.clear(); }
 
  private:
+  void record_slow(const std::string& signal, uint64_t cycle, int64_t value);
+
   bool enabled_ = false;
+  bool hook_active_ = false;
+  Hook hook_;
   std::unordered_map<std::string, std::vector<std::pair<uint64_t, int64_t>>> signals_;
 };
 

@@ -38,4 +38,15 @@ std::vector<GemmShape> ragged_sweep() {
   };
 }
 
+std::vector<GemmShape> short_long_sweep() {
+  // ~200x MAC spread between the shortest and longest job; the short shapes
+  // are dominated by programming/startup/drain, the long ones by the array's
+  // steady state. Ragged sizes keep the padding paths hot in batch mode too.
+  return {
+      {"8x8x8", 8, 8, 8},       {"96x96x96", 96, 96, 96}, {"16x16x16", 16, 16, 16},
+      {"12x16x20", 12, 16, 20}, {"80x64x96", 80, 64, 96}, {"8x32x8", 8, 32, 8},
+      {"64x96x64", 64, 96, 64}, {"16x8x24", 16, 8, 24},
+  };
+}
+
 }  // namespace redmule::workloads

@@ -42,4 +42,10 @@ std::vector<GemmShape> square_sweep(std::vector<uint32_t> sizes);
 /// Ragged shapes exercising every padding path (M % L, N % H, K % j_slots).
 std::vector<GemmShape> ragged_sweep();
 
+/// Short-vs-long mix for batched-throughput measurements: small problems
+/// that stress per-job overhead (offload latency, cluster reset) interleaved
+/// with large ones that stress steady-state throughput. Worst case for
+/// static job partitioning, which is why the batch runner work-steals.
+std::vector<GemmShape> short_long_sweep();
+
 }  // namespace redmule::workloads

@@ -1,0 +1,140 @@
+// Cluster::reset() contract: a reused (reset) cluster instance is
+// observably bit-equal to a freshly constructed one -- back-to-back jobs,
+// jobs after an aborted mid-flight job, memories, counters, statistics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "common/rng.hpp"
+#include "core/regfile.hpp"
+#include "workloads/gemm.hpp"
+
+using namespace redmule;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::RedmuleDriver;
+
+namespace {
+
+struct JobOutcome {
+  core::JobStats stats;
+  core::MatrixF16 z;
+};
+
+// One full GEMM with inputs drawn from \p seed; the cluster/driver pair must
+// be in the fresh (or freshly reset) state.
+JobOutcome run_job(Cluster& cl, RedmuleDriver& drv, uint64_t seed, uint32_t m,
+                   uint32_t n, uint32_t k) {
+  Xoshiro256 rng(seed);
+  const auto x = workloads::random_matrix(m, n, rng);
+  const auto w = workloads::random_matrix(n, k, rng);
+  auto res = drv.gemm(x, w);
+  return {res.stats, std::move(res.z)};
+}
+
+JobOutcome run_on_fresh_cluster(uint64_t seed, uint32_t m, uint32_t n, uint32_t k) {
+  Cluster cl{ClusterConfig{}};
+  RedmuleDriver drv(cl);
+  return run_job(cl, drv, seed, m, n, k);
+}
+
+void expect_same(const JobOutcome& a, const JobOutcome& b, const char* what) {
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles) << what;
+  EXPECT_EQ(a.stats.advance_cycles, b.stats.advance_cycles) << what;
+  EXPECT_EQ(a.stats.stall_cycles, b.stats.stall_cycles) << what;
+  EXPECT_EQ(a.stats.macs, b.stats.macs) << what;
+  EXPECT_EQ(a.stats.fma_ops, b.stats.fma_ops) << what;
+  ASSERT_EQ(a.z.rows(), b.z.rows());
+  ASSERT_EQ(a.z.cols(), b.z.cols());
+  EXPECT_EQ(std::memcmp(a.z.data(), b.z.data(), a.z.size_bytes()), 0) << what;
+}
+
+}  // namespace
+
+TEST(ClusterReset, BackToBackJobsMatchFreshClusters) {
+  Cluster cl{ClusterConfig{}};
+  RedmuleDriver drv(cl);
+  const std::tuple<uint32_t, uint32_t, uint32_t> shapes[] = {
+      {32, 32, 32}, {16, 24, 16}, {17, 33, 31}, {8, 8, 8}};
+  for (size_t i = 0; i < std::size(shapes); ++i) {
+    const auto [m, n, k] = shapes[i];
+    const uint64_t seed = split_seed(11, i);
+    drv.reset();
+    const JobOutcome reused = run_job(cl, drv, seed, m, n, k);
+    const JobOutcome fresh = run_on_fresh_cluster(seed, m, n, k);
+    expect_same(reused, fresh, "reused cluster vs fresh cluster");
+  }
+}
+
+TEST(ClusterReset, ResetAfterAbortedJobMatchesFresh) {
+  Cluster cl{ClusterConfig{}};
+  RedmuleDriver drv(cl);
+
+  // Start a job and abandon it mid-flight: program the register file the way
+  // a core would, trigger, then advance only part of the way.
+  {
+    Xoshiro256 rng(99);
+    const auto x = workloads::random_matrix(32, 32, rng);
+    const auto w = workloads::random_matrix(32, 32, rng);
+    const uint32_t xa = drv.place_matrix(x);
+    const uint32_t wa = drv.place_matrix(w);
+    const uint32_t za = drv.alloc(32 * 32 * 2);
+    auto& rm = cl.redmule();
+    rm.reg_write(core::kRegXPtr, xa);
+    rm.reg_write(core::kRegWPtr, wa);
+    rm.reg_write(core::kRegZPtr, za);
+    rm.reg_write(core::kRegM, 32);
+    rm.reg_write(core::kRegN, 32);
+    rm.reg_write(core::kRegK, 32);
+    rm.reg_write(core::kRegFlags, 0);
+    rm.reg_write(core::kRegTrigger, 0);
+    for (int i = 0; i < 200; ++i) cl.step();
+    ASSERT_TRUE(rm.busy());  // genuinely mid-job
+  }
+
+  drv.reset();
+  EXPECT_FALSE(cl.redmule().busy());
+  EXPECT_EQ(cl.cycle(), 0u);
+
+  const JobOutcome after_abort = run_job(cl, drv, split_seed(11, 0), 32, 32, 32);
+  const JobOutcome fresh = run_on_fresh_cluster(split_seed(11, 0), 32, 32, 32);
+  expect_same(after_abort, fresh, "post-abort reset vs fresh cluster");
+}
+
+TEST(ClusterReset, ResetRestoresMemoriesCountersAndAllocator) {
+  Cluster cl{ClusterConfig{}};
+  RedmuleDriver drv(cl);
+  const uint32_t free_at_start = drv.bytes_free();
+
+  (void)run_job(cl, drv, 5, 16, 16, 16);
+  EXPECT_LT(drv.bytes_free(), free_at_start);
+  EXPECT_GT(cl.cycle(), 0u);
+  EXPECT_GT(cl.hci().shallow_grants(), 0u);
+
+  drv.reset();
+  EXPECT_EQ(drv.bytes_free(), free_at_start);
+  EXPECT_EQ(cl.cycle(), 0u);
+  EXPECT_EQ(cl.hci().shallow_grants(), 0u);
+  EXPECT_EQ(cl.redmule().last_job_stats().cycles, 0u);
+
+  // TCDM is all-zero again, like a freshly constructed memory.
+  const auto& tcdm_cfg = cl.tcdm().config();
+  std::vector<uint8_t> bytes(tcdm_cfg.size_bytes());
+  cl.tcdm().backdoor_read(tcdm_cfg.base_addr, bytes.data(),
+                          static_cast<uint32_t>(bytes.size()));
+  for (size_t i = 0; i < bytes.size(); ++i) ASSERT_EQ(bytes[i], 0) << "byte " << i;
+}
+
+TEST(ClusterReset, RepeatedIdenticalJobsOnOneInstanceAreIdentical) {
+  Cluster cl{ClusterConfig{}};
+  RedmuleDriver drv(cl);
+  drv.reset();
+  const JobOutcome first = run_job(cl, drv, 21, 24, 20, 40);
+  for (int rep = 0; rep < 3; ++rep) {
+    drv.reset();
+    const JobOutcome again = run_job(cl, drv, 21, 24, 20, 40);
+    expect_same(again, first, "repeat on reused instance");
+  }
+}

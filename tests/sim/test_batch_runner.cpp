@@ -1,0 +1,171 @@
+// Determinism and pooling contracts of the batched simulation subsystem
+// (sim/batch_runner.hpp): running a mixed-geometry job set serially, on 2
+// threads, and on 8 threads must yield bit-identical per-job cycle counts,
+// Z-buffer contents, and JobStats; cluster reuse must be invisible; a failed
+// job must not poison its worker's pooled clusters.
+#include "sim/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+using namespace redmule;
+using sim::BatchConfig;
+using sim::BatchJob;
+using sim::BatchResult;
+using sim::BatchRunner;
+
+namespace {
+
+// The mixed-geometry job set: assorted H/L/P, ragged shapes, and the
+// Y-accumulation path, each job with its own split_seed stream.
+std::vector<BatchJob> mixed_jobs() {
+  const std::vector<std::tuple<core::Geometry, workloads::GemmShape, bool>> specs = {
+      {{4, 8, 3}, {"32x32x32", 32, 32, 32}, false},
+      {{2, 4, 3}, {"16x24x16", 16, 24, 16}, false},
+      {{8, 8, 3}, {"24x32x24", 24, 32, 24}, false},
+      {{4, 4, 3}, {"17x33x31", 17, 33, 31}, false},
+      {{4, 8, 3}, {"8x8x8", 8, 8, 8}, true},
+      {{2, 4, 3}, {"3x5x7", 3, 5, 7}, false},
+      {{4, 8, 3}, {"48x16x48", 48, 16, 48}, true},
+      {{8, 8, 3}, {"16x16x16", 16, 16, 16}, false},
+      {{4, 8, 3}, {"1x1x1", 1, 1, 1}, false},
+      {{4, 4, 3}, {"40x24x20", 40, 24, 20}, true},
+  };
+  std::vector<BatchJob> jobs;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    BatchJob j;
+    j.geometry = std::get<0>(specs[i]);
+    j.shape = std::get<1>(specs[i]);
+    j.accumulate = std::get<2>(specs[i]);
+    j.seed = split_seed(7, i);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+void expect_same_stats(const core::JobStats& a, const core::JobStats& b, size_t i) {
+  EXPECT_EQ(a.cycles, b.cycles) << "job " << i;
+  EXPECT_EQ(a.advance_cycles, b.advance_cycles) << "job " << i;
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles) << "job " << i;
+  EXPECT_EQ(a.macs, b.macs) << "job " << i;
+  EXPECT_EQ(a.fma_ops, b.fma_ops) << "job " << i;
+}
+
+// Bit-level Z comparison (IEEE operator== would conflate +0/-0).
+void expect_same_z(const core::MatrixF16& a, const core::MatrixF16& b, size_t i) {
+  ASSERT_EQ(a.rows(), b.rows()) << "job " << i;
+  ASSERT_EQ(a.cols(), b.cols()) << "job " << i;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0) << "job " << i;
+}
+
+std::vector<BatchResult> run_with(unsigned threads, const std::vector<BatchJob>& jobs,
+                                  bool reuse = true) {
+  BatchConfig cfg;
+  cfg.n_threads = threads;
+  cfg.reuse_clusters = reuse;
+  cfg.keep_outputs = true;
+  BatchRunner runner(cfg);
+  return runner.run(jobs);
+}
+
+}  // namespace
+
+TEST(BatchRunner, SerialMatchesReferencePath) {
+  const auto jobs = mixed_jobs();
+  const auto serial = run_with(1, jobs);
+  ASSERT_EQ(serial.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    const BatchResult ref = BatchRunner::run_one(jobs[i]);
+    expect_same_stats(serial[i].stats, ref.stats, i);
+    expect_same_z(serial[i].z, ref.z, i);
+    EXPECT_EQ(serial[i].z_hash, ref.z_hash) << "job " << i;
+  }
+}
+
+TEST(BatchRunner, ThreadCountIsInvisible) {
+  const auto jobs = mixed_jobs();
+  const auto serial = run_with(1, jobs);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto parallel = run_with(threads, jobs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_TRUE(parallel[i].ok) << "t=" << threads << ": " << parallel[i].error;
+      expect_same_stats(parallel[i].stats, serial[i].stats, i);
+      expect_same_z(parallel[i].z, serial[i].z, i);
+      EXPECT_EQ(parallel[i].z_hash, serial[i].z_hash) << "job " << i;
+    }
+  }
+}
+
+TEST(BatchRunner, ClusterReuseIsInvisible) {
+  const auto jobs = mixed_jobs();
+  const auto reused = run_with(2, jobs, /*reuse=*/true);
+  const auto rebuilt = run_with(2, jobs, /*reuse=*/false);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(reused[i].ok && rebuilt[i].ok);
+    expect_same_stats(reused[i].stats, rebuilt[i].stats, i);
+    expect_same_z(reused[i].z, rebuilt[i].z, i);
+  }
+}
+
+TEST(BatchRunner, PoolReusesClustersAcrossBatches) {
+  BatchConfig cfg;
+  cfg.n_threads = 1;
+  BatchRunner runner(cfg);
+  const auto jobs = mixed_jobs();
+  (void)runner.run(jobs);
+  const uint64_t constructed_first = runner.last_batch_stats().clusters_constructed;
+  EXPECT_GT(constructed_first, 0u);
+  (void)runner.run(jobs);
+  // Second batch: every geometry/TCDM class already has a pooled instance.
+  EXPECT_EQ(runner.last_batch_stats().clusters_constructed, 0u);
+  EXPECT_EQ(runner.last_batch_stats().cluster_reuses, jobs.size());
+}
+
+TEST(BatchRunner, FailedJobDoesNotPoisonWorkerOrBatch) {
+  auto jobs = mixed_jobs();
+  BatchJob bad;
+  bad.shape = {"0x0x0", 0, 0, 0};  // rejected by Job::validate at trigger time
+  bad.geometry = {4, 8, 3};
+  jobs.insert(jobs.begin() + 2, bad);
+
+  const auto results = run_with(1, jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_FALSE(results[2].error.empty());
+  // The serial reference path reports failures the same way, never throws.
+  const BatchResult bad_ref = BatchRunner::run_one(bad);
+  EXPECT_FALSE(bad_ref.ok);
+  EXPECT_FALSE(bad_ref.error.empty());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (i == 2) continue;
+    ASSERT_TRUE(results[i].ok) << results[i].error;
+    const BatchResult ref = BatchRunner::run_one(jobs[i]);
+    expect_same_stats(results[i].stats, ref.stats, i);
+    expect_same_z(results[i].z, ref.z, i);
+  }
+}
+
+TEST(BatchRunner, SplitSeedIsPureAndSpreads) {
+  EXPECT_EQ(split_seed(7, 3), split_seed(7, 3));
+  EXPECT_NE(split_seed(7, 3), split_seed(7, 4));
+  EXPECT_NE(split_seed(7, 3), split_seed(8, 3));
+  // Adjacent streams must produce unrelated workloads, not shifted copies.
+  Xoshiro256 a(split_seed(1, 0)), b(split_seed(1, 1));
+  unsigned same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(BatchRunner, EmptyBatchAndZeroThreadsResolve) {
+  BatchConfig cfg;
+  cfg.n_threads = 0;  // resolves to hardware_concurrency
+  BatchRunner runner(cfg);
+  EXPECT_GE(runner.n_threads(), 1u);
+  EXPECT_TRUE(runner.run({}).empty());
+}

@@ -45,6 +45,30 @@ TEST(Trace, DumpCsvRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(Trace, HookSeesSamplesOnlyWhileEnabled) {
+  Trace t;
+  int calls = 0;
+  t.set_hook([&](const std::string& sig, uint64_t cycle, int64_t value) {
+    ++calls;
+    EXPECT_EQ(sig, "s");
+    EXPECT_EQ(cycle, 3u);
+    EXPECT_EQ(value, 9);
+  });
+  // Tracing disabled: the hook must not be dispatched at all.
+  t.record("s", 3, 9);
+  EXPECT_EQ(calls, 0);
+  t.enable(true);
+  t.record("s", 3, 9);
+  EXPECT_EQ(calls, 1);
+  // Detaching the hook keeps recording but stops dispatch.
+  t.set_hook(nullptr);
+  t.record("s", 3, 9);
+  EXPECT_EQ(calls, 1);
+  const auto* s = t.samples("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->size(), 2u);
+}
+
 TEST(Trace, ClearDropsSamples) {
   Trace t;
   t.enable(true);
