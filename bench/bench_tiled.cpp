@@ -1,0 +1,205 @@
+/// Tiled L2-resident GEMM pipeline benchmark (cluster/tiled_gemm_runner.hpp):
+/// for problems larger than the TCDM, how much of the DMA streaming time the
+/// double-buffered pipeline hides behind compute, per tile shape.
+///
+/// Each case runs the same problem twice on fresh clusters:
+///  - serial:     load tile, compute, store -- every transfer waited on
+///    (the hand-rolled pre-subsystem schedule);
+///  - overlapped: tile i computes while tile i+1 loads and tile i-1 stores.
+/// Both runs are verified bit-exact against golden_gemm_padded; the bench
+/// exits nonzero if any case mismatches or if the overlapped pipeline fails
+/// to beat the serial schedule (the acceptance criterion of the subsystem).
+///
+/// Reported per case: serial vs pipeline cycles, overlap speedup, overlap
+/// efficiency (compute cycles / total cycles; 1.0 = DMA fully hidden),
+/// MAC/cycle, DMA bytes/cycle and GB/s at the paper's 476 MHz operating
+/// point.
+///
+/// Usage: bench_tiled [--smoke] [--out <path>]
+///   --smoke   tiny problems (CI rot check, not a measurement)
+///   --out     JSON output path (default: BENCH_tiled.json in the CWD;
+///             run from the repo root to refresh the committed file)
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/tiled_gemm_runner.hpp"
+
+using namespace redmule;
+using namespace redmule::bench;
+
+namespace {
+
+struct Case {
+  std::string name;
+  uint32_t m, n, k;
+  unsigned words_per_bank;  ///< TCDM sizing: 16 banks * words * 4 B
+};
+
+std::vector<Case> make_cases(bool smoke) {
+  if (smoke) {
+    return {
+        {"64^3/tcdm16k", 64, 64, 64, 256},
+        {"96^3/tcdm32k", 96, 96, 96, 512},
+    };
+  }
+  return {
+      {"96^3/tcdm32k", 96, 96, 96, 512},
+      {"128^3/tcdm64k", 128, 128, 128, 1024},
+      {"192^3/tcdm128k", 192, 192, 192, 2048},
+      {"256^3/tcdm128k", 256, 256, 256, 2048},
+      {"96x512x96/tcdm64k", 96, 512, 96, 1024},      // reduction-tiled
+      {"320x64x320/tcdm128k", 320, 64, 320, 2048},   // output-tiled
+  };
+}
+
+struct RunOutcome {
+  cluster::TiledGemmStats stats;
+  workloads::TiledGemmPlan plan;
+  bool exact = false;
+};
+
+/// Operands and golden reference, computed once per case (the soft-float
+/// golden model is the expensive part; both schedules verify against it).
+struct CaseInputs {
+  core::MatrixF16 x, w, golden;
+};
+
+CaseInputs make_inputs(const Case& c, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  CaseInputs in;
+  in.x = workloads::random_matrix(c.m, c.n, rng);
+  in.w = workloads::random_matrix(c.n, c.k, rng);
+  in.golden = core::golden_gemm_padded(in.x, in.w, core::Geometry{});
+  return in;
+}
+
+RunOutcome run_case(const Case& c, const CaseInputs& in, bool double_buffer) {
+  cluster::ClusterConfig cfg;
+  cfg.tcdm.words_per_bank = c.words_per_bank;
+  while (static_cast<uint64_t>(cfg.l2.size_bytes) <
+         3ull * 2 * (static_cast<uint64_t>(c.m) * c.n +
+                     static_cast<uint64_t>(c.n) * c.k +
+                     static_cast<uint64_t>(c.m) * c.k))
+    cfg.l2.size_bytes *= 2;
+  cluster::Cluster cl(cfg);
+  cluster::RedmuleDriver drv(cl);
+
+  cluster::TiledGemmOptions opts;
+  opts.double_buffer = double_buffer;
+  cluster::TiledGemmRunner runner(cl, drv, opts);
+  auto res = runner.run(in.x, in.w);
+
+  RunOutcome out;
+  out.stats = res.stats;
+  out.plan = res.plan;
+  out.exact = true;
+  for (uint32_t i = 0; i < c.m && out.exact; ++i)
+    for (uint32_t j = 0; j < c.k; ++j)
+      if (res.z(i, j).bits() != in.golden(i, j).bits()) {
+        out.exact = false;
+        break;
+      }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_tiled.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  print_header("Tiled L2 GEMM pipeline (compute/DMA overlap)",
+               "streaming tiles through the TCDM with double-buffered DMA "
+               "hides most of the transfer time behind RedMulE compute");
+
+  constexpr double kFreqHz = 476e6;  // paper's peak-efficiency operating point
+  JsonBenchWriter json("tiled_gemm");
+  json.add("smoke", smoke ? 1 : 0, "bool");
+
+  TablePrinter table({"Case", "Tiles", "Steps", "Serial cyc", "Pipeline cyc",
+                      "Speedup", "Overlap", "MAC/cyc", "DMA B/cyc", "GB/s"});
+  bool all_exact = true;
+  bool all_overlap = true;
+
+  for (const Case& c : make_cases(smoke)) {
+    const CaseInputs inputs = make_inputs(c, 1);
+    const RunOutcome serial = run_case(c, inputs, /*double_buffer=*/false);
+    const RunOutcome overlap = run_case(c, inputs, /*double_buffer=*/true);
+    if (!serial.exact || !overlap.exact) {
+      std::fprintf(stderr, "FATAL: case %s is not bit-exact vs golden\n",
+                   c.name.c_str());
+      all_exact = false;
+    }
+    if (overlap.stats.total_cycles >= serial.stats.total_cycles) {
+      std::fprintf(stderr,
+                   "FATAL: case %s: pipeline (%llu cycles) did not beat the "
+                   "serial schedule (%llu cycles)\n",
+                   c.name.c_str(),
+                   static_cast<unsigned long long>(overlap.stats.total_cycles),
+                   static_cast<unsigned long long>(serial.stats.total_cycles));
+      all_overlap = false;
+    }
+
+    const auto& p = overlap.plan;
+    const std::string tiles = std::to_string(p.tile_m) + "x" +
+                              std::to_string(p.tile_n) + "x" +
+                              std::to_string(p.tile_k);
+    const double speedup =
+        overlap.stats.total_cycles > 0
+            ? static_cast<double>(serial.stats.total_cycles) /
+                  static_cast<double>(overlap.stats.total_cycles)
+            : 0.0;
+    const double gbps = overlap.stats.dma_bytes_per_cycle() * kFreqHz / 1e9;
+
+    json.add(c.name + ".serial_cycles",
+             static_cast<double>(serial.stats.total_cycles), "cycle");
+    json.add(c.name + ".pipeline_cycles",
+             static_cast<double>(overlap.stats.total_cycles), "cycle");
+    json.add(c.name + ".overlap_speedup", speedup, "x");
+    json.add(c.name + ".overlap_efficiency", overlap.stats.overlap_efficiency(),
+             "frac");
+    json.add(c.name + ".serial_overlap_efficiency",
+             serial.stats.overlap_efficiency(), "frac");
+    json.add(c.name + ".macs_per_cycle", overlap.stats.macs_per_cycle(),
+             "MAC/cycle");
+    json.add(c.name + ".dma_bytes", static_cast<double>(overlap.stats.dma_bytes_in +
+                                                        overlap.stats.dma_bytes_out),
+             "B");
+    json.add(c.name + ".dma_bytes_per_cycle", overlap.stats.dma_bytes_per_cycle(),
+             "B/cycle");
+    json.add(c.name + ".dma_gbps_at_476mhz", gbps, "GB/s");
+    json.add(c.name + ".steps", static_cast<double>(overlap.stats.steps), "jobs");
+    json.add(c.name + ".tile_m", p.tile_m, "rows");
+    json.add(c.name + ".tile_n", p.tile_n, "cols");
+    json.add(c.name + ".tile_k", p.tile_k, "cols");
+
+    table.add_row({c.name, tiles, TablePrinter::fmt_int(overlap.stats.steps),
+                   TablePrinter::fmt_int(serial.stats.total_cycles),
+                   TablePrinter::fmt_int(overlap.stats.total_cycles),
+                   TablePrinter::fmt(speedup, 3),
+                   TablePrinter::fmt(overlap.stats.overlap_efficiency(), 3),
+                   TablePrinter::fmt(overlap.stats.macs_per_cycle(), 2),
+                   TablePrinter::fmt(overlap.stats.dma_bytes_per_cycle(), 2),
+                   TablePrinter::fmt(gbps, 2)});
+  }
+
+  json.add("exactness_ok", all_exact ? 1 : 0, "bool");
+  json.add("overlap_ok", all_overlap ? 1 : 0, "bool");
+  table.print(stdout, smoke ? "smoke run (not a measurement)"
+                            : "serial = every DMA waited on; pipeline = "
+                              "double-buffered loads + stores");
+
+  if (!all_exact || !all_overlap) {
+    std::fprintf(stderr, "FATAL: tiled pipeline acceptance criteria violated\n");
+    return 1;
+  }
+  std::printf("\nall cases bit-exact vs golden; pipeline beat the serial "
+              "schedule everywhere\n");
+  return json.write(out_path) ? 0 : 1;
+}

@@ -20,6 +20,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   mem::DmaConfig dma_cfg;
   dma_cfg.first_log_port = cfg_.n_cores;
   dma_cfg.n_ports = 4;
+  dma_cfg.max_channels = cfg_.dma_channels;
   dma_ = std::make_unique<mem::DmaEngine>(*hci_, *l2_, dma_cfg);
 
   redmule_ = std::make_unique<core::RedmuleEngine>(cfg_.geometry, *hci_);

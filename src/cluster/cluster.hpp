@@ -26,6 +26,7 @@ struct ClusterConfig {
   mem::L2Config l2{};
   unsigned hci_max_stall = 8;         ///< rotation latency of the HCI arbiter
   bool shallow_has_priority = true;
+  unsigned dma_channels = 2;          ///< concurrent DMA transfers (DmaConfig)
 };
 
 /// Owns and wires all cluster components; exposes them for testbenches and

@@ -8,9 +8,13 @@ RedmuleDriver::RedmuleDriver(Cluster& cluster)
     : cluster_(cluster), next_free_(cluster.tcdm().config().base_addr) {}
 
 uint32_t RedmuleDriver::alloc(uint32_t bytes) {
-  const uint32_t addr = round_up(next_free_, 4u);
   const auto& cfg = cluster_.tcdm().config();
-  REDMULE_REQUIRE(addr + bytes <= cfg.base_addr + cfg.size_bytes(),
+  const uint32_t end = cfg.base_addr + cfg.size_bytes();
+  const uint32_t addr = round_up(next_free_, 4u);
+  // All comparisons are wrap-safe: `addr >= next_free_` rejects a round_up
+  // past UINT32_MAX, and the request is checked as `bytes <= end - addr`
+  // instead of `addr + bytes <= end`, which would wrap for huge requests.
+  REDMULE_REQUIRE(addr >= next_free_ && addr <= end && bytes <= end - addr,
                   "TCDM allocator out of memory");
   next_free_ = addr + bytes;
   return addr;
@@ -23,11 +27,17 @@ void RedmuleDriver::free_all() {
 void RedmuleDriver::reset() {
   cluster_.reset();
   free_all();
+  job_pending_ = false;
 }
 
 uint32_t RedmuleDriver::bytes_free() const {
   const auto& cfg = cluster_.tcdm().config();
-  return cfg.base_addr + cfg.size_bytes() - round_up(next_free_, 4u);
+  const uint32_t end = cfg.base_addr + cfg.size_bytes();
+  const uint32_t addr = round_up(next_free_, 4u);
+  // When next_free_ is within alignment distance of the TCDM end, round_up
+  // can land past it; clamp to 0 instead of wrapping to ~4 GiB.
+  if (addr < next_free_ || addr >= end) return 0;
+  return end - addr;
 }
 
 void RedmuleDriver::write_matrix(uint32_t addr, const MatrixF16& m) {
@@ -47,7 +57,8 @@ uint32_t RedmuleDriver::place_matrix(const MatrixF16& m) {
   return addr;
 }
 
-core::JobStats RedmuleDriver::run_job(const core::Job& job) {
+void RedmuleDriver::start_job(const core::Job& job) {
+  REDMULE_REQUIRE(!job_pending_, "a start_job() offload is already in flight");
   auto& rm = cluster_.redmule();
   // Each peripheral register write costs one cluster cycle, as it would for
   // the programming core.
@@ -66,12 +77,25 @@ core::JobStats RedmuleDriver::run_job(const core::Job& job) {
     cluster_.step();
   }
   rm.reg_write(core::kRegTrigger, 0);
+  pending_job_ = job;
+  job_pending_ = true;
+}
 
+core::JobStats RedmuleDriver::wait_job() {
+  REDMULE_REQUIRE(job_pending_, "wait_job() without a pending start_job()");
+  auto& rm = cluster_.redmule();
+  const core::Job& job = pending_job_;
   const uint64_t timeout =
       1000 + job.macs() * 4 + static_cast<uint64_t>(job.m) * job.k * 64;
   const bool ok = cluster_.run_until([&] { return !rm.busy(); }, timeout);
+  job_pending_ = false;
   REDMULE_REQUIRE(ok, "RedMulE job timed out (deadlock?)");
   return rm.last_job_stats();
+}
+
+core::JobStats RedmuleDriver::run_job(const core::Job& job) {
+  start_job(job);
+  return wait_job();
 }
 
 core::JobStats RedmuleDriver::run_gemm(uint32_t x_addr, uint32_t w_addr,

@@ -26,6 +26,15 @@ class RedmuleDriver {
   /// Resets the allocator (does not clear memory contents).
   void free_all();
   uint32_t bytes_free() const;
+  /// Scoped sub-allocation: alloc_mark() snapshots the bump pointer and
+  /// free_to() rewinds to a previous mark (the tiled runner releases its
+  /// tile buffers this way once the result has been read back from L2).
+  uint32_t alloc_mark() const { return next_free_; }
+  void free_to(uint32_t mark) {
+    REDMULE_REQUIRE(mark >= cluster_.tcdm().config().base_addr && mark <= next_free_,
+                    "free_to mark is not a prior allocation point");
+    next_free_ = mark;
+  }
 
   /// Full in-place re-initialization: rewinds the allocator and resets the
   /// whole cluster (Cluster::reset). After this call the pair behaves
@@ -49,6 +58,17 @@ class RedmuleDriver {
   /// Fully general offload (covers the Z = Y + X*W accumulation extension).
   core::JobStats run_job(const core::Job& job);
 
+  /// Non-blocking offload: programs the register file and triggers the job,
+  /// then returns -- the caller keeps stepping the cluster (e.g. to stream
+  /// DMA tiles concurrently) and collects the counters with wait_job().
+  /// This is the primitive the tiled-GEMM pipeline overlaps compute on.
+  void start_job(const core::Job& job);
+  /// Steps the cluster until the job launched by start_job() completes;
+  /// returns its counters. Throws on timeout (deadlock guard).
+  core::JobStats wait_job();
+  /// True while a start_job() offload has not been reaped by wait_job().
+  bool job_pending() const { return job_pending_; }
+
   /// Convenience wrapper: places X and W, runs, reads Z back.
   struct GemmResult {
     MatrixF16 z;
@@ -61,6 +81,8 @@ class RedmuleDriver {
  private:
   Cluster& cluster_;
   uint32_t next_free_;
+  core::Job pending_job_{};   ///< job launched by start_job(), for wait_job()
+  bool job_pending_ = false;
 };
 
 }  // namespace redmule::cluster

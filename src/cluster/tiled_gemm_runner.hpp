@@ -1,0 +1,99 @@
+/// \file tiled_gemm_runner.hpp
+/// \brief Software-pipelined executor for L2-resident tiled GEMMs.
+///
+/// Operands are staged in L2 (padded so every DMA row is a word-multiple),
+/// tile buffers are allocated from the TCDM through RedmuleDriver, and the
+/// plan's tile grid is drained through a three-stage pipeline:
+///
+///     while tile i computes on RedMulE,
+///       tile i+1's X/W slices stream L2 -> TCDM into the ping/pong pair, and
+///       tile i-1's finished Z tile streams TCDM -> L2
+///
+/// all on the same simulated cluster cycle, the DMA beats contending with
+/// the accelerator's streamer on the HCI like in the real cluster. The
+/// reduction dimension accumulates in place through the engine's
+/// Y-accumulation flag (y_ptr == z_ptr: the streamer reads a tile's Y lines
+/// strictly before it stores that tile's Z lines, so chaining partial sums
+/// through one buffer is race-free).
+///
+/// Determinism: the result (Z bits, cycle counts, per-step engine counters)
+/// is a pure function of (inputs, plan, cluster config) -- there is no
+/// wall-clock or thread dependence, so tiled jobs keep the batch runner's
+/// bit-reproducibility contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "workloads/tiled_gemm.hpp"
+
+namespace redmule::cluster {
+
+struct TiledGemmOptions {
+  /// false: strictly serial reference schedule (load, compute, store, with
+  /// every DMA waited on before the next stage) -- the overlap baseline the
+  /// bench compares against.
+  bool double_buffer = true;
+};
+
+struct TiledGemmStats {
+  uint64_t total_cycles = 0;    ///< pipeline start to last Z byte in L2
+  uint64_t compute_cycles = 0;  ///< sum of per-tile-job engine cycles
+  uint64_t dma_wait_cycles = 0; ///< cycles the pipeline idled waiting on DMA
+  uint64_t advance_cycles = 0;  ///< engine counters aggregated over tile jobs
+  uint64_t stall_cycles = 0;
+  uint64_t fma_ops = 0;
+  uint64_t dma_bytes_in = 0;    ///< L2 -> TCDM bytes moved
+  uint64_t dma_bytes_out = 0;   ///< TCDM -> L2 bytes moved
+  uint64_t macs = 0;            ///< useful MACs of the logical problem
+  uint32_t steps = 0;           ///< tile jobs offloaded
+
+  double macs_per_cycle() const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(macs) /
+                                   static_cast<double>(total_cycles);
+  }
+  /// 1.0 = the DMA is fully hidden behind compute (plus offload overhead).
+  double overlap_efficiency() const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(compute_cycles) /
+                                   static_cast<double>(total_cycles);
+  }
+  double dma_bytes_per_cycle() const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(dma_bytes_in + dma_bytes_out) /
+                     static_cast<double>(total_cycles);
+  }
+};
+
+class TiledGemmRunner {
+ public:
+  TiledGemmRunner(Cluster& cluster, RedmuleDriver& driver,
+                  TiledGemmOptions opts = {});
+
+  struct Result {
+    core::MatrixF16 z;
+    TiledGemmStats stats;
+    workloads::TiledGemmPlan plan;
+  };
+
+  /// Plans from the driver's current bytes_free() and runs. \p y, when
+  /// non-null, is the Z = Y + X*W accumulation input.
+  Result run(const MatrixF16& x, const MatrixF16& w,
+             const MatrixF16* y = nullptr);
+
+  /// Runs a caller-supplied plan (tests force specific tile shapes with
+  /// this). The plan must match the padded operand sizes and fit the TCDM.
+  Result run_planned(const MatrixF16& x, const MatrixF16& w, const MatrixF16* y,
+                     const workloads::TiledGemmPlan& plan);
+
+ private:
+  Cluster& cl_;
+  RedmuleDriver& drv_;
+  TiledGemmOptions opts_;
+};
+
+}  // namespace redmule::cluster

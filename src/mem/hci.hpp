@@ -73,6 +73,8 @@ class Hci : public sim::Clocked {
   Hci(Tcdm& tcdm, HciConfig cfg = {});
 
   const HciConfig& config() const { return cfg_; }
+  /// The TCDM behind this interconnect (address-map queries by initiators).
+  const Tcdm& tcdm() const { return tcdm_; }
 
   // --- Initiator side (call during initiator tick) --------------------------
   void post_log(unsigned port, const LogRequest& req);

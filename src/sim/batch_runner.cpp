@@ -4,9 +4,24 @@
 #include <chrono>
 #include <exception>
 
+#include "cluster/tiled_gemm_runner.hpp"
+
 namespace redmule::sim {
 
 namespace {
+
+/// Maps the tiled pipeline's counters onto the per-job JobStats shape the
+/// batch results carry: cycles cover the whole pipeline (DMA included),
+/// advance/stall/fma are the engine counters summed over the tile jobs.
+core::JobStats tiled_job_stats(const cluster::TiledGemmStats& ts) {
+  core::JobStats js;
+  js.cycles = ts.total_cycles;
+  js.advance_cycles = ts.advance_cycles;
+  js.stall_cycles = ts.stall_cycles;
+  js.macs = ts.macs;
+  js.fma_ops = ts.fma_ops;
+  return js;
+}
 
 /// FNV-1a over the row-major FP16 bit patterns.
 uint64_t hash_matrix(const core::MatrixF16& m) {
@@ -23,11 +38,35 @@ uint64_t hash_matrix(const core::MatrixF16& m) {
 /// geometry, banks widened to the geometry's port count and TCDM capacity
 /// grown to the working set. A pure function of (base, job), so every
 /// worker -- and the serial reference path -- derives the identical config.
+///
+/// Tiled jobs keep the base TCDM (large operands streaming through a small
+/// TCDM is the scenario) but need the L2 to hold the staged operands, and a
+/// TCDM floor that fits the smallest aligned tile set double-buffered.
 cluster::ClusterConfig config_for(const cluster::ClusterConfig& base,
                                   const BatchJob& job) {
   cluster::ClusterConfig cfg = base;
   cfg.geometry = job.geometry;
   while (cfg.tcdm.n_banks < cfg.geometry.mem_ports()) cfg.tcdm.n_banks *= 2;
+  if (job.tiled) {
+    const uint32_t mp = job.shape.m;
+    const uint32_t np = job.shape.n + (job.shape.n & 1u);
+    const uint32_t kp = job.shape.k + (job.shape.k & 1u);
+    const workloads::TiledGemmPlan min_plan =
+        workloads::min_tile_plan(mp, np, kp, job.accumulate, cfg.geometry);
+    // TCDM floor: the planner's own smallest aligned tile set must fit
+    // (plus the allocator slack the non-tiled sizing also reserves).
+    while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) <
+           min_plan.tcdm_bytes() + 4096)
+      cfg.tcdm.words_per_bank *= 2;
+    // Grow in 64-bit: doubling the uint32 config field directly would wrap
+    // (and then spin forever) for operands past 2 GiB.
+    uint64_t l2_size = cfg.l2.size_bytes;
+    while (l2_size < min_plan.staged_l2_bytes()) l2_size *= 2;
+    REDMULE_REQUIRE(l2_size <= UINT32_MAX - cfg.l2.base_addr,
+                    "tiled job operands exceed the addressable L2");
+    cfg.l2.size_bytes = static_cast<uint32_t>(l2_size);
+    return cfg;
+  }
   uint64_t need = job.shape.bytes() + 4096;
   if (job.accumulate)
     need += 2ull * job.shape.m * job.shape.k;  // the Y operand
@@ -43,11 +82,14 @@ uint64_t pool_key(const cluster::ClusterConfig& cfg) {
   k = k * 257 + cfg.geometry.p;
   k = k * 8209 + cfg.tcdm.n_banks;
   k = k * 1048583 + cfg.tcdm.words_per_bank;
+  k = k * 16777259 + cfg.l2.size_bytes;
   return k;
 }
 
 /// Generates inputs from the job's seed and runs it on \p cl, which must be
-/// in the freshly-constructed/reset state.
+/// in the freshly-constructed/reset state. Input generation is identical for
+/// the tiled and monolithic paths, so the two produce bit-equal Z for the
+/// same job record modulo the `tiled` flag.
 BatchResult execute(cluster::Cluster& cl, const BatchJob& job, bool keep_outputs) {
   cluster::RedmuleDriver drv(cl);
   Xoshiro256 rng(job.seed);
@@ -56,7 +98,19 @@ BatchResult execute(cluster::Cluster& cl, const BatchJob& job, bool keep_outputs
   cluster::RedmuleDriver::GemmResult g;
   if (job.accumulate) {
     const auto y = workloads::random_matrix(job.shape.m, job.shape.k, rng);
-    g = drv.gemm_acc(x, w, y);
+    if (job.tiled) {
+      cluster::TiledGemmRunner runner(cl, drv);
+      auto r = runner.run(x, w, &y);
+      g.z = std::move(r.z);
+      g.stats = tiled_job_stats(r.stats);
+    } else {
+      g = drv.gemm_acc(x, w, y);
+    }
+  } else if (job.tiled) {
+    cluster::TiledGemmRunner runner(cl, drv);
+    auto r = runner.run(x, w);
+    g.z = std::move(r.z);
+    g.stats = tiled_job_stats(r.stats);
   } else {
     g = drv.gemm(x, w);
   }

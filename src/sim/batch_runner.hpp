@@ -46,11 +46,20 @@ namespace redmule::sim {
 /// One independent offload: a GEMM (optionally with Y-accumulation) of the
 /// given shape on an accelerator of the given geometry, with inputs drawn
 /// from \p seed. Results depend on nothing else.
+///
+/// With \p tiled set, the operands live in L2 and stream through the TCDM
+/// via the double-buffered tiled pipeline (cluster/tiled_gemm_runner.hpp):
+/// the cluster's TCDM is *not* grown to the working set (tiling is the
+/// point), the L2 is grown to the staged operands instead, and the reported
+/// cycle count covers the whole pipeline including DMA. Z bits are identical
+/// to the monolithic path, so tiled and non-tiled jobs of the same
+/// shape/seed hash alike; the determinism contract is unchanged.
 struct BatchJob {
   workloads::GemmShape shape;
   core::Geometry geometry{};  ///< per-job accelerator geometry
   uint64_t seed = 1;          ///< input-generation seed (see split_seed)
   bool accumulate = false;    ///< Z = Y + X*W instead of Z = X*W
+  bool tiled = false;         ///< L2-resident operands, tiled DMA pipeline
 };
 
 /// Per-job outcome. z_hash is an FNV-1a digest over the Z bit patterns so

@@ -29,8 +29,10 @@ struct Conv2dParams {
   uint32_t stride = 1;
   uint32_t pad = 0;
 
-  uint32_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
-  uint32_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Output sizes are computed in 64-bit and validated: a kernel larger than
+  /// the padded input must throw, not wrap to a ~4-billion-element output.
+  uint32_t out_h() const { return out_dim(in_h); }
+  uint32_t out_w() const { return out_dim(in_w); }
   /// GEMM shape after im2col: M = out_channels, N = C*k*k, K = out_h*out_w.
   GemmShape gemm_shape() const {
     return {"conv", out_channels, in_channels * kernel * kernel, out_h() * out_w()};
@@ -38,8 +40,24 @@ struct Conv2dParams {
 
   void validate() const {
     REDMULE_REQUIRE(kernel >= 1 && stride >= 1, "bad conv hyper-parameters");
-    REDMULE_REQUIRE(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
-                    "kernel larger than padded input");
+    // 64-bit on purpose: `in_h + 2 * pad` can itself wrap in uint32, letting
+    // a kernel-larger-than-input config slip through a 32-bit check.
+    const uint64_t ph = in_h + 2ull * pad;
+    const uint64_t pw = in_w + 2ull * pad;
+    REDMULE_REQUIRE(ph >= kernel && pw >= kernel, "kernel larger than padded input");
+    REDMULE_REQUIRE(ph <= kMaxPaddedDim && pw <= kMaxPaddedDim,
+                    "padded input dimension out of range");
+  }
+
+ private:
+  /// Padded dimensions beyond this are certainly misconfigurations and would
+  /// overflow the uint32 out_h*out_w GEMM extent.
+  static constexpr uint64_t kMaxPaddedDim = 1u << 15;
+
+  uint32_t out_dim(uint32_t in) const {
+    validate();
+    const uint64_t padded = in + 2ull * pad;
+    return static_cast<uint32_t>((padded - kernel) / stride + 1);
   }
 };
 

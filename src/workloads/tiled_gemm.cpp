@@ -1,0 +1,115 @@
+#include "workloads/tiled_gemm.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace redmule::workloads {
+
+void TiledGemmPlan::validate() const {
+  REDMULE_REQUIRE(m >= 1 && n >= 1 && k >= 1, "tiled GEMM sizes must be positive");
+  REDMULE_REQUIRE(tile_m >= 1 && tile_n >= 1 && tile_k >= 1,
+                  "tile sizes must be positive");
+  REDMULE_REQUIRE(tile_m <= m && tile_n <= n && tile_k <= k,
+                  "tile sizes must not exceed the problem");
+  REDMULE_REQUIRE((n & 1u) == 0 && (k & 1u) == 0,
+                  "staged n and k must be even (DMA rows are word-multiples)");
+  REDMULE_REQUIRE((tile_n & 1u) == 0 && (tile_k & 1u) == 0,
+                  "tile_n and tile_k must be even (DMA rows are word-multiples)");
+}
+
+namespace {
+
+/// Reduction/output-column tile alignment: j_slots (a multiple of the array
+/// width H, which is what guarantees chain-cutting bit-exactness), doubled
+/// when odd so DMA rows stay word-multiples.
+uint32_t reduction_align(const core::Geometry& g) {
+  uint32_t aj = g.j_slots();
+  if (aj & 1u) aj *= 2;
+  return aj;
+}
+
+/// Aligned candidate tile extents for one dimension: a handful of aligned
+/// fractions of \p dim (plus \p dim itself), largest first. Keeping the list
+/// small bounds the plan search to a few hundred combinations.
+std::vector<uint32_t> candidates(uint32_t dim, uint32_t align) {
+  std::vector<uint32_t> out;
+  auto push = [&](uint32_t v) {
+    v = std::min(v, dim);
+    if (v == 0) return;
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  };
+  push(dim);
+  for (const uint32_t div : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+    const uint32_t target = ceil_div(dim, div);
+    push(round_up(target, align));
+    push(std::max(align, target / align * align));
+  }
+  push(align);
+  std::sort(out.begin(), out.end(), std::greater<uint32_t>());
+  return out;
+}
+
+}  // namespace
+
+TiledGemmPlan plan_tiled_gemm(uint32_t m, uint32_t n, uint32_t k, bool has_y,
+                              uint64_t tcdm_budget_bytes, const core::Geometry& g) {
+  REDMULE_REQUIRE(m >= 1 && n >= 1 && k >= 1, "tiled GEMM sizes must be positive");
+  REDMULE_REQUIRE((n & 1u) == 0 && (k & 1u) == 0,
+                  "plan_tiled_gemm needs even n and k (pad odd operands)");
+
+  // Alignments: Z row tiles to the array height L; reduction and output
+  // column tiles per reduction_align().
+  const uint32_t am = g.l;
+  const uint32_t aj = reduction_align(g);
+
+  TiledGemmPlan best;
+  bool found = false;
+  uint64_t best_traffic = 0;
+  uint64_t best_steps = 0;
+  uint64_t best_size = 0;
+
+  for (const uint32_t tm : candidates(m, am)) {
+    for (const uint32_t tn : candidates(n, aj)) {
+      for (const uint32_t tk : candidates(k, aj)) {
+        TiledGemmPlan p;
+        p.m = m;
+        p.n = n;
+        p.k = k;
+        p.tile_m = tm;
+        p.tile_n = tn;
+        p.tile_k = tk;
+        p.has_y = has_y;
+        if (p.tcdm_bytes() > tcdm_budget_bytes) continue;
+        const uint64_t traffic = p.dma_bytes();
+        const uint64_t steps = p.steps();
+        const uint64_t size =
+            static_cast<uint64_t>(tm) * tn * tk;  // larger tiles tie-break
+        if (!found || traffic < best_traffic ||
+            (traffic == best_traffic &&
+             (steps < best_steps || (steps == best_steps && size > best_size)))) {
+          best = p;
+          found = true;
+          best_traffic = traffic;
+          best_steps = steps;
+          best_size = size;
+        }
+      }
+    }
+  }
+  if (!found)
+    throw Error("TCDM budget too small for any tile of this GEMM (need at least " +
+                std::to_string(min_tile_plan(m, n, k, has_y, g).tcdm_bytes()) +
+                " bytes)");
+  best.validate();
+  return best;
+}
+
+TiledGemmPlan min_tile_plan(uint32_t m, uint32_t n, uint32_t k, bool has_y,
+                            const core::Geometry& g) {
+  const uint32_t aj = reduction_align(g);
+  return TiledGemmPlan{m, n, k, std::min(m, g.l), std::min(n, aj),
+                       std::min(k, aj), has_y};
+}
+
+}  // namespace redmule::workloads

@@ -29,6 +29,34 @@ TEST(Driver, AllocatorExhaustionThrows) {
   EXPECT_THROW(drv.alloc(64), redmule::Error);
 }
 
+TEST(Driver, AllocatorRejectsWrappingRequests) {
+  // Regression: a huge request must throw, not wrap addr + bytes past
+  // UINT32_MAX and "succeed" with a bogus address.
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  EXPECT_THROW(drv.alloc(0xFFFFFFFCu), redmule::Error);
+  EXPECT_THROW(drv.alloc(0xFFFFFFFFu), redmule::Error);
+  // The failed attempts must not have moved the allocator.
+  EXPECT_EQ(drv.alloc(4), cl.tcdm().config().base_addr);
+}
+
+TEST(Driver, BytesFreeNeverUnderflows) {
+  // Regression: with the allocator within alignment distance of the TCDM
+  // end, bytes_free() must clamp to 0 instead of wrapping to ~4 GiB.
+  Cluster cl;
+  RedmuleDriver drv(cl);
+  const uint32_t size = cl.tcdm().config().size_bytes();
+  drv.alloc(size - 2);  // next_free_ = end - 2; round_up lands on end
+  EXPECT_EQ(drv.bytes_free(), 0u);
+  EXPECT_THROW(drv.alloc(4), redmule::Error);
+  drv.free_all();
+  drv.alloc(size);
+  EXPECT_EQ(drv.bytes_free(), 0u);
+  // bytes_free() is always bounded by the TCDM capacity.
+  drv.free_all();
+  EXPECT_EQ(drv.bytes_free(), size);
+}
+
 TEST(Driver, MatrixRoundTrip) {
   Cluster cl;
   RedmuleDriver drv(cl);

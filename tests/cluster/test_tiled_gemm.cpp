@@ -1,0 +1,249 @@
+/// The L2-resident tiled GEMM pipeline: planner feasibility, and the
+/// bit-exactness contract -- tiled Z output identical to the monolithic
+/// RedmuleDriver::gemm and to golden_gemm_padded for every tile-size/shape
+/// combination, including K-tiled (reduction) accumulation and the user-Y
+/// accumulate extension, with and without double-buffering.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "cluster/tiled_gemm_runner.hpp"
+#include "core/golden.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/tiled_gemm.hpp"
+
+namespace redmule::cluster {
+namespace {
+
+using workloads::plan_tiled_gemm;
+using workloads::random_matrix;
+using workloads::TiledGemmPlan;
+
+ClusterConfig small_tcdm_config(unsigned words_per_bank = 256) {
+  ClusterConfig cfg;
+  cfg.tcdm.words_per_bank = words_per_bank;  // 16 banks * 256 words = 16 KiB
+  return cfg;
+}
+
+void expect_bit_exact(const core::MatrixF16& z, const core::MatrixF16& ref,
+                      const std::string& what) {
+  ASSERT_EQ(z.rows(), ref.rows());
+  ASSERT_EQ(z.cols(), ref.cols());
+  for (size_t i = 0; i < z.rows(); ++i)
+    for (size_t j = 0; j < z.cols(); ++j)
+      ASSERT_EQ(z(i, j).bits(), ref(i, j).bits())
+          << what << " mismatch at (" << i << "," << j << ")";
+}
+
+// --- Planner ---------------------------------------------------------------
+
+TEST(TiledGemmPlan, RespectsBudgetAndAlignment) {
+  const core::Geometry g{4, 8, 3};
+  for (const uint64_t budget : {4096ull, 16384ull, 65536ull}) {
+    const TiledGemmPlan p = plan_tiled_gemm(128, 128, 128, false, budget, g);
+    EXPECT_LE(p.tcdm_bytes(), budget);
+    EXPECT_EQ(p.tile_n % g.h, 0u) << "bit-exactness alignment";
+    EXPECT_EQ(p.tile_n % 2, 0u);
+    EXPECT_EQ(p.tile_k % 2, 0u);
+    p.validate();
+  }
+}
+
+TEST(TiledGemmPlan, SingleTileWhenProblemFits) {
+  const core::Geometry g{4, 8, 3};
+  // 32x32x32 = 6 KiB of operands in a 64 KiB budget: one tile, no streaming
+  // buffers doubled.
+  const TiledGemmPlan p = plan_tiled_gemm(32, 32, 32, false, 65536, g);
+  EXPECT_EQ(p.steps(), 1u);
+  EXPECT_EQ(p.x_buffers(), 1u);
+  EXPECT_EQ(p.w_buffers(), 1u);
+  EXPECT_EQ(p.z_buffers(), 1u);
+}
+
+TEST(TiledGemmPlan, ThrowsWhenBudgetTooSmall) {
+  const core::Geometry g{4, 8, 3};
+  EXPECT_THROW(plan_tiled_gemm(128, 128, 128, false, 512, g), redmule::Error);
+}
+
+TEST(TiledGemmPlan, AccountsForYOperand) {
+  const core::Geometry g{4, 8, 3};
+  const TiledGemmPlan p = plan_tiled_gemm(64, 64, 64, true, 16384, g);
+  EXPECT_TRUE(p.has_y);
+  EXPECT_GT(p.dma_bytes(), plan_tiled_gemm(64, 64, 64, false, 16384, g).dma_bytes());
+}
+
+// --- Bit-exactness sweep ---------------------------------------------------
+
+struct SweepCase {
+  uint32_t m, n, k;
+  uint32_t tile_m, tile_n, tile_k;  ///< 0 = auto-plan from bytes_free()
+};
+
+void run_sweep_case(const SweepCase& c, bool with_y, bool double_buffer) {
+  ClusterConfig cfg = small_tcdm_config();
+  Cluster cl(cfg);
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(100 + c.m + c.n + c.k + c.tile_m);
+  const auto x = random_matrix(c.m, c.n, rng);
+  const auto w = random_matrix(c.n, c.k, rng);
+  const auto y = random_matrix(c.m, c.k, rng);
+
+  TiledGemmOptions opts;
+  opts.double_buffer = double_buffer;
+  TiledGemmRunner runner(cl, drv, opts);
+  TiledGemmRunner::Result res;
+  if (c.tile_m == 0) {
+    res = runner.run(x, w, with_y ? &y : nullptr);
+  } else {
+    TiledGemmPlan plan;
+    plan.m = c.m;
+    plan.n = c.n + (c.n & 1u);
+    plan.k = c.k + (c.k & 1u);
+    plan.tile_m = c.tile_m;
+    plan.tile_n = c.tile_n;
+    plan.tile_k = c.tile_k;
+    plan.has_y = with_y;
+    res = runner.run_planned(x, w, with_y ? &y : nullptr, plan);
+  }
+
+  const auto golden =
+      core::golden_gemm_padded(x, w, cl.config().geometry, with_y ? &y : nullptr);
+  expect_bit_exact(res.z, golden,
+                   "tiled vs golden (" + std::to_string(c.m) + "x" +
+                       std::to_string(c.n) + "x" + std::to_string(c.k) + " tiles " +
+                       std::to_string(res.plan.tile_m) + "/" +
+                       std::to_string(res.plan.tile_n) + "/" +
+                       std::to_string(res.plan.tile_k) + ")");
+
+  // Monolithic reference on a TCDM big enough for the whole problem.
+  ClusterConfig big;
+  while (big.tcdm.size_bytes() <
+         2ull * (c.m * c.n + c.n * c.k + 2ull * c.m * c.k) + 4096)
+    big.tcdm.words_per_bank *= 2;
+  Cluster mono(big);
+  RedmuleDriver mono_drv(mono);
+  const auto mono_res = with_y ? mono_drv.gemm_acc(x, w, y) : mono_drv.gemm(x, w);
+  expect_bit_exact(res.z, mono_res.z, "tiled vs monolithic");
+}
+
+TEST(TiledGemm, AutoPlannedShapes) {
+  // 16 KiB TCDM forces genuine tiling for all of these.
+  for (const SweepCase c : {SweepCase{64, 128, 96, 0, 0, 0},
+                            SweepCase{96, 96, 96, 0, 0, 0},
+                            SweepCase{128, 32, 128, 0, 0, 0},
+                            SweepCase{17, 16, 64, 0, 0, 0}}) {
+    run_sweep_case(c, false, true);
+  }
+}
+
+TEST(TiledGemm, ForcedTileSizes) {
+  // Forced tile grids covering M-, K(out)- and N(reduction)-tiling,
+  // including ragged edges in every dimension.
+  for (const SweepCase c : {SweepCase{64, 64, 64, 8, 16, 16},
+                            SweepCase{64, 64, 64, 16, 32, 16},
+                            SweepCase{40, 48, 56, 24, 16, 32},
+                            SweepCase{33, 48, 62, 16, 16, 16},
+                            SweepCase{64, 80, 64, 64, 16, 64}}) {
+    run_sweep_case(c, false, true);
+  }
+}
+
+TEST(TiledGemm, OddShapesArePaddedForDma) {
+  // Odd n/k exercise the L2 staging pad; results must still be bit-exact.
+  for (const SweepCase c : {SweepCase{33, 47, 29, 0, 0, 0},
+                            SweepCase{16, 33, 31, 16, 16, 16}}) {
+    run_sweep_case(c, false, true);
+  }
+}
+
+TEST(TiledGemm, ReductionTilingAccumulatesBitExactly) {
+  // tile_n < n: partial Z chained in place through the Y-accumulation flag.
+  run_sweep_case(SweepCase{32, 128, 32, 32, 16, 32}, false, true);
+  run_sweep_case(SweepCase{16, 96, 16, 16, 32, 16}, false, true);
+}
+
+TEST(TiledGemm, UserYAccumulation) {
+  run_sweep_case(SweepCase{48, 64, 48, 16, 16, 16}, true, true);
+  run_sweep_case(SweepCase{33, 40, 30, 0, 0, 0}, true, true);
+}
+
+TEST(TiledGemm, SerialScheduleMatchesToo) {
+  run_sweep_case(SweepCase{64, 64, 64, 16, 32, 16}, false, false);
+  run_sweep_case(SweepCase{48, 64, 48, 16, 16, 16}, true, false);
+}
+
+TEST(TiledGemm, RejectsReductionCutOffTheArrayWidth) {
+  // tile_n = 2 with H = 4 would insert mid-chain padding FMAs at every cut
+  // and break the bit-exactness guarantee; run_planned must reject it.
+  Cluster cl(small_tcdm_config());
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(9);
+  const auto x = random_matrix(8, 8, rng);
+  const auto w = random_matrix(8, 8, rng);
+  TiledGemmPlan plan;
+  plan.m = plan.n = plan.k = 8;
+  plan.tile_m = 8;
+  plan.tile_n = 2;  // even (DMA-legal) but not a multiple of H = 4
+  plan.tile_k = 8;
+  TiledGemmRunner runner(cl, drv);
+  EXPECT_THROW(runner.run_planned(x, w, nullptr, plan), redmule::Error);
+}
+
+TEST(TiledGemm, OverlapBeatsSerial) {
+  // The whole point: the double-buffered pipeline must finish in fewer
+  // simulated cycles than the serial load-compute-store schedule.
+  auto run_mode = [&](bool db) {
+    Cluster cl(small_tcdm_config());
+    RedmuleDriver drv(cl);
+    Xoshiro256 rng(7);
+    const auto x = random_matrix(96, 96, rng);
+    const auto w = random_matrix(96, 96, rng);
+    TiledGemmOptions opts;
+    opts.double_buffer = db;
+    TiledGemmRunner runner(cl, drv, opts);
+    return runner.run(x, w).stats;
+  };
+  const TiledGemmStats serial = run_mode(false);
+  const TiledGemmStats overlapped = run_mode(true);
+  EXPECT_LT(overlapped.total_cycles, serial.total_cycles);
+  EXPECT_GT(overlapped.overlap_efficiency(), serial.overlap_efficiency());
+}
+
+TEST(TiledGemm, RunnerReleasesItsTcdmBuffers) {
+  // Tile buffers are dead once Z is read back from L2; a second run on the
+  // same runner must replan from the full budget and stay bit-exact.
+  Cluster cl(small_tcdm_config());
+  RedmuleDriver drv(cl);
+  const uint32_t free_before = drv.bytes_free();
+  Xoshiro256 rng(11);
+  const auto x = random_matrix(64, 64, rng);
+  const auto w = random_matrix(64, 64, rng);
+  TiledGemmRunner runner(cl, drv);
+  const auto first = runner.run(x, w);
+  EXPECT_EQ(drv.bytes_free(), free_before);
+  const auto second = runner.run(x, w);
+  EXPECT_EQ(second.plan.tile_m, first.plan.tile_m);
+  EXPECT_EQ(second.plan.tile_n, first.plan.tile_n);
+  EXPECT_EQ(second.plan.tile_k, first.plan.tile_k);
+  expect_bit_exact(second.z, first.z, "second run");
+}
+
+TEST(TiledGemm, StatsAreConsistent) {
+  Cluster cl(small_tcdm_config());
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(8);
+  const auto x = random_matrix(64, 64, rng);
+  const auto w = random_matrix(64, 64, rng);
+  TiledGemmRunner runner(cl, drv);
+  const auto res = runner.run(x, w);
+  EXPECT_EQ(res.stats.steps, res.plan.steps());
+  EXPECT_EQ(res.stats.macs, 64ull * 64 * 64);
+  EXPECT_GT(res.stats.compute_cycles, 0u);
+  EXPECT_LE(res.stats.compute_cycles, res.stats.total_cycles);
+  // Every staged byte the schedule promises actually moved over the DMA.
+  EXPECT_EQ(res.stats.dma_bytes_in + res.stats.dma_bytes_out,
+            res.plan.dma_bytes());
+}
+
+}  // namespace
+}  // namespace redmule::cluster

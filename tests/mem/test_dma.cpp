@@ -13,15 +13,21 @@ struct DmaBench {
   Tcdm tcdm;
   Hci hci{tcdm, {}};
   L2Memory l2;
-  DmaEngine dma{hci, l2, {}};
+  DmaEngine dma;
   sim::Simulator sim;
 
-  DmaBench() {
+  explicit DmaBench(DmaConfig cfg = {}) : dma(hci, l2, cfg) {
     sim.add(&dma);
     sim.add(&hci);
   }
   uint32_t tcdm_base() const { return tcdm.config().base_addr; }
   uint32_t l2_base() const { return l2.config().base_addr; }
+
+  uint64_t run_to_done(uint64_t id, uint64_t max = 100000) {
+    const uint64_t start = sim.cycle();
+    EXPECT_TRUE(sim.run_until([&] { return dma.done(id); }, max));
+    return sim.cycle() - start;
+  }
 };
 
 TEST(Dma, L2ToTcdmTransfer) {
@@ -107,6 +113,167 @@ TEST(Dma, RejectsBadArguments) {
   EXPECT_THROW(tb.dma.submit(t), redmule::Error);
   t.len_bytes = 0;
   EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+}
+
+TEST(Dma, BackToBackTransfersLoseNoCycle) {
+  // A completed transfer's channel is backfilled in the same tick it drains:
+  // with a single channel, two queued transfers take exactly twice one
+  // transfer's cycles -- no dead cycle in between.
+  DmaConfig cfg;
+  cfg.max_channels = 1;
+  const uint32_t len = 256;
+  std::vector<uint8_t> data(2 * len, 0x5A);
+
+  uint64_t one_transfer = 0;
+  {
+    DmaBench tb(cfg);
+    tb.l2.write(tb.l2_base(), data.data(), len);
+    one_transfer = tb.run_to_done(
+        tb.dma.submit({tb.l2_base(), tb.tcdm_base(), len, DmaDirection::kL2ToTcdm}));
+  }
+  DmaBench tb(cfg);
+  tb.l2.write(tb.l2_base(), data.data(), data.size());
+  (void)tb.dma.submit({tb.l2_base(), tb.tcdm_base(), len, DmaDirection::kL2ToTcdm});
+  const uint64_t id2 = tb.dma.submit(
+      {tb.l2_base() + len, tb.tcdm_base() + len, len, DmaDirection::kL2ToTcdm});
+  // Exactly one tick is shared: the tick that retires transfer 1 also
+  // activates transfer 2 (and starts its latency countdown), so the pair
+  // costs one cycle less than two isolated transfers -- and two more than
+  // the pre-fix engine, which burned a dead cycle between them.
+  EXPECT_EQ(tb.run_to_done(id2), 2 * one_transfer - 1);
+}
+
+TEST(Dma, ConcurrentChannelsHideAccessLatency) {
+  // With two channels the second transfer's L2 burst-setup latency counts
+  // down while the first one streams, so two transfers finish faster than
+  // twice one transfer (but data beats still serialize on L2 bandwidth).
+  const uint32_t len = 256;
+  std::vector<uint8_t> data(2 * len, 0xC3);
+
+  uint64_t one_transfer = 0;
+  {
+    DmaBench tb;
+    tb.l2.write(tb.l2_base(), data.data(), len);
+    one_transfer = tb.run_to_done(
+        tb.dma.submit({tb.l2_base(), tb.tcdm_base(), len, DmaDirection::kL2ToTcdm}));
+  }
+  DmaBench tb;  // default config: max_channels = 2
+  tb.l2.write(tb.l2_base(), data.data(), data.size());
+  const uint64_t id1 =
+      tb.dma.submit({tb.l2_base(), tb.tcdm_base(), len, DmaDirection::kL2ToTcdm});
+  const uint64_t id2 = tb.dma.submit(
+      {tb.l2_base() + len, tb.tcdm_base() + len, len, DmaDirection::kL2ToTcdm});
+  const uint64_t both = tb.run_to_done(id2);
+  EXPECT_TRUE(tb.dma.done(id1));
+  EXPECT_LT(both, 2 * one_transfer);
+  EXPECT_GE(both, 2 * (one_transfer - tb.l2.config().access_latency));
+
+  std::vector<uint8_t> got(2 * len);
+  tb.tcdm.backdoor_read(tb.tcdm_base(), got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST(Dma, Strided2dTransferMovesAMatrixTile) {
+  // Gather a 4-row x 8-byte tile out of a 32-byte-stride row-major matrix in
+  // L2, pack it contiguously in TCDM, then scatter it back elsewhere in L2.
+  DmaBench tb;
+  std::vector<uint8_t> mat(4 * 32);
+  for (size_t i = 0; i < mat.size(); ++i) mat[i] = static_cast<uint8_t>(i);
+  tb.l2.write(tb.l2_base(), mat.data(), mat.size());
+
+  DmaTransfer in;
+  in.l2_addr = tb.l2_base() + 8;  // tile starts at column byte 8
+  in.tcdm_addr = tb.tcdm_base();
+  in.len_bytes = 8;
+  in.n_rows = 4;
+  in.l2_stride = 32;
+  in.dir = DmaDirection::kL2ToTcdm;
+  tb.run_to_done(tb.dma.submit(in));
+
+  std::vector<uint8_t> tile(32);
+  tb.tcdm.backdoor_read(tb.tcdm_base(), tile.data(), tile.size());
+  for (unsigned r = 0; r < 4; ++r)
+    for (unsigned b = 0; b < 8; ++b)
+      ASSERT_EQ(tile[r * 8 + b], mat[r * 32 + 8 + b]) << "row " << r << " byte " << b;
+
+  DmaTransfer out;
+  out.l2_addr = tb.l2_base() + 0x2000;
+  out.tcdm_addr = tb.tcdm_base();
+  out.len_bytes = 8;
+  out.n_rows = 4;
+  out.l2_stride = 16;  // different destination pitch
+  out.dir = DmaDirection::kTcdmToL2;
+  tb.run_to_done(tb.dma.submit(out));
+  std::vector<uint8_t> back(8);
+  for (unsigned r = 0; r < 4; ++r) {
+    tb.l2.read(tb.l2_base() + 0x2000 + r * 16, back.data(), 8);
+    for (unsigned b = 0; b < 8; ++b) ASSERT_EQ(back[b], mat[r * 32 + 8 + b]);
+  }
+}
+
+TEST(Dma, QueueCountsActiveAndQueued) {
+  DmaConfig cfg;
+  cfg.max_outstanding = 4;
+  DmaBench tb(cfg);
+  std::vector<uint8_t> data(64, 1);
+  tb.l2.write(tb.l2_base(), data.data(), data.size());
+  std::vector<uint64_t> ids;
+  for (unsigned i = 0; i < 4; ++i)
+    ids.push_back(tb.dma.submit(
+        {tb.l2_base(), tb.tcdm_base() + 64 * i, 64, DmaDirection::kL2ToTcdm}));
+  EXPECT_THROW(
+      tb.dma.submit({tb.l2_base(), tb.tcdm_base(), 64, DmaDirection::kL2ToTcdm}),
+      redmule::Error);
+  tb.run_to_done(ids.back());
+  for (const uint64_t id : ids) EXPECT_TRUE(tb.dma.done(id));
+  // Drained queue accepts submissions again.
+  EXPECT_NO_THROW(
+      tb.dma.submit({tb.l2_base(), tb.tcdm_base(), 64, DmaDirection::kL2ToTcdm}));
+}
+
+TEST(Dma, RejectsBad2dArguments) {
+  DmaBench tb;
+  DmaTransfer t;
+  t.l2_addr = tb.l2_base();
+  t.tcdm_addr = tb.tcdm_base();
+  t.len_bytes = 8;
+  t.n_rows = 4;
+  t.l2_stride = 4;  // stride smaller than the row
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  t.l2_stride = 8;
+  t.tcdm_stride = 10;  // not word-aligned
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  t.tcdm_stride = 0;
+  t.n_rows = 0;
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  // Last row out of L2 range.
+  t.n_rows = 4;
+  t.l2_addr = tb.l2_base() + tb.l2.config().size_bytes - 16;
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  // Span so large that addr + span wraps uint32: must still throw (the
+  // range check is 64-bit), not pass and fault mid-simulation.
+  t.l2_addr = tb.l2_base();
+  t.l2_stride = 0xE4000000u;
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  t.l2_stride = 8;
+  // TCDM side out of range: validated at submit, not aborted at access.
+  t.tcdm_addr = tb.tcdm_base() + tb.tcdm.config().size_bytes() - 4;
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+  t.tcdm_addr = tb.tcdm_base();
+  t.tcdm_stride = 0xE4000000u & ~3u;
+  EXPECT_THROW(tb.dma.submit(t), redmule::Error);
+}
+
+TEST(Dma, ByteCountersTrackBothDirections) {
+  DmaBench tb;
+  std::vector<uint8_t> data(128, 0xEE);
+  tb.l2.write(tb.l2_base(), data.data(), data.size());
+  tb.run_to_done(
+      tb.dma.submit({tb.l2_base(), tb.tcdm_base(), 128, DmaDirection::kL2ToTcdm}));
+  tb.run_to_done(tb.dma.submit(
+      {tb.l2_base() + 0x1000, tb.tcdm_base(), 64, DmaDirection::kTcdmToL2}));
+  EXPECT_EQ(tb.dma.bytes_in(), 128u);
+  EXPECT_EQ(tb.dma.bytes_out(), 64u);
 }
 
 TEST(L2, ReadWriteAndBounds) {

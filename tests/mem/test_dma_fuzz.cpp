@@ -1,0 +1,160 @@
+/// Fuzz: concurrent multi-channel DMA traffic against active RedMulE
+/// streamer traffic on the shared HCI ports. The accelerator's shallow-
+/// branch accesses (which hold arbitration priority) force DMA beats onto
+/// the retry/re-port path, so this exercises grant loss, port reassignment
+/// and out-of-order channel completion -- asserting byte-exact L2<->TCDM
+/// contents for every transfer, a bit-exact GEMM result, and port indices
+/// staying inside the DMA's window (REDMULE_ASSERT inside the engine).
+///
+/// Rounds are deterministic per seed; REDMULE_DMA_FUZZ_ROUNDS scales the
+/// round count (CI's TSan job runs more).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "core/golden.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::mem {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::RedmuleDriver;
+
+unsigned fuzz_rounds(unsigned dflt) {
+  const char* env = std::getenv("REDMULE_DMA_FUZZ_ROUNDS");
+  if (env == nullptr) return dflt;
+  const int v = std::atoi(env);
+  return v > 0 ? static_cast<unsigned>(v) : dflt;
+}
+
+struct FuzzTransfer {
+  DmaTransfer t;
+  uint64_t id = 0;
+};
+
+/// One round: a GEMM job streams on the shallow branch while a random set of
+/// DMA transfers (1-D and 2-D, both directions, disjoint scratch regions)
+/// drains on the log branch. Expected memory images are tracked in shadow
+/// buffers; transfers never overlap each other, so the final contents are
+/// independent of beat interleaving.
+void fuzz_round(uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.dma_channels = 1 + seed % 3;  // 1..3 concurrent channels
+  cfg.hci_max_stall = 1 + seed % 8;
+  Cluster cl(cfg);
+  RedmuleDriver drv(cl);
+  Xoshiro256 rng(seed);
+
+  // The GEMM occupying the streamer (and the low TCDM addresses).
+  const uint32_t gm = 16 + static_cast<uint32_t>(rng.next_below(17));
+  const uint32_t gn = 8 + static_cast<uint32_t>(rng.next_below(25));
+  const uint32_t gk = 8 + static_cast<uint32_t>(rng.next_below(25));
+  const auto x = workloads::random_matrix(gm, gn, rng);
+  const auto w = workloads::random_matrix(gn, gk, rng);
+  const uint32_t xa = drv.place_matrix(x);
+  const uint32_t wa = drv.place_matrix(w);
+  const uint32_t za = drv.alloc(gm * gk * 2);
+
+  // DMA scratch: a dedicated TCDM window above the GEMM operands, carved
+  // into disjoint per-transfer slots, mirrored against an L2 window.
+  const uint32_t tcdm_scratch = drv.alloc(16 * 1024);
+  const uint32_t l2_base = cl.l2().config().base_addr;
+
+  // Shadow images of the fuzzed windows.
+  std::vector<uint8_t> l2_shadow(32 * 1024);
+  for (auto& b : l2_shadow) b = static_cast<uint8_t>(rng.next_u64());
+  cl.l2().write(l2_base, l2_shadow.data(), static_cast<uint32_t>(l2_shadow.size()));
+  std::vector<uint8_t> tcdm_shadow(16 * 1024);
+  for (auto& b : tcdm_shadow) b = static_cast<uint8_t>(rng.next_u64());
+  cl.tcdm().backdoor_write(tcdm_scratch, tcdm_shadow.data(),
+                           static_cast<uint32_t>(tcdm_shadow.size()));
+
+  // Build disjoint transfers: slot i uses TCDM bytes [i*1024, i*1024 + span)
+  // and L2 bytes [i*2048, ...), so final contents are order-independent.
+  const unsigned n_transfers = 4 + static_cast<unsigned>(rng.next_below(12));
+  std::vector<FuzzTransfer> transfers;
+  for (unsigned i = 0; i < n_transfers && i < 16; ++i) {
+    FuzzTransfer ft;
+    const bool two_d = rng.next_bool();
+    const uint32_t rows = two_d ? 2 + static_cast<uint32_t>(rng.next_below(6)) : 1;
+    const uint32_t len =
+        4 * (1 + static_cast<uint32_t>(rng.next_below(two_d ? 24 : 128)));
+    const uint32_t l2_stride =
+        two_d ? len + 4 * static_cast<uint32_t>(rng.next_below(8)) : 0;
+    const uint32_t tcdm_stride =
+        two_d ? len + 4 * static_cast<uint32_t>(rng.next_below(4)) : 0;
+    const uint32_t l2_span = (rows - 1) * (l2_stride ? l2_stride : len) + len;
+    const uint32_t tcdm_span = (rows - 1) * (tcdm_stride ? tcdm_stride : len) + len;
+    if (l2_span > 2048 || tcdm_span > 1024) continue;  // keep slots disjoint
+    ft.t.l2_addr = l2_base + i * 2048;
+    ft.t.tcdm_addr = tcdm_scratch + i * 1024;
+    ft.t.len_bytes = len;
+    ft.t.n_rows = rows;
+    ft.t.l2_stride = l2_stride;
+    ft.t.tcdm_stride = tcdm_stride;
+    ft.t.dir =
+        rng.next_bool() ? DmaDirection::kL2ToTcdm : DmaDirection::kTcdmToL2;
+    transfers.push_back(ft);
+    // Apply the expected effect to the shadows.
+    for (uint32_t r = 0; r < rows; ++r) {
+      const size_t l2_off = i * 2048 + r * (l2_stride ? l2_stride : len);
+      const size_t tc_off = i * 1024 + r * (tcdm_stride ? tcdm_stride : len);
+      for (uint32_t b = 0; b < len; ++b) {
+        if (ft.t.dir == DmaDirection::kL2ToTcdm)
+          tcdm_shadow[tc_off + b] = l2_shadow[l2_off + b];
+        else
+          l2_shadow[l2_off + b] = tcdm_shadow[tc_off + b];
+      }
+    }
+  }
+  ASSERT_FALSE(transfers.empty());
+
+  // Launch the GEMM, then drip-feed the transfers while it runs (one every
+  // few cycles) so DMA beats contend with live shallow traffic.
+  drv.start_job({xa, wa, za, 0, gm, gn, gk, false});
+  size_t submitted = 0;
+  uint64_t guard = 0;
+  while ((submitted < transfers.size() || !cl.dma().idle() ||
+          cl.redmule().busy()) &&
+         guard++ < 2'000'000) {
+    if (submitted < transfers.size() && guard % 5 == 0) {
+      transfers[submitted].id = cl.dma().submit(transfers[submitted].t);
+      ++submitted;
+    }
+    cl.step();
+  }
+  ASSERT_FALSE(cl.redmule().busy()) << "GEMM did not finish (seed " << seed << ")";
+  ASSERT_TRUE(cl.dma().idle());
+  for (const FuzzTransfer& ft : transfers)
+    ASSERT_TRUE(cl.dma().done(ft.id));
+
+  // Byte-exact memory contents on both sides.
+  std::vector<uint8_t> got_l2(l2_shadow.size());
+  cl.l2().read(l2_base, got_l2.data(), static_cast<uint32_t>(got_l2.size()));
+  ASSERT_EQ(got_l2, l2_shadow) << "L2 corrupted (seed " << seed << ")";
+  std::vector<uint8_t> got_tcdm(tcdm_shadow.size());
+  cl.tcdm().backdoor_read(tcdm_scratch, got_tcdm.data(),
+                          static_cast<uint32_t>(got_tcdm.size()));
+  ASSERT_EQ(got_tcdm, tcdm_shadow) << "TCDM corrupted (seed " << seed << ")";
+
+  // The accelerator's job must be untouched by the DMA traffic.
+  const auto z = drv.read_matrix(za, gm, gk);
+  const auto golden = core::golden_gemm_padded(x, w, cl.config().geometry);
+  for (uint32_t i = 0; i < gm; ++i)
+    for (uint32_t j = 0; j < gk; ++j)
+      ASSERT_EQ(z(i, j).bits(), golden(i, j).bits())
+          << "GEMM corrupted at (" << i << "," << j << "), seed " << seed;
+}
+
+TEST(DmaFuzz, ConcurrentTransfersUnderStreamerContention) {
+  const unsigned rounds = fuzz_rounds(12);
+  for (unsigned r = 0; r < rounds; ++r) fuzz_round(split_seed(0xD3A, r));
+}
+
+}  // namespace
+}  // namespace redmule::mem

@@ -162,6 +162,70 @@ TEST(BatchRunner, SplitSeedIsPureAndSpreads) {
   EXPECT_EQ(same, 0u);
 }
 
+TEST(BatchRunner, TiledJobsMatchMonolithicAndStayDeterministic) {
+  // Tiled jobs stream L2-resident operands through a small TCDM: their Z
+  // bits must equal the monolithic run of the same (shape, seed) job, and
+  // the usual thread/reuse invariances must hold.
+  std::vector<BatchJob> tiled;
+  const std::vector<std::tuple<workloads::GemmShape, bool>> specs = {
+      {{"96x96x96", 96, 96, 96}, false},
+      {{"64x128x96", 64, 128, 96}, false},
+      {{"48x64x48", 48, 64, 48}, true},
+      {{"33x47x29", 33, 47, 29}, false},
+  };
+  cluster::ClusterConfig small_base;
+  small_base.tcdm.words_per_bank = 256;  // 16 KiB TCDM forces real tiling
+  for (size_t i = 0; i < specs.size(); ++i) {
+    BatchJob j;
+    j.shape = std::get<0>(specs[i]);
+    j.accumulate = std::get<1>(specs[i]);
+    j.seed = split_seed(21, i);
+    j.tiled = true;
+    tiled.push_back(j);
+  }
+
+  BatchConfig cfg;
+  cfg.n_threads = 1;
+  cfg.keep_outputs = true;
+  cfg.base = small_base;
+  BatchRunner serial(cfg);
+  const auto ref = serial.run(tiled);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_TRUE(ref[i].ok) << ref[i].error;
+    // Same job, monolithic: default base grows the TCDM to fit everything.
+    BatchJob mono = tiled[i];
+    mono.tiled = false;
+    const BatchResult mr = BatchRunner::run_one(mono);
+    ASSERT_TRUE(mr.ok) << mr.error;
+    expect_same_z(ref[i].z, mr.z, i);
+    EXPECT_EQ(ref[i].z_hash, mr.z_hash) << "job " << i;
+    // The tiled pipeline pays DMA cycles on top of compute.
+    EXPECT_GT(ref[i].stats.cycles, mr.stats.cycles) << "job " << i;
+  }
+
+  cfg.n_threads = 2;
+  BatchRunner threaded(cfg);
+  for (int rep = 0; rep < 2; ++rep) {  // second rep runs on reused clusters
+    const auto got = threaded.run(tiled);
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].ok) << got[i].error;
+      expect_same_stats(got[i].stats, ref[i].stats, i);
+      expect_same_z(got[i].z, ref[i].z, i);
+    }
+  }
+}
+
+TEST(BatchRunner, TiledJobBeyondAddressableL2FailsCleanly) {
+  // Operands past the 32-bit address space must fail the job record, not
+  // wrap the L2 sizing loop and hang the worker.
+  BatchJob j;
+  j.shape = {"huge", 30000, 30000, 30000};
+  j.tiled = true;
+  const BatchResult r = BatchRunner::run_one(j);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
 TEST(BatchRunner, EmptyBatchAndZeroThreadsResolve) {
   BatchConfig cfg;
   cfg.n_threads = 0;  // resolves to hardware_concurrency

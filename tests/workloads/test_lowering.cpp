@@ -134,5 +134,43 @@ TEST(Lowering, RejectsBadShapes) {
   EXPECT_THROW(im2col(x, p), redmule::Error);
 }
 
+TEST(Lowering, OutputDimsRejectKernelLargerThanPaddedInput) {
+  // Regression: out_h()/out_w() used to wrap (in_h + 2*pad - kernel) in
+  // uint32 and report a ~4-billion-element output; they must throw instead,
+  // as must gemm_shape() (whose K would drive an im2col allocation).
+  Conv2dParams p;
+  p.in_h = p.in_w = 2;
+  p.kernel = 7;
+  EXPECT_THROW(p.validate(), redmule::Error);
+  EXPECT_THROW(p.out_h(), redmule::Error);
+  EXPECT_THROW(p.out_w(), redmule::Error);
+  EXPECT_THROW(p.gemm_shape(), redmule::Error);
+}
+
+TEST(Lowering, RejectsPadOverflowingUint32) {
+  // `in_h + 2 * pad` wraps in 32-bit arithmetic for pad >= 2^31; the checks
+  // are 64-bit so such configs are rejected, not accepted with a tiny
+  // wrapped padded size.
+  Conv2dParams p;
+  p.in_h = p.in_w = 8;
+  p.kernel = 3;
+  p.pad = 0x80000001u;  // 2*pad wraps to 2 in uint32
+  EXPECT_THROW(p.validate(), redmule::Error);
+  EXPECT_THROW(p.out_h(), redmule::Error);
+  p.pad = 1u << 30;  // no uint32 wrap, but absurdly large padded input
+  EXPECT_THROW(p.validate(), redmule::Error);
+}
+
+TEST(Lowering, ValidateAcceptsSaneConfigs) {
+  Conv2dParams p;
+  p.in_h = p.in_w = 16;
+  p.kernel = 3;
+  p.pad = 1;
+  p.stride = 2;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.out_h(), 8u);
+  EXPECT_EQ(p.out_w(), 8u);
+}
+
 }  // namespace
 }  // namespace redmule::workloads
