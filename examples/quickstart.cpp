@@ -4,8 +4,8 @@
 ///        against the golden model, and print the performance counters.
 ///
 /// Build & run:
-///   cmake -B build -G Ninja && cmake --build build
-///   ./build/examples/quickstart
+///   cmake -B build -S . && cmake --build build -j
+///   ./build/example_quickstart
 #include <cstdio>
 
 #include "cluster/cluster.hpp"

@@ -1,0 +1,444 @@
+#include "cluster/network_runner.hpp"
+
+#include <algorithm>
+
+namespace redmule::cluster {
+
+namespace {
+
+using fp16::Float16;
+using workloads::AeGemm;
+using workloads::NetworkGraph;
+using workloads::NetworkLayer;
+using workloads::TiledGemmPlan;
+
+uint32_t pad_even(uint32_t v) { return v + (v & 1u); }
+
+/// Per-layer lowered-GEMM geometry: the one description both the executor's
+/// L2 layout and the static sizing helpers are computed from, so the batch
+/// runner's cluster sizing can never diverge from what a run allocates.
+struct LayerGeom {
+  uint32_t m = 0;        ///< GEMM output rows (out_dim, out_channels for conv)
+  uint32_t n = 0;        ///< real reduction extent (in_dim / C*k*k)
+  uint32_t kk = 0;       ///< real GEMM columns (batch / oh*ow)
+  uint32_t in_vec = 0;   ///< activation-vector length consumed
+  uint32_t out_vec = 0;  ///< activation-vector length produced
+  bool conv = false;
+  bool relu = false;
+};
+
+std::vector<LayerGeom> geoms_from_graph(const NetworkGraph& net, uint32_t batch) {
+  std::vector<LayerGeom> geoms;
+  for (const NetworkLayer& l : net.layers()) {
+    LayerGeom g;
+    const workloads::GemmShape s = l.forward_shape(batch);
+    g.m = s.m;
+    g.n = s.n;
+    g.kk = s.k;
+    g.in_vec = l.in_dim();
+    g.out_vec = l.out_dim();
+    g.conv = l.kind == NetworkLayer::Kind::kConv;
+    g.relu = l.relu;
+    geoms.push_back(g);
+  }
+  return geoms;
+}
+
+/// The autoencoder shape: a linear chain with ReLU between layers. Must
+/// produce exactly what geoms_from_graph produces for
+/// NetworkGraph::autoencoder, so the sizing helpers stay truthful.
+std::vector<LayerGeom> geoms_from_dims(const std::vector<uint32_t>& dims,
+                                       uint32_t batch) {
+  REDMULE_REQUIRE(dims.size() >= 2, "a network needs at least one layer");
+  std::vector<LayerGeom> geoms;
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    LayerGeom g;
+    g.m = dims[l + 1];
+    g.n = dims[l];
+    g.kk = batch;
+    g.in_vec = dims[l];
+    g.out_vec = dims[l + 1];
+    g.relu = l + 2 < dims.size();
+    geoms.push_back(g);
+  }
+  return geoms;
+}
+
+/// Byte addresses of one layer's L2 regions (0 = not allocated).
+struct LayerAddrs {
+  uint32_t weight = 0;    ///< (m x pad_even(n))
+  uint32_t wt = 0;        ///< training: W^T, (n x pad_even(m))
+  uint32_t patches = 0;   ///< conv: im2col scratch, (pad_even(n) x pad_even(kk))
+  uint32_t gemm_out = 0;  ///< conv: raw GEMM output, (m x pad_even(kk))
+  uint32_t pre = 0;       ///< flattened pre-activation, (pad_even(out_vec) x Bp)
+  uint32_t act = 0;       ///< post-ReLU activation (== pre when !relu)
+  uint32_t dw = 0;        ///< training: weight gradient, (m x pad_even(n))
+};
+
+struct Layout {
+  uint32_t input = 0;  ///< (pad_even(in_vec_0) x Bp)
+  std::vector<LayerAddrs> layers;
+  uint32_t act_t = 0;  ///< training scratch: A_l^T, (Bp x max pad_even(n))
+  uint32_t dy0 = 0, dy1 = 0;  ///< training: (max pad_even(out_vec) x Bp)
+  uint64_t total_bytes = 0;
+};
+
+/// Allocates every region of a run in a fixed order from \p base. With
+/// base = 0 this doubles as the sizing function (total_bytes).
+Layout build_layout(const std::vector<LayerGeom>& geoms, uint32_t batch,
+                    bool training, uint32_t base) {
+  const uint32_t bp = pad_even(batch);
+  uint64_t next = base;
+  auto alloc = [&next](uint64_t rows, uint64_t cols) {
+    const uint64_t addr = next;
+    next += (rows * cols * 2 + 3) & ~3ull;  // keep regions word-aligned
+    REDMULE_REQUIRE(next <= UINT32_MAX, "network layout exceeds the address space");
+    return static_cast<uint32_t>(addr);
+  };
+
+  Layout lay;
+  lay.input = alloc(pad_even(geoms.front().in_vec), bp);
+  for (const LayerGeom& g : geoms) {
+    LayerAddrs a;
+    a.weight = alloc(g.m, pad_even(g.n));
+    if (training) {
+      a.wt = alloc(g.n, pad_even(g.m));
+      a.dw = alloc(g.m, pad_even(g.n));
+    }
+    if (g.conv) {
+      a.patches = alloc(pad_even(g.n), pad_even(g.kk));
+      a.gemm_out = alloc(g.m, pad_even(g.kk));
+    }
+    a.pre = alloc(pad_even(g.out_vec), bp);
+    a.act = g.relu ? alloc(pad_even(g.out_vec), bp) : a.pre;
+    lay.layers.push_back(a);
+  }
+  if (training) {
+    uint32_t max_n = 0, max_out = 0;
+    for (const LayerGeom& g : geoms) {
+      max_n = std::max(max_n, pad_even(g.n));
+      max_out = std::max(max_out, pad_even(g.out_vec));
+    }
+    lay.act_t = alloc(bp, max_n);
+    lay.dy0 = alloc(max_out, bp);
+    lay.dy1 = alloc(max_out, bp);
+  }
+  lay.total_bytes = next - base;
+  return lay;
+}
+
+MatrixF16 read_mat(mem::L2Memory& l2, uint32_t addr, uint32_t rows, uint32_t cols) {
+  MatrixF16 m(rows, cols);
+  l2.read(addr, m.data(), rows * cols * 2);
+  return m;
+}
+
+void write_mat(mem::L2Memory& l2, uint32_t addr, const MatrixF16& m) {
+  l2.write(addr, m.data(), static_cast<uint32_t>(m.size_bytes()));
+}
+
+void zero_region(mem::L2Memory& l2, uint32_t addr, uint32_t rows, uint32_t cols) {
+  write_mat(l2, addr, MatrixF16(rows, cols));
+}
+
+/// Bias add on the *real* region of an in-memory GEMM output (the lowering
+/// rule: pad columns stay exactly +0).
+void apply_bias(MatrixF16& z, const std::vector<Float16>& bias, uint32_t rows,
+                uint32_t real_cols) {
+  for (uint32_t r = 0; r < rows; ++r)
+    for (uint32_t c = 0; c < real_cols; ++c)
+      z(r, c) = workloads::bias_add_f16(z(r, c), bias[r]);
+}
+
+/// ReLU from the resident pre buffer into the act buffer (the whole padded
+/// region -- relu(+0) == +0, so pads are preserved).
+void apply_relu(mem::L2Memory& l2, uint32_t pre_addr, uint32_t act_addr,
+                uint32_t rows, uint32_t cols) {
+  MatrixF16 v = read_mat(l2, pre_addr, rows, cols);
+  for (size_t r = 0; r < v.rows(); ++r)
+    for (size_t c = 0; c < v.cols(); ++c) v(r, c) = workloads::relu_f16(v(r, c));
+  write_mat(l2, act_addr, v);
+}
+
+/// One linear layer forward on resident operands: the tiled GEMM into the
+/// pre buffer, bias on the real region, ReLU into the act buffer. The ONE
+/// implementation both forward() and training_step() run, so the
+/// elementwise contract cannot drift between the two paths.
+NetworkGemmStats run_linear_layer(Cluster& cl, RedmuleDriver& drv,
+                                  TiledGemmRunner& tiled, const NetworkLayer& layer,
+                                  const LayerGeom& g, const LayerAddrs& a,
+                                  uint32_t cur_act, uint32_t batch, uint32_t bp,
+                                  size_t l) {
+  auto& l2 = cl.l2();
+  NetworkGemmStats gs;
+  gs.layer = static_cast<unsigned>(l);
+  gs.phase = AeGemm::Phase::kForward;
+  gs.shape = {"L" + std::to_string(l) + ".fw", g.m, g.n, g.kk};
+  const TiledGemmPlan plan = workloads::plan_tiled_gemm(
+      g.m, pad_even(g.n), bp, false, drv.bytes_free(), cl.config().geometry);
+  gs.tiled = tiled.run_staged({a.weight, cur_act, a.pre, 0}, plan);
+  gs.tiled.macs = gs.shape.macs();  // useful MACs, not the padded grid's
+
+  if (!layer.bias.empty()) {
+    MatrixF16 z = read_mat(l2, a.pre, g.m, bp);
+    apply_bias(z, layer.bias, g.m, batch);
+    write_mat(l2, a.pre, z);
+  }
+  if (g.relu) apply_relu(l2, a.pre, a.act, pad_even(g.out_vec), bp);
+  return gs;
+}
+
+}  // namespace
+
+NetworkRunner::NetworkRunner(Cluster& cluster, RedmuleDriver& driver,
+                             NetworkRunnerOptions opts)
+    : cl_(cluster), drv_(driver), opts_(opts) {}
+
+NetworkRunner::ForwardResult NetworkRunner::forward(const NetworkGraph& net,
+                                                    const MatrixF16& x) {
+  REDMULE_REQUIRE(net.n_layers() >= 1, "empty network");
+  REDMULE_REQUIRE(x.rows() == net.input_dim(), "input dimension mismatch");
+  const uint32_t batch = static_cast<uint32_t>(x.cols());
+  REDMULE_REQUIRE(batch >= 1, "batch must be positive");
+  const uint32_t bp = pad_even(batch);
+
+  auto& l2 = cl_.l2();
+  const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
+  const Layout lay =
+      build_layout(geoms, batch, /*training=*/false, l2.config().base_addr);
+  REDMULE_REQUIRE(lay.total_bytes <= l2.config().size_bytes,
+                  "L2 too small for the network forward layout");
+
+  // --- Stage: weights padded, activation buffers zeroed --------------------
+  write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
+  for (size_t l = 0; l < geoms.size(); ++l) {
+    const LayerGeom& g = geoms[l];
+    const LayerAddrs& a = lay.layers[l];
+    write_mat(l2, a.weight, pad_to(net.layer(l).weight, g.m, pad_even(g.n)));
+    if (g.conv) {
+      zero_region(l2, a.patches, pad_even(g.n), pad_even(g.kk));
+      zero_region(l2, a.gemm_out, g.m, pad_even(g.kk));
+    }
+    zero_region(l2, a.pre, pad_even(g.out_vec), bp);
+    if (g.relu) zero_region(l2, a.act, pad_even(g.out_vec), bp);
+  }
+
+  ForwardResult res;
+  res.stats.macs = net.forward_macs(batch);
+  const uint64_t cycle0 = cl_.cycle();
+  TiledGemmRunner tiled(cl_, drv_, TiledGemmOptions{opts_.double_buffer});
+
+  uint32_t cur_act = lay.input;
+  for (size_t l = 0; l < geoms.size(); ++l) {
+    const LayerGeom& g = geoms[l];
+    const LayerAddrs& a = lay.layers[l];
+    const NetworkLayer& layer = net.layer(l);
+
+    if (g.conv) {
+      REDMULE_REQUIRE(batch == 1, "conv layers require batch 1");
+      const uint32_t np = pad_even(g.n), kkp = pad_even(g.kk);
+      NetworkGemmStats gs;
+      gs.layer = static_cast<unsigned>(l);
+      gs.phase = AeGemm::Phase::kForward;
+      gs.shape = {"L" + std::to_string(l) + ".fw", g.m, g.n, g.kk};
+
+      // im2col front-end: reshape the resident activation column to the
+      // (C x H*W) image and stage the padded patch matrix.
+      const workloads::Conv2dParams& p = layer.conv;
+      const MatrixF16 col = read_mat(l2, cur_act, g.in_vec, bp);
+      MatrixF16 img(p.in_channels, static_cast<size_t>(p.in_h) * p.in_w);
+      for (size_t r = 0; r < img.rows(); ++r)
+        for (size_t c = 0; c < img.cols(); ++c)
+          img(r, c) = col(r * img.cols() + c, 0);
+      write_mat(l2, a.patches, pad_to(im2col(img, p), np, kkp));
+
+      const TiledGemmPlan plan = workloads::plan_tiled_gemm(
+          g.m, np, kkp, false, drv_.bytes_free(), cl_.config().geometry);
+      gs.tiled = tiled.run_staged({a.weight, a.patches, a.gemm_out, 0}, plan);
+      gs.tiled.macs = gs.shape.macs();
+
+      // Bias on the real region, then flatten row-major into the next
+      // activation column (the pre buffer was zeroed, pads stay +0).
+      MatrixF16 z = read_mat(l2, a.gemm_out, g.m, kkp);
+      if (!layer.bias.empty()) apply_bias(z, layer.bias, g.m, g.kk);
+      MatrixF16 flat(pad_even(g.out_vec), bp);
+      for (uint32_t r = 0; r < g.m; ++r)
+        for (uint32_t c = 0; c < g.kk; ++c) flat(r * g.kk + c, 0) = z(r, c);
+      write_mat(l2, a.pre, flat);
+      res.stats.gemms.push_back(gs);
+
+      if (g.relu) apply_relu(l2, a.pre, a.act, pad_even(g.out_vec), bp);
+    } else {
+      res.stats.gemms.push_back(
+          run_linear_layer(cl_, drv_, tiled, layer, g, a, cur_act, batch, bp, l));
+    }
+    cur_act = a.act;
+  }
+
+  res.stats.total_cycles = cl_.cycle() - cycle0;
+  res.out = strip_to(read_mat(l2, cur_act, geoms.back().out_vec, bp),
+                     geoms.back().out_vec, batch);
+  return res;
+}
+
+NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
+                                                           const MatrixF16& x,
+                                                           const MatrixF16& target,
+                                                           double lr) {
+  const size_t n_layers = net.n_layers();
+  REDMULE_REQUIRE(n_layers >= 1, "empty network");
+  REDMULE_REQUIRE(!net.has_conv(), "training requires a pure linear chain");
+  REDMULE_REQUIRE(!net.layer(n_layers - 1).relu,
+                  "training expects a linear output layer (no final ReLU)");
+  // Bias gradients are not part of the training lowering (the autoencoder
+  // has none); training a biased layer would silently freeze its bias, so
+  // reject the configuration outright (mirrored in reference_training_step).
+  for (const workloads::NetworkLayer& l : net.layers())
+    REDMULE_REQUIRE(l.bias.empty(), "training does not support bias layers");
+  REDMULE_REQUIRE(x.rows() == net.input_dim(), "input dimension mismatch");
+  const uint32_t batch = static_cast<uint32_t>(x.cols());
+  REDMULE_REQUIRE(batch >= 1, "batch must be positive");
+  REDMULE_REQUIRE(target.rows() == net.output_dim() && target.cols() == batch,
+                  "target shape mismatch");
+  const uint32_t bp = pad_even(batch);
+
+  auto& l2 = cl_.l2();
+  const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
+  const Layout lay =
+      build_layout(geoms, batch, /*training=*/true, l2.config().base_addr);
+  REDMULE_REQUIRE(lay.total_bytes <= l2.config().size_bytes,
+                  "L2 too small for the network training layout");
+
+  // --- Stage: weights (both orientations) padded, everything else zeroed ---
+  write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
+  for (size_t l = 0; l < geoms.size(); ++l) {
+    const LayerGeom& g = geoms[l];
+    const LayerAddrs& a = lay.layers[l];
+    write_mat(l2, a.weight, pad_to(net.layer(l).weight, g.m, pad_even(g.n)));
+    write_mat(l2, a.wt,
+              pad_to(net.layer(l).weight.transposed(), g.n, pad_even(g.m)));
+    zero_region(l2, a.dw, g.m, pad_even(g.n));
+    zero_region(l2, a.pre, pad_even(g.out_vec), bp);
+    if (g.relu) zero_region(l2, a.act, pad_even(g.out_vec), bp);
+  }
+
+  TrainingResult res;
+  res.stats.macs = net.training_macs(batch);
+  const uint64_t cycle0 = cl_.cycle();
+  TiledGemmRunner tiled(cl_, drv_, TiledGemmOptions{opts_.double_buffer});
+  const core::Geometry& geom = cl_.config().geometry;
+
+  // --- Forward, activations kept resident per layer ------------------------
+  uint32_t cur_act = lay.input;
+  for (size_t l = 0; l < geoms.size(); ++l) {
+    res.stats.gemms.push_back(run_linear_layer(cl_, drv_, tiled, net.layer(l),
+                                               geoms[l], lay.layers[l], cur_act,
+                                               batch, bp, l));
+    cur_act = lay.layers[l].act;
+  }
+
+  // --- MSE loss gradient: dY = fp16(out - target) on the real region -------
+  const LayerGeom& gl = geoms.back();
+  {
+    const MatrixF16 out = read_mat(l2, lay.layers.back().pre, gl.m, bp);
+    MatrixF16 dy(pad_even(gl.out_vec), bp);  // pads stay exactly +0
+    double mse = 0.0;
+    for (uint32_t r = 0; r < gl.m; ++r)
+      for (uint32_t c = 0; c < batch; ++c) {
+        const double diff = out(r, c).to_double() - target(r, c).to_double();
+        mse += diff * diff;
+        dy(r, c) = Float16::from_double(diff);
+      }
+    res.mse = mse / (static_cast<double>(gl.m) * batch);
+    write_mat(l2, lay.dy0, dy);
+    res.out = strip_to(out, gl.m, batch);
+  }
+
+  // --- Backward: dW_l = dY * A_l^T, dX_l = W_l^T * dY ----------------------
+  uint32_t dy_cur = lay.dy0, dy_next = lay.dy1;
+  for (size_t li = n_layers; li-- > 0;) {
+    const LayerGeom& g = geoms[li];
+    const uint32_t inp = pad_even(g.n), outp = pad_even(g.m);
+    const uint32_t act_in = li == 0 ? lay.input : lay.layers[li - 1].act;
+
+    // A_l^T staged into the scratch region (a transpose of the resident
+    // padded activation; on the real cluster MCHAN's 2-D strides gather it,
+    // here it moves through the zero-time backdoor like all staging).
+    write_mat(l2, lay.act_t,
+              read_mat(l2, act_in, inp, bp).transposed());  // (bp x inp)
+
+    NetworkGemmStats gw;
+    gw.layer = static_cast<unsigned>(li);
+    gw.phase = AeGemm::Phase::kGradWeight;
+    gw.shape = {"L" + std::to_string(li) + ".dW", g.m, batch, g.n};
+    const TiledGemmPlan plan_dw = workloads::plan_tiled_gemm(
+        g.m, bp, inp, false, drv_.bytes_free(), geom);
+    gw.tiled = tiled.run_staged({dy_cur, lay.act_t, lay.layers[li].dw, 0}, plan_dw);
+    gw.tiled.macs = gw.shape.macs();
+    res.stats.gemms.push_back(gw);
+
+    if (li > 0) {
+      NetworkGemmStats gx;
+      gx.layer = static_cast<unsigned>(li);
+      gx.phase = AeGemm::Phase::kGradInput;
+      gx.shape = {"L" + std::to_string(li) + ".dX", g.n, g.m, batch};
+      const TiledGemmPlan plan_dx = workloads::plan_tiled_gemm(
+          g.n, outp, bp, false, drv_.bytes_free(), geom);
+      gx.tiled = tiled.run_staged({lay.layers[li].wt, dy_cur, dy_next, 0}, plan_dx);
+      gx.tiled.macs = gx.shape.macs();
+      res.stats.gemms.push_back(gx);
+
+      // ReLU backward (where the pre-activation was negative) plus pad-row
+      // scrubbing: the alternating dY buffers are reused across layers of
+      // different heights, so rows [n, inp) may hold a stale taller layer.
+      MatrixF16 dx = read_mat(l2, dy_next, inp, bp);
+      const bool mask = net.layer(li - 1).relu;
+      const MatrixF16 pa =
+          mask ? read_mat(l2, lay.layers[li - 1].pre, g.n, bp) : MatrixF16();
+      for (uint32_t r = 0; r < inp; ++r)
+        for (uint32_t c = 0; c < bp; ++c) {
+          if (r >= g.n)
+            dx(r, c) = Float16{};
+          else if (mask && c < batch && Float16::lt(pa(r, c), Float16{}))
+            dx(r, c) = Float16{};
+        }
+      write_mat(l2, dy_next, dx);
+      std::swap(dy_cur, dy_next);
+    }
+  }
+  res.stats.total_cycles = cl_.cycle() - cycle0;
+
+  // --- Read gradients back, optional SGD update on the host weights --------
+  res.dw.resize(n_layers);
+  for (size_t l = 0; l < n_layers; ++l) {
+    const LayerGeom& g = geoms[l];
+    res.dw[l] = strip_to(read_mat(l2, lay.layers[l].dw, g.m, pad_even(g.n)),
+                         g.m, g.n);
+    if (lr != 0.0) workloads::apply_sgd_update(net.weight(l), res.dw[l], lr, batch);
+  }
+  return res;
+}
+
+uint64_t NetworkRunner::training_l2_bytes(const std::vector<uint32_t>& dims,
+                                          uint32_t batch) {
+  return build_layout(geoms_from_dims(dims, batch), batch, /*training=*/true, 0)
+      .total_bytes;
+}
+
+uint64_t NetworkRunner::min_tcdm_bytes(const std::vector<uint32_t>& dims,
+                                       uint32_t batch, const core::Geometry& g) {
+  const uint32_t bp = pad_even(batch);
+  uint64_t need = 0;
+  auto consider = [&](uint32_t m, uint32_t n, uint32_t k) {
+    need = std::max(need,
+                    workloads::min_tile_plan(m, n, k, false, g).tcdm_bytes());
+  };
+  for (const LayerGeom& lg : geoms_from_dims(dims, batch)) {
+    consider(lg.m, pad_even(lg.n), bp);            // forward
+    consider(lg.m, bp, pad_even(lg.n));            // dW
+    consider(lg.n, pad_even(lg.m), bp);            // dX
+  }
+  return need;
+}
+
+}  // namespace redmule::cluster

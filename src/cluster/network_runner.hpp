@@ -1,0 +1,114 @@
+/// \file network_runner.hpp
+/// \brief End-to-end multi-layer network executor on the tiled L2 pipeline.
+///
+/// Executes a whole workloads::NetworkGraph forward pass -- and, for linear
+/// chains, the full training step (forward, dX, dW, optional SGD update) --
+/// on ONE cluster:
+///
+///  - weights (and, for training, their transposes) are staged in L2 once
+///    per call, padded per the lowering contract in workloads/network.hpp;
+///  - inter-layer activations STAY RESIDENT IN L2: each layer's GEMM runs
+///    through TiledGemmRunner::run_staged, so per-layer operands stream
+///    through the TCDM tile buffers with DMA/compute overlap, and the Z
+///    region of layer l is directly the W operand region of layer l+1 --
+///    no activation ever round-trips through the host;
+///  - elementwise bias/ReLU/loss-gradient steps run between GEMMs with the
+///    FP16 rules of workloads/network.hpp (applied through the zero-time L2
+///    backdoor: on the real cluster these run on the 8 RISC-V cores in
+///    parallel with the next layer's DMA prefetch, and the paper's cycle
+///    accounting attributes them no accelerator time; the reported cycles
+///    cover every GEMM *and* every DMA beat of the tile streams).
+///
+/// Results are bit-identical to workloads::reference_forward /
+/// reference_training_step for the same geometry, and to the per-layer
+/// monolithic driver path (tests/cluster/test_network_runner.cpp asserts
+/// both). Determinism: a run is a pure function of (net, inputs, options,
+/// cluster config) -- no wall clock, no thread dependence -- so network
+/// jobs keep the batch runner's bit-reproducibility contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/driver.hpp"
+#include "cluster/tiled_gemm_runner.hpp"
+#include "workloads/network.hpp"
+
+namespace redmule::cluster {
+
+struct NetworkRunnerOptions {
+  /// Forwarded to the per-layer tiled pipeline (false = serial reference
+  /// schedule, the overlap baseline).
+  bool double_buffer = true;
+};
+
+/// Counters of one lowered GEMM of the network execution.
+struct NetworkGemmStats {
+  unsigned layer = 0;
+  workloads::AeGemm::Phase phase = workloads::AeGemm::Phase::kForward;
+  workloads::GemmShape shape;  ///< real (unpadded) extents
+  TiledGemmStats tiled;        ///< whole-pipeline counters incl. DMA
+};
+
+struct NetworkStats {
+  uint64_t total_cycles = 0;  ///< cluster cycles, first tile load to last Z byte
+  uint64_t macs = 0;          ///< useful MACs of the lowered chains
+  std::vector<NetworkGemmStats> gemms;
+
+  double macs_per_cycle() const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(macs) / static_cast<double>(total_cycles);
+  }
+  /// Cycles spent in GEMMs of one phase (forward / dX / dW).
+  uint64_t phase_cycles(workloads::AeGemm::Phase p) const {
+    uint64_t c = 0;
+    for (const NetworkGemmStats& s : gemms)
+      if (s.phase == p) c += s.tiled.total_cycles;
+    return c;
+  }
+};
+
+class NetworkRunner {
+ public:
+  NetworkRunner(Cluster& cluster, RedmuleDriver& driver,
+                NetworkRunnerOptions opts = {});
+
+  struct ForwardResult {
+    core::MatrixF16 out;  ///< (output_dim x batch)
+    NetworkStats stats;
+  };
+  /// Whole-network forward pass; \p x is (input_dim x batch). Conv layers
+  /// require batch == 1 (the im2col lowering is per-image).
+  ForwardResult forward(const workloads::NetworkGraph& net, const MatrixF16& x);
+
+  struct TrainingResult {
+    core::MatrixF16 out;              ///< forward output (pre-activation)
+    std::vector<core::MatrixF16> dw;  ///< per-layer weight gradients
+    double mse = 0.0;                 ///< loss before the update
+    NetworkStats stats;
+  };
+  /// One full training step on the cluster: forward, MSE gradient vs
+  /// \p target, backward dX/dW chains, and -- when \p lr is nonzero -- the
+  /// FP16 SGD update applied to \p net's (host) weights. Linear chains only.
+  TrainingResult training_step(workloads::NetworkGraph& net, const MatrixF16& x,
+                               const MatrixF16& target, double lr);
+
+  /// L2 bytes the training-step layout needs for a linear chain with the
+  /// given dimension sequence (ReLU between layers, no bias -- the
+  /// autoencoder shape). The batch runner sizes pooled clusters with this.
+  static uint64_t training_l2_bytes(const std::vector<uint32_t>& dims,
+                                    uint32_t batch);
+  /// Smallest TCDM budget that fits the minimum aligned tile set of every
+  /// lowered GEMM of that training step.
+  static uint64_t min_tcdm_bytes(const std::vector<uint32_t>& dims,
+                                 uint32_t batch, const core::Geometry& g);
+
+ private:
+  Cluster& cl_;
+  RedmuleDriver& drv_;
+  NetworkRunnerOptions opts_;
+};
+
+}  // namespace redmule::cluster

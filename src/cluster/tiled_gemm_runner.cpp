@@ -41,16 +41,6 @@ std::vector<Step> make_schedule(const TiledGemmPlan& p) {
   return steps;
 }
 
-/// Copies \p src into the top-left corner of a (rows x cols) zero matrix --
-/// the DMA-padding staging step (padded rows are word-multiples).
-core::MatrixF16 pad_to(const core::MatrixF16& src, size_t rows, size_t cols) {
-  if (src.rows() == rows && src.cols() == cols) return src;
-  core::MatrixF16 out(rows, cols);
-  for (size_t r = 0; r < src.rows(); ++r)
-    for (size_t c = 0; c < src.cols(); ++c) out(r, c) = src(r, c);
-  return out;
-}
-
 }  // namespace
 
 TiledGemmRunner::TiledGemmRunner(Cluster& cluster, RedmuleDriver& driver,
@@ -76,13 +66,49 @@ TiledGemmRunner::Result TiledGemmRunner::run_planned(const MatrixF16& x,
   if (y != nullptr)
     REDMULE_REQUIRE(y->rows() == x.rows() && y->cols() == w.cols(),
                     "Y shape mismatch");
-  plan.validate();
   const uint32_t m = static_cast<uint32_t>(x.rows());
   const uint32_t np = static_cast<uint32_t>(round_up(x.cols(), size_t{2}));
   const uint32_t kp = static_cast<uint32_t>(round_up(w.cols(), size_t{2}));
   REDMULE_REQUIRE(plan.m == m && plan.n == np && plan.k == kp,
                   "plan does not match the (padded) operands");
   REDMULE_REQUIRE(plan.has_y == (y != nullptr), "plan/Y operand mismatch");
+
+  // --- Stage the (padded) operands in L2 -----------------------------------
+  auto& l2 = cl_.l2();
+  StagedGemm addrs;
+  addrs.x_addr = l2.config().base_addr;
+  addrs.w_addr = addrs.x_addr + m * np * 2;
+  addrs.z_addr = addrs.w_addr + np * kp * 2;
+  addrs.y_addr = addrs.z_addr + m * kp * 2;
+  REDMULE_REQUIRE(plan.staged_l2_bytes() <= l2.config().size_bytes,
+                  "L2 too small for the staged tiled-GEMM operands");
+  {
+    const auto xs = pad_to(x, m, np);
+    const auto ws = pad_to(w, np, kp);
+    l2.write(addrs.x_addr, xs.data(), static_cast<uint32_t>(xs.size_bytes()));
+    l2.write(addrs.w_addr, ws.data(), static_cast<uint32_t>(ws.size_bytes()));
+    if (y != nullptr) {
+      const auto ys = pad_to(*y, m, kp);
+      l2.write(addrs.y_addr, ys.data(), static_cast<uint32_t>(ys.size_bytes()));
+    }
+  }
+
+  // --- Run the tile grid, then read the (unpadded) result back from L2 -----
+  Result res;
+  res.plan = plan;
+  res.stats = run_staged(addrs, plan);
+  // The staged grid computes the padded problem; report the useful MACs.
+  res.stats.macs = static_cast<uint64_t>(x.rows()) * x.cols() * w.cols();
+  res.z = core::MatrixF16(x.rows(), w.cols());
+  for (size_t r = 0; r < res.z.rows(); ++r)
+    l2.read(addrs.z_addr + static_cast<uint32_t>(r) * kp * 2, &res.z(r, 0),
+            static_cast<uint32_t>(w.cols()) * 2);
+  return res;
+}
+
+TiledGemmStats TiledGemmRunner::run_staged(const StagedGemm& addrs,
+                                           const TiledGemmPlan& plan) {
+  plan.validate();
   // The bit-exactness contract: a tiled reduction must cut at a multiple of
   // the array width H, or the engine pads each cut to H mid-chain with
   // fma(0,0,acc) steps that can flip a -0 accumulator to +0.
@@ -90,25 +116,14 @@ TiledGemmRunner::Result TiledGemmRunner::run_planned(const MatrixF16& x,
                       plan.tile_n % cl_.config().geometry.h == 0,
                   "tile_n must be a multiple of the array width H when the "
                   "reduction is tiled (bit-exactness contract)");
-
-  // --- Stage the (padded) operands in L2 -----------------------------------
   auto& l2 = cl_.l2();
-  const uint32_t l2_x = l2.config().base_addr;
-  const uint32_t l2_w = l2_x + m * np * 2;
-  const uint32_t l2_z = l2_w + np * kp * 2;
-  const uint32_t l2_y = l2_z + m * kp * 2;
-  REDMULE_REQUIRE(plan.staged_l2_bytes() <= l2.config().size_bytes,
-                  "L2 too small for the staged tiled-GEMM operands");
-  {
-    const auto xs = pad_to(x, m, np);
-    const auto ws = pad_to(w, np, kp);
-    l2.write(l2_x, xs.data(), static_cast<uint32_t>(xs.size_bytes()));
-    l2.write(l2_w, ws.data(), static_cast<uint32_t>(ws.size_bytes()));
-    if (y != nullptr) {
-      const auto ys = pad_to(*y, m, kp);
-      l2.write(l2_y, ys.data(), static_cast<uint32_t>(ys.size_bytes()));
-    }
-  }
+  const uint32_t m = plan.m, np = plan.n, kp = plan.k;
+  const uint32_t l2_x = addrs.x_addr, l2_w = addrs.w_addr;
+  const uint32_t l2_z = addrs.z_addr, l2_y = addrs.y_addr;
+  REDMULE_REQUIRE(l2.contains(l2_x, m * np * 2) && l2.contains(l2_w, np * kp * 2) &&
+                      l2.contains(l2_z, m * kp * 2) &&
+                      (!plan.has_y || l2.contains(l2_y, m * kp * 2)),
+                  "staged tiled-GEMM operand region outside L2");
 
   // --- TCDM tile buffers ----------------------------------------------------
   // Released via free_to() on the way out: once Z has been read back from
@@ -124,7 +139,8 @@ TiledGemmRunner::Result TiledGemmRunner::run_planned(const MatrixF16& x,
   auto& dma = cl_.dma();
   TiledGemmStats stats;
   stats.steps = static_cast<uint32_t>(steps.size());
-  stats.macs = static_cast<uint64_t>(x.rows()) * x.cols() * w.cols();
+  // stats.macs stays 0: only the caller knows the unpadded useful extents
+  // (run_planned and the network executor both fill it in).
   const uint64_t cycle0 = cl_.cycle();
   const uint64_t bytes_in0 = dma.bytes_in();
   const uint64_t bytes_out0 = dma.bytes_out();
@@ -238,17 +254,8 @@ TiledGemmRunner::Result TiledGemmRunner::run_planned(const MatrixF16& x,
   stats.total_cycles = cl_.cycle() - cycle0;
   stats.dma_bytes_in = dma.bytes_in() - bytes_in0;
   stats.dma_bytes_out = dma.bytes_out() - bytes_out0;
-
-  // --- Read the (unpadded) result back from L2 -----------------------------
-  Result res;
-  res.plan = plan;
-  res.stats = stats;
-  res.z = core::MatrixF16(x.rows(), w.cols());
-  for (size_t r = 0; r < res.z.rows(); ++r)
-    l2.read(l2_z + static_cast<uint32_t>(r) * kp * 2, &res.z(r, 0),
-            static_cast<uint32_t>(w.cols()) * 2);
   drv_.free_to(alloc_mark);
-  return res;
+  return stats;
 }
 
 }  // namespace redmule::cluster

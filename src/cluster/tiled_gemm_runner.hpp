@@ -69,6 +69,19 @@ struct TiledGemmStats {
   }
 };
 
+/// Byte addresses of a GEMM whose operands are *already resident in L2* in
+/// the plan's padded shapes: X is (m x n) with row stride n elements, W is
+/// (n x k) stride k, Z and Y are (m x k) stride k -- exactly the layout
+/// staging with pad_to produces. This is how multi-GEMM pipelines (the
+/// network executor) chain layers without round-tripping activations through
+/// the host: the Z region of one run_staged call is the W region of the next.
+struct StagedGemm {
+  uint32_t x_addr = 0;
+  uint32_t w_addr = 0;
+  uint32_t z_addr = 0;
+  uint32_t y_addr = 0;  ///< read when the plan has has_y set
+};
+
 class TiledGemmRunner {
  public:
   TiledGemmRunner(Cluster& cluster, RedmuleDriver& driver,
@@ -89,6 +102,16 @@ class TiledGemmRunner {
   /// this). The plan must match the padded operand sizes and fit the TCDM.
   Result run_planned(const MatrixF16& x, const MatrixF16& w, const MatrixF16* y,
                      const workloads::TiledGemmPlan& plan);
+
+  /// Drains one tile grid over operands already staged in L2 at \p addrs
+  /// (see StagedGemm for the required layout); Z is left in L2, not read
+  /// back. Allocates its TCDM tile buffers from the driver and releases them
+  /// before returning, so back-to-back calls replan from the full budget.
+  /// The returned stats.macs is left 0 -- only the caller knows the problem's
+  /// unpadded useful extents; fill it in the way run_planned and
+  /// NetworkRunner do.
+  TiledGemmStats run_staged(const StagedGemm& addrs,
+                            const workloads::TiledGemmPlan& plan);
 
  private:
   Cluster& cl_;

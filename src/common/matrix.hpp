@@ -60,4 +60,28 @@ class Matrix {
   std::vector<T> data_;
 };
 
+/// Copies \p src into the top-left corner of a (rows x cols) zero matrix --
+/// the staging rule for DMA-padded operands (pad entries are
+/// value-initialized, i.e. +0 for Float16).
+template <typename T>
+Matrix<T> pad_to(const Matrix<T>& src, size_t rows, size_t cols) {
+  REDMULE_ASSERT(rows >= src.rows() && cols >= src.cols());
+  if (src.rows() == rows && src.cols() == cols) return src;
+  Matrix<T> out(rows, cols);
+  for (size_t r = 0; r < src.rows(); ++r)
+    for (size_t c = 0; c < src.cols(); ++c) out(r, c) = src(r, c);
+  return out;
+}
+
+/// The inverse of pad_to: the top-left (rows x cols) corner of \p src.
+template <typename T>
+Matrix<T> strip_to(const Matrix<T>& src, size_t rows, size_t cols) {
+  REDMULE_ASSERT(rows <= src.rows() && cols <= src.cols());
+  if (src.rows() == rows && src.cols() == cols) return src;
+  Matrix<T> out(rows, cols);
+  for (size_t r = 0; r < rows; ++r)
+    for (size_t c = 0; c < cols; ++c) out(r, c) = src(r, c);
+  return out;
+}
+
 }  // namespace redmule

@@ -4,11 +4,17 @@
 #include <chrono>
 #include <exception>
 
+#include "cluster/network_runner.hpp"
 #include "cluster/tiled_gemm_runner.hpp"
+#include "workloads/network.hpp"
 
 namespace redmule::sim {
 
 namespace {
+
+/// Learning rate of network training-step jobs: a fixed constant so a job's
+/// outcome stays a pure function of the BatchJob record.
+constexpr double kNetworkJobLr = 0.01;
 
 /// Maps the tiled pipeline's counters onto the per-job JobStats shape the
 /// batch results carry: cycles cover the whole pipeline (DMA included),
@@ -23,15 +29,18 @@ core::JobStats tiled_job_stats(const cluster::TiledGemmStats& ts) {
   return js;
 }
 
-/// FNV-1a over the row-major FP16 bit patterns.
-uint64_t hash_matrix(const core::MatrixF16& m) {
-  uint64_t h = 0xcbf29ce484222325ULL;
+/// FNV-1a over the row-major FP16 bit patterns, chainable across matrices.
+uint64_t hash_fold(uint64_t h, const core::MatrixF16& m) {
   const auto* p = reinterpret_cast<const uint8_t*>(m.data());
   for (size_t i = 0; i < m.size_bytes(); ++i) {
     h ^= p[i];
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+uint64_t hash_matrix(const core::MatrixF16& m) {
+  return hash_fold(0xcbf29ce484222325ULL, m);
 }
 
 /// Cluster configuration a job needs: the base config with the job's
@@ -47,6 +56,25 @@ cluster::ClusterConfig config_for(const cluster::ClusterConfig& base,
   cluster::ClusterConfig cfg = base;
   cfg.geometry = job.geometry;
   while (cfg.tcdm.n_banks < cfg.geometry.mem_ports()) cfg.tcdm.n_banks *= 2;
+  if (job.network) {
+    // Network training steps keep activations in L2 and stream every layer
+    // through the tiled pipeline: the TCDM floor is the largest lowered
+    // GEMM's minimum aligned tile set, the L2 must hold the whole training
+    // layout (weights both ways, per-layer activations, gradients).
+    const std::vector<uint32_t> dims = job.net.dims();
+    const uint64_t tcdm_floor = cluster::NetworkRunner::min_tcdm_bytes(
+        dims, job.net.batch, cfg.geometry);
+    while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) < tcdm_floor + 4096)
+      cfg.tcdm.words_per_bank *= 2;
+    uint64_t l2_size = cfg.l2.size_bytes;
+    const uint64_t l2_need =
+        cluster::NetworkRunner::training_l2_bytes(dims, job.net.batch);
+    while (l2_size < l2_need) l2_size *= 2;
+    REDMULE_REQUIRE(l2_size <= UINT32_MAX - cfg.l2.base_addr,
+                    "network job layout exceeds the addressable L2");
+    cfg.l2.size_bytes = static_cast<uint32_t>(l2_size);
+    return cfg;
+  }
   if (job.tiled) {
     const uint32_t mp = job.shape.m;
     const uint32_t np = job.shape.n + (job.shape.n & 1u);
@@ -93,6 +121,29 @@ uint64_t pool_key(const cluster::ClusterConfig& cfg) {
 BatchResult execute(cluster::Cluster& cl, const BatchJob& job, bool keep_outputs) {
   cluster::RedmuleDriver drv(cl);
   Xoshiro256 rng(job.seed);
+  if (job.network) {
+    // A whole autoencoder training step: weights then the input batch are
+    // drawn from the job's RNG stream, so (net config, seed) fully determine
+    // the outcome regardless of worker, order, or cluster reuse.
+    workloads::NetworkGraph net = workloads::NetworkGraph::autoencoder(job.net, rng);
+    const auto x = workloads::random_matrix(net.input_dim(), job.net.batch, rng);
+    cluster::NetworkRunner runner(cl, drv);
+    auto r = runner.training_step(net, x, x, kNetworkJobLr);
+    BatchResult res;
+    res.ok = true;
+    res.stats.cycles = r.stats.total_cycles;
+    res.stats.macs = r.stats.macs;
+    for (const cluster::NetworkGemmStats& gs : r.stats.gemms) {
+      res.stats.advance_cycles += gs.tiled.advance_cycles;
+      res.stats.stall_cycles += gs.tiled.stall_cycles;
+      res.stats.fma_ops += gs.tiled.fma_ops;
+    }
+    uint64_t h = hash_matrix(r.out);
+    for (const core::MatrixF16& dw : r.dw) h = hash_fold(h, dw);
+    res.z_hash = h;
+    if (keep_outputs) res.z = std::move(r.out);
+    return res;
+  }
   const auto x = workloads::random_matrix(job.shape.m, job.shape.n, rng);
   const auto w = workloads::random_matrix(job.shape.n, job.shape.k, rng);
   cluster::RedmuleDriver::GemmResult g;

@@ -39,6 +39,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/driver.hpp"
+#include "workloads/autoencoder.hpp"
 #include "workloads/gemm.hpp"
 
 namespace redmule::sim {
@@ -60,6 +61,16 @@ struct BatchJob {
   uint64_t seed = 1;          ///< input-generation seed (see split_seed)
   bool accumulate = false;    ///< Z = Y + X*W instead of Z = X*W
   bool tiled = false;         ///< L2-resident operands, tiled DMA pipeline
+
+  /// With \p network set, the job is a whole autoencoder *training step*
+  /// (forward, dX, dW chains with L2-resident activations) executed by
+  /// cluster::NetworkRunner; \p net describes the chain and the batch size,
+  /// weights and input are drawn from \p seed, and shape/accumulate/tiled
+  /// are ignored. The result's z is the reconstruction output and z_hash
+  /// additionally folds every per-layer dW gradient, so the determinism
+  /// harness covers the whole backward pass.
+  bool network = false;
+  workloads::AutoencoderConfig net{};
 };
 
 /// Per-job outcome. z_hash is an FNV-1a digest over the Z bit patterns so
