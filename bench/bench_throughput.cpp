@@ -11,6 +11,12 @@
 ///  - short_long:     ~200x MAC spread between jobs (worst case for static
 ///    partitioning; exercises the work-stealing cursor).
 ///
+/// A fourth sweep drives the public api::Service front-end with a
+/// registry-instantiated mixed-workload queue (monolithic gemm + tiled +
+/// network training steps, interleaved priorities) and validates every
+/// outcome against the legacy BatchRunner lowering of the same scenarios --
+/// the cross-path equivalence gate of the API migration.
+///
 /// Every sweep validates the determinism guarantee: per-job simulated cycle
 /// counts, stall/advance splits, FMA-op counts, and Z-output hashes must be
 /// bit-identical across all thread counts and against the serial reference;
@@ -28,11 +34,14 @@
 ///   --max-threads  top of the thread sweep (default max(4, hw_concurrency))
 ///   --reps         batch repetitions of each mix's base job set
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "api/service.hpp"
+#include "api/workload.hpp"
 #include "bench_util.hpp"
 #include "sim/batch_runner.hpp"
 
@@ -130,6 +139,84 @@ struct Outcome {
 Outcome outcome_of(const sim::BatchResult& r) {
   return {r.stats.cycles, r.stats.advance_cycles, r.stats.stall_cycles,
           r.stats.fma_ops, r.z_hash, r.ok};
+}
+
+Outcome outcome_of(const api::WorkloadResult& r) {
+  return {r.stats.cycles, r.stats.advance_cycles, r.stats.stall_cycles,
+          r.stats.fma_ops, r.z_hash, r.ok()};
+}
+
+/// The registry-driven mixed-workload traffic: monolithic GEMMs, tiled L2
+/// pipelines, and whole network training steps interleaved in ONE queue --
+/// the multi-scenario case the polymorphic api::Workload surface exists
+/// for. Each scenario carries its spec string AND the equivalent legacy
+/// BatchJob so the sweep double-checks cross-path equivalence (new Service
+/// vs legacy BatchRunner lowering) at every point.
+struct RegistryScenario {
+  std::string spec;
+  sim::BatchJob legacy;
+};
+
+std::vector<RegistryScenario> registry_mix(bool smoke, unsigned reps) {
+  struct Proto {
+    std::string spec;  ///< without the seed key
+    sim::BatchJob legacy;
+  };
+  std::vector<Proto> protos;
+  const auto add_gemm = [&](uint32_t m, uint32_t n, uint32_t k, bool acc,
+                            bool tiled) {
+    sim::BatchJob j;
+    j.shape = {std::to_string(m) + "x" + std::to_string(n) + "x" +
+                   std::to_string(k),
+               m, n, k};
+    j.geometry = {4, 8, 3};
+    j.accumulate = acc;
+    j.tiled = tiled;
+    std::string spec = std::string(tiled ? "tiled" : "gemm") +
+                       ":m=" + std::to_string(m) + ",n=" + std::to_string(n) +
+                       ",k=" + std::to_string(k) + ",geom=4x8x3";
+    if (acc) spec += ",acc=1";
+    protos.push_back({std::move(spec), j});
+  };
+  const auto add_network = [&](uint32_t in, std::vector<uint32_t> hidden,
+                               uint32_t batch) {
+    sim::BatchJob j;
+    j.network = true;
+    j.net.input_dim = in;
+    j.net.hidden = hidden;
+    j.net.batch = batch;
+    j.geometry = {4, 8, 3};
+    std::string spec = "network:in=" + std::to_string(in) + ",hidden=";
+    for (size_t i = 0; i < hidden.size(); ++i) {
+      if (i) spec += '-';
+      spec += std::to_string(hidden[i]);
+    }
+    spec += ",batch=" + std::to_string(batch) + ",geom=4x8x3";
+    protos.push_back({std::move(spec), j});
+  };
+  if (smoke) {
+    add_gemm(12, 12, 12, false, false);
+    add_gemm(10, 8, 12, true, false);
+    add_gemm(24, 24, 24, false, true);
+    add_network(16, {8, 4, 8}, 1);
+  } else {
+    add_gemm(48, 48, 48, false, false);
+    add_gemm(32, 32, 32, true, false);
+    add_gemm(96, 96, 96, false, true);
+    add_gemm(64, 48, 64, false, false);
+    add_network(64, {32, 8, 32}, 2);
+    add_network(48, {24, 24}, 4);
+  }
+  std::vector<RegistryScenario> out;
+  const unsigned total_reps = smoke ? 1 : 4 * reps;
+  for (unsigned r = 0; r < total_reps; ++r)
+    for (const Proto& p : protos) {
+      const uint64_t seed = split_seed(kBatchSeed + 1, out.size());
+      sim::BatchJob j = p.legacy;
+      j.seed = seed;
+      out.push_back({p.spec + ",seed=" + std::to_string(seed), j});
+    }
+  return out;
 }
 
 struct SweepPoint {
@@ -257,6 +344,100 @@ int main(int argc, char** argv) {
                "jobs");
       table.add_row({mn, TablePrinter::fmt_int(mix.jobs.size()),
                      TablePrinter::fmt_int(p.threads), TablePrinter::fmt(p.stats.wall_s, 3),
+                     TablePrinter::fmt(p.stats.cycles_per_sec(), 0),
+                     TablePrinter::fmt(p.stats.macs_per_sec(), 0),
+                     TablePrinter::fmt(p.stats.jobs_per_sec(), 1),
+                     TablePrinter::fmt(speedup, 2),
+                     TablePrinter::fmt(speedup / p.threads, 2)});
+    }
+  }
+
+  // --- Registry-driven mixed workloads through the async api::Service -----
+  // gemm + tiled + network jobs interleaved in one priority queue,
+  // instantiated from spec strings, validated at every sweep point against
+  // the legacy BatchRunner lowering of the same scenarios (cross-path
+  // equivalence is part of the determinism gate).
+  {
+    const std::vector<RegistryScenario> mix = registry_mix(smoke, reps);
+    const std::string mn = "mixed_workload";
+    json.add(mn + ".jobs", static_cast<double>(mix.size()), "jobs");
+
+    std::vector<Outcome> reference;
+    reference.reserve(mix.size());
+    for (const RegistryScenario& s : mix)
+      reference.push_back(outcome_of(sim::BatchRunner::run_one(s.legacy, {}, false)));
+
+    const int timed_reps = smoke ? 1 : 3;
+    std::vector<SweepPoint> points;
+    for (const unsigned t : sweep) {
+      api::ServiceConfig cfg;
+      cfg.n_threads = t;
+      api::Service service(cfg);
+      const auto run_batch = [&](bool validate) {
+        std::vector<api::JobHandle> handles;
+        handles.reserve(mix.size());
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < mix.size(); ++i) {
+          api::SubmitOptions opts;
+          // Exercise the priority queue: three interleaved service classes.
+          opts.priority = static_cast<int>(i % 3) - 1;
+          handles.push_back(service.submit(
+              api::WorkloadRegistry::global().create(mix[i].spec), opts));
+        }
+        sim::BatchStats st;
+        for (size_t i = 0; i < handles.size(); ++i) {
+          const api::WorkloadResult r = handles[i].get();
+          if (r.ok()) {
+            ++st.jobs_ok;
+            st.sim_cycles += r.stats.cycles;
+            st.macs += r.stats.macs;
+          } else {
+            ++st.jobs_failed;
+          }
+          if (validate && !(outcome_of(r) == reference[i])) {
+            std::fprintf(stderr,
+                         "FATAL: registry job %zu (%s) diverged from the "
+                         "legacy path at %u threads (cycles %" PRIu64
+                         " vs %" PRIu64 ", z_hash %016" PRIx64 " vs %016" PRIx64
+                         ", ok=%d)\n",
+                         i, mix[i].spec.c_str(), t, r.stats.cycles,
+                         reference[i].cycles, r.z_hash, reference[i].z_hash,
+                         r.ok() ? 1 : 0);
+            all_deterministic = false;
+          }
+        }
+        st.wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        if (validate && st.jobs_failed != 0) {
+          std::fprintf(stderr,
+                       "FATAL: %" PRIu64 " registry job(s) failed at %u threads\n",
+                       st.jobs_failed, t);
+          all_deterministic = false;
+        }
+        return st;
+      };
+      (void)run_batch(false);  // warmup: workers build their pools
+      sim::BatchStats best;
+      for (int r = 0; r < timed_reps; ++r) {
+        const sim::BatchStats st = run_batch(true);
+        if (r == 0 || st.wall_s < best.wall_s) best = st;
+      }
+      points.push_back({t, best});
+    }
+
+    const double base_cps = points.front().stats.cycles_per_sec();
+    for (const SweepPoint& p : points) {
+      const std::string prefix = mn + ".t" + std::to_string(p.threads);
+      const double speedup = base_cps > 0 ? p.stats.cycles_per_sec() / base_cps : 0.0;
+      json.add(prefix + ".cycles_per_sec", p.stats.cycles_per_sec(), "cycle/s");
+      json.add(prefix + ".macs_per_sec", p.stats.macs_per_sec(), "MAC/s");
+      json.add(prefix + ".jobs_per_sec", p.stats.jobs_per_sec(), "job/s");
+      json.add(prefix + ".speedup_vs_t1", speedup, "x");
+      json.add(prefix + ".efficiency", speedup / p.threads, "frac");
+      table.add_row({mn, TablePrinter::fmt_int(mix.size()),
+                     TablePrinter::fmt_int(p.threads),
+                     TablePrinter::fmt(p.stats.wall_s, 3),
                      TablePrinter::fmt(p.stats.cycles_per_sec(), 0),
                      TablePrinter::fmt(p.stats.macs_per_sec(), 0),
                      TablePrinter::fmt(p.stats.jobs_per_sec(), 1),

@@ -1,15 +1,23 @@
 /// \file quickstart.cpp
-/// \brief Minimal RedMulE usage: build a PULP cluster, offload one FP16
-///        GEMM through the HWPE register-file driver, verify the result
-///        against the golden model, and print the performance counters.
+/// \brief Minimal public-API usage: instantiate a workload from a registry
+///        spec string, submit it to the async api::Service, verify the
+///        result against the golden model, and print the performance
+///        counters.
+///
+/// This is the front door of the codebase: one polymorphic surface
+/// (api::Workload) over the monolithic driver, the tiled L2 pipeline, and
+/// the multi-layer network executor, served by a worker pool with pooled,
+/// reset()-reused cluster instances. See examples/async_service.cpp for the
+/// asynchronous patterns (priorities, callbacks, cancel) and
+/// docs/ARCHITECTURE.md ("The public API") for the contract.
 ///
 /// Build & run:
 ///   cmake -B build -S . && cmake --build build -j
 ///   ./build/example_quickstart
 #include <cstdio>
 
-#include "cluster/cluster.hpp"
-#include "cluster/driver.hpp"
+#include "api/service.hpp"
+#include "api/workload.hpp"
 #include "core/golden.hpp"
 #include "model/energy.hpp"
 #include "workloads/gemm.hpp"
@@ -17,27 +25,39 @@
 using namespace redmule;
 
 int main() {
-  // 1. A PULP cluster with the paper's RedMulE instance (H=4, L=8, P=3:
-  //    32 FP16 FMAs, 9 TCDM ports).
-  cluster::Cluster cl;
-  cluster::RedmuleDriver drv(cl);
-  std::printf("RedMulE quickstart: %u FMAs, %u j-slots, %u memory ports\n",
-              cl.config().geometry.n_fmas(), cl.config().geometry.j_slots(),
-              cl.config().geometry.mem_ports());
-
-  // 2. Generate an FP16 problem Z = X * W and place it in the TCDM.
-  Xoshiro256 rng(2022);
+  // 1. A workload from a spec string: one FP16 GEMM Z = X * W on the
+  //    paper's RedMulE instance (geom=HxLxP: 4x8x3 = 32 FMAs, 9 TCDM
+  //    ports). The same registry also knows "tiled:..." (L2-resident tiled
+  //    pipeline) and "network:..." (whole training steps).
   const uint32_t M = 24, N = 40, K = 32;
+  const uint64_t seed = 2022;
+  auto workload = api::WorkloadRegistry::global().create(
+      "gemm:m=24,n=40,k=32,geom=4x8x3,seed=2022");
+  std::printf("RedMulE quickstart: workload `%s`\n", workload->name().c_str());
+
+  // 2. A service with one worker thread. submit() is non-blocking and
+  //    returns a future-backed JobHandle; the worker sizes a cluster from
+  //    the workload's requirements(), offloads through the cycle-accurate
+  //    register-file driver, and steps the simulation to completion.
+  api::Service service;
+  api::SubmitOptions opts;
+  opts.keep_output = true;  // retain the Z matrix, not just its hash
+  api::JobHandle handle = service.submit(std::move(workload), opts);
+  api::WorkloadResult res = handle.get();
+  if (!res.ok()) {
+    std::printf("workload failed: %s\n", res.error.to_string().c_str());
+    return 1;
+  }
+
+  // 3. Verify bit-exactness against the golden FP16 FMA chain (including
+  //    the array's zero padding). GemmWorkload draws X then W from its seed
+  //    -- the documented input-generation contract -- so the golden run is
+  //    reproducible here.
+  const core::Geometry geometry{4, 8, 3};
+  Xoshiro256 rng(seed);
   const auto x = workloads::random_matrix(M, N, rng);
   const auto w = workloads::random_matrix(N, K, rng);
-
-  // 3. Offload: the driver writes the job registers, triggers, and steps the
-  //    cycle-accurate simulation until the accelerator raises its event.
-  const auto res = drv.gemm(x, w);
-
-  // 4. Verify bit-exactness against the golden FP16 FMA chain (including the
-  //    array's zero padding).
-  const auto golden = core::golden_gemm_padded(x, w, cl.config().geometry);
+  const auto golden = core::golden_gemm_padded(x, w, geometry);
   for (uint32_t i = 0; i < M; ++i)
     for (uint32_t j = 0; j < K; ++j)
       if (res.z(i, j).bits() != golden(i, j).bits()) {
@@ -46,7 +66,7 @@ int main() {
       }
   std::printf("Result verified bit-exact against the golden FP16 model.\n\n");
 
-  // 5. Performance counters and the calibrated energy model.
+  // 4. Performance counters and the calibrated energy model.
   const auto& s = res.stats;
   const auto op = model::op_peak_efficiency();
   std::printf("Problem: %ux%ux%u (%llu MACs)\n", M, N, K,
@@ -56,10 +76,10 @@ int main() {
               static_cast<unsigned long long>(s.advance_cycles),
               static_cast<unsigned long long>(s.stall_cycles));
   std::printf("Throughput: %.2f MAC/cycle (%.1f%% of ideal 32)\n", s.macs_per_cycle(),
-              100 * s.utilization(cl.config().geometry));
+              100 * s.utilization(geometry));
   std::printf("At 0.65 V / 476 MHz: %.1f GOPS, %.0f GOPS/W, %.2f pJ/MAC\n",
               model::gops(op, s.macs_per_cycle()),
-              model::gops_per_watt(cl.config().geometry, op, s.macs_per_cycle()),
-              model::energy_per_mac_pj(cl.config().geometry, op, s.macs_per_cycle()));
+              model::gops_per_watt(geometry, op, s.macs_per_cycle()),
+              model::energy_per_mac_pj(geometry, op, s.macs_per_cycle()));
   return 0;
 }

@@ -1,0 +1,254 @@
+#include "api/service.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace redmule::api {
+
+namespace {
+
+/// Classifies a legacy (untyped) redmule::Error thrown mid-run into the API
+/// taxonomy by its message. New code should throw api::TypedError directly;
+/// this shim keeps the lower layers api-agnostic during the migration.
+ErrorCode classify_legacy_error(const std::string& what) {
+  if (what.find("timed out") != std::string::npos ||
+      what.find("timeout") != std::string::npos)
+    return ErrorCode::kTimeout;
+  if (what.find("out of memory") != std::string::npos ||
+      what.find("exceed") != std::string::npos ||
+      what.find("does not fit") != std::string::npos ||
+      what.find("budget") != std::string::npos)
+    return ErrorCode::kCapacity;
+  // redmule::Error is by definition a user/configuration error (check.hpp).
+  return ErrorCode::kBadConfig;
+}
+
+/// Runs \p fn with the full per-job failure contract: every throw becomes a
+/// typed error result, never an escaping exception.
+template <typename Fn>
+WorkloadResult guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const TypedError& e) {
+    WorkloadResult res;
+    res.error = {e.code(), e.what()};
+    return res;
+  } catch (const redmule::Error& e) {
+    WorkloadResult res;
+    res.error = {classify_legacy_error(e.what()), e.what()};
+    return res;
+  } catch (const std::exception& e) {
+    WorkloadResult res;
+    res.error = {ErrorCode::kEngineFault, e.what()};
+    return res;
+  }
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  n_threads_ = cfg_.n_threads != 0
+                   ? cfg_.n_threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  workers_.resize(n_threads_);
+  threads_.reserve(n_threads_);
+  for (unsigned i = 0; i < n_threads_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Service::~Service() {
+  std::vector<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> l(m_);
+    stop_ = true;
+    for (auto& [key, job] : queue_) orphans.push_back(std::move(job));
+    queue_.clear();
+    queue_index_.clear();
+    stats_.cancelled += orphans.size();
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Fulfill the orphaned futures only after the workers are gone, so a
+  // not-yet-started job can never be both cancelled and executed. Futures
+  // only: on_complete is a worker-thread contract and these never ran.
+  for (Pending& job : orphans) {
+    WorkloadResult res;
+    res.error = {ErrorCode::kCancelled, "service destroyed before execution"};
+    job.promise.set_value(std::move(res));
+  }
+}
+
+JobHandle Service::submit(std::unique_ptr<Workload> workload, SubmitOptions opts) {
+  Pending job;
+  job.keep_outputs = opts.keep_output.value_or(cfg_.keep_outputs);
+  job.on_complete = std::move(opts.on_complete);
+  JobHandle handle;
+  handle.future_ = job.promise.get_future();
+  if (!workload) {
+    WorkloadResult res;
+    res.error = {ErrorCode::kBadConfig, "null workload submitted"};
+    job.promise.set_value(std::move(res));  // future only; the job never ran
+    return handle;
+  }
+  job.work = std::move(workload);
+  {
+    std::lock_guard<std::mutex> l(m_);
+    job.id = next_id_++;
+    handle.id_ = job.id;
+    ++stats_.submitted;
+    const auto key =
+        std::make_pair(-static_cast<int64_t>(opts.priority), job.id);
+    queue_index_.emplace(job.id, key);
+    queue_.emplace(key, std::move(job));
+  }
+  cv_work_.notify_one();
+  return handle;
+}
+
+bool Service::cancel(uint64_t job_id) {
+  Pending job;
+  {
+    std::lock_guard<std::mutex> l(m_);
+    const auto it = queue_index_.find(job_id);
+    if (it == queue_index_.end()) return false;
+    auto node = queue_.extract(it->second);
+    queue_index_.erase(it);
+    job = std::move(node.mapped());
+    ++stats_.cancelled;
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+  // Future only, invoked on the caller's thread with no service lock held:
+  // on_complete is reserved for jobs that executed on a worker, so cancel()
+  // can never re-enter caller-side locks through a callback.
+  WorkloadResult res;
+  res.error = {ErrorCode::kCancelled, "cancelled before execution"};
+  job.promise.set_value(std::move(res));
+  return true;
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> l(m_);
+  cv_idle_.wait(l, [&] { return queue_.empty() && active_ == 0; });
+}
+
+size_t Service::queued() const {
+  std::lock_guard<std::mutex> l(m_);
+  return queue_.size();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> l(m_);
+  return stats_;
+}
+
+void Service::worker_loop(unsigned idx) {
+  Worker& w = workers_[idx];
+  std::unique_lock<std::mutex> l(m_);
+  for (;;) {
+    cv_work_.wait(l, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    auto node = queue_.extract(queue_.begin());
+    Pending job = std::move(node.mapped());
+    queue_index_.erase(job.id);
+    ++active_;
+    l.unlock();
+
+    uint64_t constructed = 0, reused = 0;
+    WorkloadResult res = execute(w, *job.work, job.keep_outputs, constructed, reused);
+    const bool ok = res.ok();
+    const uint64_t cycles = res.stats.cycles;
+    const uint64_t macs = res.stats.macs;
+
+    // Stats become visible before the future is fulfilled, so a caller that
+    // just observed its result reads consistent aggregate counters.
+    l.lock();
+    ++stats_.completed;
+    if (ok) {
+      stats_.sim_cycles += cycles;
+      stats_.macs += macs;
+    } else {
+      ++stats_.failed;
+    }
+    stats_.clusters_constructed += constructed;
+    stats_.cluster_reuses += reused;
+    l.unlock();
+
+    finish(job, std::move(res));
+
+    l.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+}
+
+WorkloadResult Service::execute(Worker& w, Workload& work, bool keep_outputs,
+                                uint64_t& constructed, uint64_t& reused) {
+  return guarded([&]() -> WorkloadResult {
+    if (Error err = work.validate()) {
+      WorkloadResult res;
+      res.error = std::move(err);
+      return res;
+    }
+    const cluster::ClusterConfig cfg =
+        resolve_cluster_config(cfg_.base, work.requirements());
+    RunContext ctx{keep_outputs};
+    if (!cfg_.reuse_clusters) {
+      // Baseline mode: pay full construction/destruction per job.
+      cluster::Cluster cl(cfg);
+      ++constructed;
+      return work.run(cl, ctx);
+    }
+    const uint64_t key = pool_key(cfg);
+    PooledCluster* pc = nullptr;
+    for (PooledCluster& cand : w.pool)
+      if (cand.key == key) {
+        pc = &cand;
+        break;
+      }
+    if (pc == nullptr) {
+      w.pool.push_back(
+          PooledCluster{key, std::make_unique<cluster::Cluster>(cfg), 0});
+      pc = &w.pool.back();
+      ++constructed;
+    } else {
+      // Unconditional reset before (not after) each job: this also recovers
+      // the instance from a previous job that timed out or threw mid-run.
+      pc->cl->reset();
+      ++reused;
+    }
+    ++pc->jobs_run;
+    return work.run(*pc->cl, ctx);
+  });
+}
+
+void Service::finish(Pending& job, WorkloadResult res) {
+  if (job.on_complete) {
+    try {
+      job.on_complete(res);
+    } catch (...) {
+      // Callbacks must not kill the worker; the result still flows through
+      // the future either way.
+    }
+  }
+  job.promise.set_value(std::move(res));
+}
+
+WorkloadResult Service::run_one(Workload& workload,
+                                const cluster::ClusterConfig& base,
+                                bool keep_outputs) {
+  return guarded([&]() -> WorkloadResult {
+    if (Error err = workload.validate()) {
+      WorkloadResult res;
+      res.error = std::move(err);
+      return res;
+    }
+    cluster::Cluster cl(resolve_cluster_config(base, workload.requirements()));
+    RunContext ctx{keep_outputs};
+    return workload.run(cl, ctx);
+  });
+}
+
+}  // namespace redmule::api

@@ -1,0 +1,182 @@
+/// \file service.hpp
+/// \brief Asynchronous job-submission service over the Workload contract.
+///
+/// api::Service is the public front door for running work on simulated
+/// clusters: callers submit() polymorphic api::Workload instances and get a
+/// JobHandle (a future) back immediately -- no blocking, no batch assembly.
+/// Internally the service keeps the machinery that made the legacy batch
+/// runner fast, retargeted from the flag-struct BatchJob to the interface:
+///
+///  - a pool of N worker threads drains a shared priority queue (higher
+///    priority first, FIFO within a priority level -- the queue plays the
+///    role of the old work-stealing cursor: a worker that finishes early
+///    simply pops the next job, so long jobs never serialize behind short
+///    ones);
+///  - every worker owns a pool of reusable cluster instances keyed by the
+///    workload's *resolved* cluster config (api::pool_key): a pooled cluster
+///    is re-initialized in place with Cluster::reset() before every job
+///    instead of reconstructing the module hierarchy;
+///  - failures are values, not poison: validate()/requirements()/run()
+///    errors are caught per job and reported as typed api::Error results;
+///    the unconditional reset-before-run recovers pooled instances from any
+///    previous job that threw mid-flight.
+///
+/// Determinism: a workload's result is a pure function of its spec (the
+/// Workload contract), so submission order, priority, thread count, and
+/// cluster reuse never change any outcome -- tests/api/test_service.cpp
+/// asserts bit-identical z_hash/stats across all four axes, and against the
+/// legacy sim::BatchRunner path for equivalent specs.
+///
+/// Lifecycle: drain() blocks until every submitted job has completed.
+/// cancel(id) removes a not-yet-started job from the queue (its future is
+/// fulfilled with a kCancelled error). Destroying the service cancels all
+/// queued jobs, finishes the in-flight ones, and joins the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/workload.hpp"
+#include "cluster/cluster.hpp"
+
+namespace redmule::api {
+
+struct ServiceConfig {
+  unsigned n_threads = 1;      ///< worker threads; 0 = hardware_concurrency
+  bool reuse_clusters = true;  ///< false: reconstruct per job (baseline mode)
+  bool keep_outputs = false;   ///< default for SubmitOptions::keep_output
+  cluster::ClusterConfig base; ///< geometry/TCDM/L2 grown per workload
+};
+
+struct SubmitOptions {
+  /// Higher runs first among queued jobs; ties drain in submission order.
+  int priority = 0;
+  /// Overrides ServiceConfig::keep_outputs for this job.
+  std::optional<bool> keep_output;
+  /// Invoked on the worker thread right before the future is fulfilled,
+  /// for jobs that actually EXECUTED (ok or failed). Jobs that never start
+  /// -- cancelled, dropped at service destruction, or rejected null
+  /// submissions -- resolve their future only, so the callback can never
+  /// run on the caller's own thread (no lock-reentrancy surprises from
+  /// inside cancel()). Must not block on this job's own future (it is not
+  /// ready yet) and should not throw (exceptions are swallowed to keep the
+  /// worker alive).
+  std::function<void(const WorkloadResult&)> on_complete;
+};
+
+/// Aggregate counters since construction; snapshot with Service::stats().
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;  ///< jobs executed to a result (ok or failed)
+  uint64_t failed = 0;     ///< completed with error.code != kNone
+  uint64_t cancelled = 0;  ///< removed from the queue before execution
+  uint64_t sim_cycles = 0;  ///< sum of per-job simulated cycles (ok jobs)
+  uint64_t macs = 0;        ///< sum of per-job useful MACs (ok jobs)
+  uint64_t clusters_constructed = 0;
+  uint64_t cluster_reuses = 0;  ///< jobs served by a reset() pooled instance
+};
+
+/// Move-only handle to one submitted job: its id (for cancel()) and the
+/// future carrying the WorkloadResult.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  uint64_t id() const { return id_; }
+  bool valid() const { return future_.valid(); }
+  void wait() const { future_.wait(); }
+  /// Blocks until the job completes and moves the result out (one-shot).
+  WorkloadResult get() { return future_.get(); }
+
+ private:
+  friend class Service;
+  uint64_t id_ = 0;
+  std::future<WorkloadResult> future_;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg = {});
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Non-blocking: enqueues the workload and returns immediately. The job
+  /// starts as soon as a worker is free (priority order, FIFO within a
+  /// level). A null workload is rejected with kBadConfig via the future.
+  JobHandle submit(std::unique_ptr<Workload> workload, SubmitOptions opts = {});
+
+  /// Removes a queued job before it starts; its future is fulfilled with a
+  /// kCancelled error. Returns false when the job is already running,
+  /// already done, or unknown.
+  bool cancel(uint64_t job_id);
+
+  /// Blocks until the queue is empty and no job is executing. Jobs submitted
+  /// concurrently with drain() (from other threads) may or may not be
+  /// covered; serialize externally if that matters.
+  void drain();
+
+  unsigned n_threads() const { return n_threads_; }
+  size_t queued() const;
+  ServiceStats stats() const;
+
+  /// Reference path for tests and one-shot tools: executes one workload on
+  /// a fresh, unpooled cluster synchronously. Same failure contract as the
+  /// service path: errors land in the result, never throw.
+  static WorkloadResult run_one(Workload& workload,
+                                const cluster::ClusterConfig& base = {},
+                                bool keep_outputs = true);
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    std::unique_ptr<Workload> work;
+    bool keep_outputs = false;
+    std::function<void(const WorkloadResult&)> on_complete;
+    std::promise<WorkloadResult> promise;
+  };
+
+  /// Worker-owned cluster pool entry (single-threaded access by design).
+  struct PooledCluster {
+    uint64_t key = 0;
+    std::unique_ptr<cluster::Cluster> cl;
+    uint64_t jobs_run = 0;
+  };
+  struct Worker {
+    std::vector<PooledCluster> pool;
+  };
+
+  void worker_loop(unsigned idx);
+  WorkloadResult execute(Worker& w, Workload& work, bool keep_outputs,
+                         uint64_t& constructed, uint64_t& reused);
+  static void finish(Pending& job, WorkloadResult res);
+
+  ServiceConfig cfg_;
+  unsigned n_threads_ = 1;
+  std::vector<Worker> workers_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  /// Priority queue with stable FIFO within a level and O(log n) cancel:
+  /// keyed by {-priority, submission id}, smallest key pops first.
+  std::map<std::pair<int64_t, uint64_t>, Pending> queue_;
+  std::unordered_map<uint64_t, std::pair<int64_t, uint64_t>> queue_index_;
+  uint64_t next_id_ = 1;
+  unsigned active_ = 0;
+  bool stop_ = false;
+
+  ServiceStats stats_;  ///< guarded by m_
+};
+
+}  // namespace redmule::api

@@ -1,0 +1,501 @@
+#include "api/workload.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <mutex>
+
+#include "cluster/driver.hpp"
+#include "cluster/network_runner.hpp"
+#include "cluster/tiled_gemm_runner.hpp"
+#include "workloads/network.hpp"
+#include "workloads/tiled_gemm.hpp"
+
+namespace redmule::api {
+
+namespace {
+
+/// Allocator slack every sizing path reserves on top of its operand bytes
+/// (alignment padding plus headroom for small scratch allocations).
+constexpr uint64_t kTcdmSlackBytes = 4096;
+
+/// Maps the tiled pipeline's counters onto the JobStats shape results carry:
+/// cycles cover the whole pipeline (DMA included), advance/stall/fma are the
+/// engine counters summed over the tile jobs.
+core::JobStats tiled_job_stats(const cluster::TiledGemmStats& ts) {
+  core::JobStats js;
+  js.cycles = ts.total_cycles;
+  js.advance_cycles = ts.advance_cycles;
+  js.stall_cycles = ts.stall_cycles;
+  js.macs = ts.macs;
+  js.fma_ops = ts.fma_ops;
+  return js;
+}
+
+Error check_gemm_spec(const GemmSpec& spec) {
+  try {
+    spec.geometry.validate();
+  } catch (const redmule::Error& e) {
+    return {ErrorCode::kBadConfig, std::string("invalid geometry: ") + e.what()};
+  }
+  if (spec.shape.m < 1 || spec.shape.n < 1 || spec.shape.k < 1)
+    return {ErrorCode::kBadConfig, "matrix sizes must be positive"};
+  return {};
+}
+
+std::string shape_tag(const workloads::GemmShape& s) {
+  return !s.name.empty() ? s.name
+                         : std::to_string(s.m) + "x" + std::to_string(s.n) + "x" +
+                               std::to_string(s.k);
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "None";
+    case ErrorCode::kBadConfig: return "BadConfig";
+    case ErrorCode::kCapacity: return "Capacity";
+    case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kEngineFault: return "EngineFault";
+    case ErrorCode::kCancelled: return "Cancelled";
+  }
+  return "Unknown";
+}
+
+std::string Error::to_string() const {
+  if (code == ErrorCode::kNone) return "";
+  return std::string(error_code_name(code)) + ": " + message;
+}
+
+cluster::ClusterConfig resolve_cluster_config(const cluster::ClusterConfig& base,
+                                              const ClusterRequirements& reqs) {
+  try {
+    reqs.geometry.validate();
+  } catch (const redmule::Error& e) {
+    throw TypedError(ErrorCode::kBadConfig,
+                     std::string("invalid geometry: ") + e.what());
+  }
+  cluster::ClusterConfig cfg = base;
+  cfg.geometry = reqs.geometry;
+  while (cfg.tcdm.n_banks < cfg.geometry.mem_ports()) cfg.tcdm.n_banks *= 2;
+  // All growth happens in 64-bit: doubling the 32-bit config fields (or the
+  // 32-bit TcdmConfig::size_bytes() product) directly would wrap -- and then
+  // spin forever -- for working sets past 2 GiB.
+  uint64_t tcdm_size =
+      static_cast<uint64_t>(cfg.tcdm.n_banks) * cfg.tcdm.words_per_bank * 4;
+  while (tcdm_size < reqs.tcdm_bytes) {
+    cfg.tcdm.words_per_bank *= 2;
+    tcdm_size *= 2;
+  }
+  if (tcdm_size > UINT32_MAX - cfg.tcdm.base_addr)
+    throw TypedError(ErrorCode::kCapacity,
+                     "workload TCDM request exceeds the 32-bit cluster "
+                     "address space");
+  uint64_t l2_size = cfg.l2.size_bytes;
+  while (l2_size < reqs.l2_bytes) l2_size *= 2;
+  if (l2_size > UINT32_MAX - cfg.l2.base_addr)
+    throw TypedError(ErrorCode::kCapacity,
+                     "workload layout exceeds the addressable L2");
+  cfg.l2.size_bytes = static_cast<uint32_t>(l2_size);
+  return cfg;
+}
+
+uint64_t pool_key(const cluster::ClusterConfig& cfg) {
+  uint64_t k = cfg.geometry.h;
+  k = k * 257 + cfg.geometry.l;
+  k = k * 257 + cfg.geometry.p;
+  k = k * 8209 + cfg.tcdm.n_banks;
+  k = k * 1048583 + cfg.tcdm.words_per_bank;
+  k = k * 16777259 + cfg.l2.size_bytes;
+  return k;
+}
+
+uint64_t hash_fold(uint64_t h, const workloads::MatrixF16& m) {
+  const auto* p = reinterpret_cast<const uint8_t*>(m.data());
+  for (size_t i = 0; i < m.size_bytes(); ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t hash_matrix(const workloads::MatrixF16& m) {
+  return hash_fold(0xcbf29ce484222325ULL, m);
+}
+
+// --- GemmWorkload -----------------------------------------------------------
+
+std::string GemmWorkload::name() const { return "gemm:" + shape_tag(spec_.shape); }
+
+ClusterRequirements GemmWorkload::requirements() const {
+  ClusterRequirements reqs;
+  reqs.geometry = spec_.geometry;
+  uint64_t need = spec_.shape.bytes() + kTcdmSlackBytes;
+  if (spec_.accumulate)
+    need += 2ull * spec_.shape.m * spec_.shape.k;  // the Y operand
+  reqs.tcdm_bytes = need;
+  return reqs;
+}
+
+Error GemmWorkload::validate() const { return check_gemm_spec(spec_); }
+
+WorkloadResult GemmWorkload::run(cluster::Cluster& cluster, RunContext& ctx) {
+  cluster::RedmuleDriver drv(cluster);
+  Xoshiro256 rng(spec_.seed);
+  const auto x = workloads::random_matrix(spec_.shape.m, spec_.shape.n, rng);
+  const auto w = workloads::random_matrix(spec_.shape.n, spec_.shape.k, rng);
+  cluster::RedmuleDriver::GemmResult g;
+  if (spec_.accumulate) {
+    const auto y = workloads::random_matrix(spec_.shape.m, spec_.shape.k, rng);
+    g = drv.gemm_acc(x, w, y);
+  } else {
+    g = drv.gemm(x, w);
+  }
+  WorkloadResult res;
+  res.stats = g.stats;
+  res.z_hash = hash_matrix(g.z);
+  if (ctx.keep_outputs) res.z = std::move(g.z);
+  return res;
+}
+
+// --- TiledGemmWorkload ------------------------------------------------------
+
+std::string TiledGemmWorkload::name() const {
+  return "tiled:" + shape_tag(spec_.shape);
+}
+
+ClusterRequirements TiledGemmWorkload::requirements() const {
+  ClusterRequirements reqs;
+  reqs.geometry = spec_.geometry;
+  // The planner's own smallest aligned tile set must fit the TCDM; the L2
+  // must hold the staged (DMA-padded) operands.
+  const uint32_t np = spec_.shape.n + (spec_.shape.n & 1u);
+  const uint32_t kp = spec_.shape.k + (spec_.shape.k & 1u);
+  const workloads::TiledGemmPlan min_plan = workloads::min_tile_plan(
+      spec_.shape.m, np, kp, spec_.accumulate, spec_.geometry);
+  reqs.tcdm_bytes = min_plan.tcdm_bytes() + kTcdmSlackBytes;
+  reqs.l2_bytes = min_plan.staged_l2_bytes();
+  return reqs;
+}
+
+Error TiledGemmWorkload::validate() const { return check_gemm_spec(spec_); }
+
+WorkloadResult TiledGemmWorkload::run(cluster::Cluster& cluster, RunContext& ctx) {
+  cluster::RedmuleDriver drv(cluster);
+  Xoshiro256 rng(spec_.seed);
+  const auto x = workloads::random_matrix(spec_.shape.m, spec_.shape.n, rng);
+  const auto w = workloads::random_matrix(spec_.shape.n, spec_.shape.k, rng);
+  cluster::TiledGemmRunner runner(cluster, drv);
+  cluster::TiledGemmRunner::Result r;
+  if (spec_.accumulate) {
+    const auto y = workloads::random_matrix(spec_.shape.m, spec_.shape.k, rng);
+    r = runner.run(x, w, &y);
+  } else {
+    r = runner.run(x, w);
+  }
+  WorkloadResult res;
+  res.stats = tiled_job_stats(r.stats);
+  res.z_hash = hash_matrix(r.z);
+  if (ctx.keep_outputs) res.z = std::move(r.z);
+  return res;
+}
+
+// --- NetworkTrainingWorkload ------------------------------------------------
+
+std::string NetworkTrainingWorkload::name() const {
+  std::string n = "network:";
+  n += std::to_string(spec_.net.input_dim);
+  for (uint32_t d : spec_.net.hidden) {
+    n += '-';
+    n += std::to_string(d);
+  }
+  n += "@B";
+  n += std::to_string(spec_.net.batch);
+  return n;
+}
+
+ClusterRequirements NetworkTrainingWorkload::requirements() const {
+  // Network training steps keep activations in L2 and stream every layer
+  // through the tiled pipeline: the TCDM floor is the largest lowered GEMM's
+  // minimum aligned tile set, the L2 must hold the whole training layout
+  // (weights both ways, per-layer activations, gradients).
+  ClusterRequirements reqs;
+  reqs.geometry = spec_.geometry;
+  const std::vector<uint32_t> dims = spec_.net.dims();
+  reqs.tcdm_bytes = cluster::NetworkRunner::min_tcdm_bytes(
+                        dims, spec_.net.batch, spec_.geometry) +
+                    kTcdmSlackBytes;
+  reqs.l2_bytes =
+      cluster::NetworkRunner::training_l2_bytes(dims, spec_.net.batch);
+  return reqs;
+}
+
+Error NetworkTrainingWorkload::validate() const {
+  try {
+    spec_.geometry.validate();
+  } catch (const redmule::Error& e) {
+    return {ErrorCode::kBadConfig, std::string("invalid geometry: ") + e.what()};
+  }
+  if (spec_.net.batch < 1)
+    return {ErrorCode::kBadConfig, "batch size must be positive"};
+  if (spec_.net.input_dim < 1)
+    return {ErrorCode::kBadConfig, "network input dimension must be positive"};
+  for (uint32_t d : spec_.net.hidden)
+    if (d < 1)
+      return {ErrorCode::kBadConfig, "network layer dimensions must be positive"};
+  return {};
+}
+
+WorkloadResult NetworkTrainingWorkload::run(cluster::Cluster& cluster,
+                                            RunContext& ctx) {
+  // Weights then the input batch are drawn from the workload's RNG stream,
+  // so (net config, seed) fully determine the outcome regardless of worker,
+  // order, or cluster reuse.
+  cluster::RedmuleDriver drv(cluster);
+  Xoshiro256 rng(spec_.seed);
+  workloads::NetworkGraph net =
+      workloads::NetworkGraph::autoencoder(spec_.net, rng);
+  const auto x =
+      workloads::random_matrix(net.input_dim(), spec_.net.batch, rng);
+  cluster::NetworkRunner runner(cluster, drv);
+  auto r = runner.training_step(net, x, x, spec_.lr);
+  WorkloadResult res;
+  res.stats.cycles = r.stats.total_cycles;
+  res.stats.macs = r.stats.macs;
+  for (const cluster::NetworkGemmStats& gs : r.stats.gemms) {
+    res.stats.advance_cycles += gs.tiled.advance_cycles;
+    res.stats.stall_cycles += gs.tiled.stall_cycles;
+    res.stats.fma_ops += gs.tiled.fma_ops;
+  }
+  uint64_t h = hash_matrix(r.out);
+  for (const workloads::MatrixF16& dw : r.dw) h = hash_fold(h, dw);
+  res.z_hash = h;
+  if (ctx.keep_outputs) res.z = std::move(r.out);
+  return res;
+}
+
+// --- SpecArgs ---------------------------------------------------------------
+
+SpecArgs SpecArgs::parse(const std::string& body) {
+  SpecArgs args;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    const size_t comma = body.find(',', pos);
+    const std::string item =
+        body.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? body.size() : comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw TypedError(ErrorCode::kBadConfig,
+                       "malformed spec item `" + item + "` (want key=value)");
+    args.kv_[item.substr(0, eq)] = Entry{item.substr(eq + 1), false};
+  }
+  return args;
+}
+
+bool SpecArgs::has(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it != kv_.end()) it->second.consumed = true;
+  return it != kv_.end();
+}
+
+std::string SpecArgs::str(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  it->second.consumed = true;
+  return it->second.value;
+}
+
+uint64_t SpecArgs::u64(const std::string& key, uint64_t def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  it->second.consumed = true;
+  const std::string& v = it->second.value;
+  uint64_t out = 0;
+  const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || p != v.data() + v.size())
+    throw TypedError(ErrorCode::kBadConfig,
+                     "spec key `" + key + "`: `" + v + "` is not an integer");
+  return out;
+}
+
+uint32_t SpecArgs::u32(const std::string& key, uint32_t def) const {
+  const uint64_t v = u64(key, def);
+  if (v > UINT32_MAX)
+    throw TypedError(ErrorCode::kBadConfig,
+                     "spec key `" + key + "` exceeds 32 bits");
+  return static_cast<uint32_t>(v);
+}
+
+double SpecArgs::num(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  it->second.consumed = true;
+  const std::string& v = it->second.value;
+  try {
+    size_t used = 0;
+    const double out = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw TypedError(ErrorCode::kBadConfig,
+                     "spec key `" + key + "`: `" + v + "` is not a number");
+  }
+}
+
+bool SpecArgs::flag(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  it->second.consumed = true;
+  const std::string& v = it->second.value;
+  if (v == "1" || v == "true") return true;
+  if (v == "0" || v == "false") return false;
+  throw TypedError(ErrorCode::kBadConfig,
+                   "spec key `" + key + "`: `" + v + "` is not a boolean");
+}
+
+core::Geometry SpecArgs::geometry(const std::string& key,
+                                  core::Geometry def) const {
+  const std::string v = str(key, "");
+  if (v.empty()) return def;
+  unsigned parts[3] = {0, 0, 0};
+  size_t pos = 0;
+  for (int i = 0; i < 3; ++i) {
+    const size_t x = v.find('x', pos);
+    const bool last = i == 2;
+    if ((x == std::string::npos) != last)
+      throw TypedError(ErrorCode::kBadConfig,
+                       "spec key `" + key + "`: `" + v + "` is not HxLxP");
+    const std::string part =
+        v.substr(pos, last ? std::string::npos : x - pos);
+    const auto [p, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), parts[i]);
+    if (ec != std::errc{} || p != part.data() + part.size())
+      throw TypedError(ErrorCode::kBadConfig,
+                       "spec key `" + key + "`: `" + v + "` is not HxLxP");
+    pos = x + 1;
+  }
+  return core::Geometry{parts[0], parts[1], parts[2]};
+}
+
+std::vector<uint32_t> SpecArgs::dims(const std::string& key,
+                                     std::vector<uint32_t> def) const {
+  const std::string v = str(key, "");
+  if (v.empty()) return def;
+  std::vector<uint32_t> out;
+  size_t pos = 0;
+  while (pos <= v.size()) {
+    const size_t dash = v.find('-', pos);
+    const std::string part =
+        v.substr(pos, dash == std::string::npos ? std::string::npos : dash - pos);
+    uint32_t d = 0;
+    const auto [p, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), d);
+    if (ec != std::errc{} || p != part.data() + part.size())
+      throw TypedError(ErrorCode::kBadConfig, "spec key `" + key + "`: `" + v +
+                                                  "` is not a - separated "
+                                                  "dimension list");
+    out.push_back(d);
+    if (dash == std::string::npos) break;
+    pos = dash + 1;
+  }
+  return out;
+}
+
+void SpecArgs::require_all_consumed(const std::string& kind) const {
+  for (const auto& [key, entry] : kv_)
+    if (!entry.consumed)
+      throw TypedError(ErrorCode::kBadConfig, "workload kind `" + kind +
+                                                  "` does not understand spec "
+                                                  "key `" +
+                                                  key + "`");
+}
+
+// --- WorkloadRegistry -------------------------------------------------------
+
+namespace {
+
+GemmSpec gemm_spec_from(const SpecArgs& args) {
+  GemmSpec spec;
+  spec.shape.m = args.u32("m", 0);
+  spec.shape.n = args.u32("n", 0);
+  spec.shape.k = args.u32("k", 0);
+  spec.shape.name = args.str("name", "");
+  spec.geometry = args.geometry("geom", core::Geometry{});
+  spec.seed = args.u64("seed", 1);
+  spec.accumulate = args.flag("acc", false);
+  return spec;
+}
+
+void register_builtins(WorkloadRegistry& reg) {
+  reg.add("gemm", [](const SpecArgs& args) -> std::unique_ptr<Workload> {
+    GemmSpec spec = gemm_spec_from(args);
+    args.require_all_consumed("gemm");
+    return std::make_unique<GemmWorkload>(std::move(spec));
+  });
+  reg.add("tiled", [](const SpecArgs& args) -> std::unique_ptr<Workload> {
+    GemmSpec spec = gemm_spec_from(args);
+    args.require_all_consumed("tiled");
+    return std::make_unique<TiledGemmWorkload>(std::move(spec));
+  });
+  reg.add("network", [](const SpecArgs& args) -> std::unique_ptr<Workload> {
+    NetworkTrainingSpec spec;
+    spec.net.input_dim = args.u32("in", spec.net.input_dim);
+    spec.net.hidden = args.dims("hidden", spec.net.hidden);
+    spec.net.batch = args.u32("batch", 1);
+    spec.geometry = args.geometry("geom", core::Geometry{});
+    spec.seed = args.u64("seed", 1);
+    spec.lr = args.num("lr", spec.lr);
+    (void)args.str("name", "");  // accepted for symmetry, unused
+    args.require_all_consumed("network");
+    return std::make_unique<NetworkTrainingWorkload>(std::move(spec));
+  });
+}
+
+}  // namespace
+
+WorkloadRegistry& WorkloadRegistry::global() {
+  static WorkloadRegistry* reg = [] {
+    auto* r = new WorkloadRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void WorkloadRegistry::add(const std::string& kind, Factory factory) {
+  std::lock_guard<std::mutex> l(m_);
+  factories_[kind] = std::move(factory);
+}
+
+std::unique_ptr<Workload> WorkloadRegistry::create(const std::string& spec) const {
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> l(m_);
+    const auto it = factories_.find(kind);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [k, f] : factories_) known += (known.empty() ? "" : ", ") + k;
+      throw TypedError(ErrorCode::kBadConfig, "unknown workload kind `" + kind +
+                                                  "` (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  const SpecArgs args =
+      SpecArgs::parse(colon == std::string::npos ? "" : spec.substr(colon + 1));
+  return factory(args);
+}
+
+std::vector<std::string> WorkloadRegistry::kinds() const {
+  std::lock_guard<std::mutex> l(m_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [k, f] : factories_) out.push_back(k);
+  return out;
+}
+
+}  // namespace redmule::api

@@ -1,0 +1,316 @@
+/// \file workload.hpp
+/// \brief The public workload contract: one polymorphic surface over every
+///        execution path of the simulator.
+///
+/// The repo grew four ways to run work on a cluster -- monolithic
+/// RedmuleDriver GEMMs, the tiled L2 pipeline, whole network training steps,
+/// and the batched multi-cluster runner -- each with a bespoke entry point.
+/// This header defines the one abstraction they all fit behind:
+///
+///  - api::Workload: a self-contained, *deterministic* unit of work. It
+///    declares what cluster it needs (requirements()), can reject its own
+///    configuration up front (validate(), typed errors), and executes on a
+///    reset-fresh cluster (run()). A workload's result -- cycle counts,
+///    statistics, every FP16 output bit -- must be a pure function of its
+///    spec: no wall clock, no thread identity, no global state. That purity
+///    is what lets api::Service schedule workloads on any worker, in any
+///    order, at any priority, on pooled clusters, without changing a single
+///    outcome.
+///  - api::Error / api::ErrorCode: the typed failure taxonomy replacing
+///    stringly-typed error reporting. BadConfig = the spec itself is invalid;
+///    Capacity = the spec is valid but exceeds what any cluster here can be
+///    grown to; Timeout = the simulation ran but did not converge;
+///    EngineFault = the simulation failed mid-run (an internal throw).
+///  - GemmWorkload / TiledGemmWorkload / NetworkTrainingWorkload: adapters
+///    wrapping the existing runners *bit-exactly* -- same input generation,
+///    same cluster sizing, same hashes as the legacy sim::BatchJob paths
+///    (tests/api/test_service.cpp proves equivalence).
+///  - api::WorkloadRegistry: name-keyed factories so benches, CLIs and tests
+///    can instantiate scenarios from a spec string like
+///    "gemm:m=64,n=64,k=64,seed=7" without compile-time knowledge of the
+///    concrete type.
+///
+/// Boundary rule: src/api headers are the public surface. They may depend on
+/// the layers below (cluster, workloads, core) but never on src/sim -- the
+/// legacy batch runner depends on this API, not the other way around. CI
+/// compiles a TU that includes only src/api headers to keep them
+/// self-contained.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "workloads/autoencoder.hpp"
+#include "workloads/gemm.hpp"
+
+namespace redmule::api {
+
+// --- Error taxonomy ---------------------------------------------------------
+
+enum class ErrorCode : uint8_t {
+  kNone = 0,     ///< success
+  kBadConfig,    ///< the workload spec itself is invalid (rejected up front)
+  kCapacity,     ///< valid spec, but exceeds the growable TCDM/L2/address space
+  kTimeout,      ///< the simulation ran past its deadlock guard
+  kEngineFault,  ///< the simulation threw mid-run (internal failure)
+  kCancelled,    ///< the job was cancelled before it started executing
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// A typed error value. `code == kNone` means "no error"; every failure
+/// carries both the machine-readable code and a human-readable message.
+struct Error {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+
+  explicit operator bool() const { return code != ErrorCode::kNone; }
+  /// "BadConfig: ..." -- the legacy stringly-typed rendering.
+  std::string to_string() const;
+};
+
+/// Exception form of api::Error, for the throwing layers underneath the
+/// result-returning surface. Derives from redmule::Error so existing
+/// catch sites keep working during the migration.
+class TypedError : public redmule::Error {
+ public:
+  TypedError(ErrorCode code, const std::string& what)
+      : redmule::Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+// --- The workload contract --------------------------------------------------
+
+/// What a workload needs from the cluster it runs on. The service resolves
+/// this against its base ClusterConfig with resolve_cluster_config(): the
+/// geometry is taken verbatim, TCDM banks are widened to the geometry's port
+/// count, and TCDM/L2 capacities are grown (by doubling) to the declared
+/// byte floors. Workloads with equal resolved configs share pooled cluster
+/// instances (see pool_key()).
+struct ClusterRequirements {
+  core::Geometry geometry{};
+  uint64_t tcdm_bytes = 0;  ///< minimum TCDM capacity in bytes (0 = base config)
+  uint64_t l2_bytes = 0;    ///< minimum L2 capacity in bytes (0 = base config)
+};
+
+/// Resolves requirements against a base config. Throws TypedError(kCapacity)
+/// when the required L2 cannot fit the 32-bit address space, and
+/// TypedError(kBadConfig) when the geometry is invalid.
+cluster::ClusterConfig resolve_cluster_config(const cluster::ClusterConfig& base,
+                                              const ClusterRequirements& reqs);
+
+/// Reuse key: hashes every config field resolve_cluster_config() can vary,
+/// so two workloads whose resolved configs collide can share one pooled
+/// (reset-between-jobs) cluster instance.
+uint64_t pool_key(const cluster::ClusterConfig& cfg);
+
+/// Per-run knobs the executor passes down (everything here must not affect
+/// the simulated outcome -- only what is retained of it).
+struct RunContext {
+  bool keep_outputs = false;  ///< populate WorkloadResult::z (tests, examples)
+};
+
+/// Outcome of one workload execution. Move-only: results hold full FP16
+/// output matrices when keep_outputs is set, and the submission pipeline
+/// (worker -> promise -> future -> caller) moves them end to end -- an
+/// accidental copy is a compile error, not a silent performance bug.
+struct WorkloadResult {
+  Error error;               ///< code == kNone on success
+  core::JobStats stats;      ///< simulated cycles, stalls, MACs, FMA ops
+  uint64_t z_hash = 0;       ///< FNV-1a over the output FP16 bit patterns
+  workloads::MatrixF16 z;    ///< populated only with RunContext::keep_outputs
+
+  WorkloadResult() = default;
+  WorkloadResult(WorkloadResult&&) noexcept = default;
+  WorkloadResult& operator=(WorkloadResult&&) noexcept = default;
+  WorkloadResult(const WorkloadResult&) = delete;
+  WorkloadResult& operator=(const WorkloadResult&) = delete;
+
+  bool ok() const { return error.code == ErrorCode::kNone; }
+};
+
+static_assert(!std::is_copy_constructible_v<WorkloadResult>,
+              "results must move through the pipeline, never copy");
+static_assert(std::is_nothrow_move_constructible_v<WorkloadResult>,
+              "vector growth and promise fulfillment must not copy-fallback");
+
+/// One unit of work. Implementations must be deterministic: run() on a
+/// freshly-constructed (or reset) cluster of the resolved config must
+/// produce bit-identical results every time, independent of which thread
+/// runs it, when, or what ran on the cluster before (the service resets
+/// pooled clusters before every job).
+///
+/// Failure contract: validate() reports spec errors without running;
+/// requirements()/run() may throw (TypedError for classified failures,
+/// anything else is reported as kEngineFault). The service catches
+/// everything -- a failed workload never poisons its worker or its pooled
+/// clusters.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual ClusterRequirements requirements() const = 0;
+  /// Typed up-front spec check; Error{} (kNone) when the spec is runnable.
+  virtual Error validate() const = 0;
+  /// Executes on \p cluster, which is in the reset-fresh state and sized
+  /// per requirements(). Returns stats + output hash (+ outputs on request).
+  virtual WorkloadResult run(cluster::Cluster& cluster, RunContext& ctx) = 0;
+};
+
+// --- FNV-1a output hashing (shared by every adapter and the tests) ----------
+
+/// Chainable FNV-1a over the row-major FP16 bit patterns.
+uint64_t hash_fold(uint64_t h, const workloads::MatrixF16& m);
+uint64_t hash_matrix(const workloads::MatrixF16& m);
+
+// --- Concrete adapters ------------------------------------------------------
+
+/// Spec of a monolithic (TCDM-resident) GEMM job: Z = X*W, optionally
+/// Z = Y + X*W. Inputs are drawn from \p seed (X, then W, then Y when
+/// accumulating) -- the exact generation order of the legacy batch path, so
+/// hashes stay comparable across the API migration.
+struct GemmSpec {
+  workloads::GemmShape shape;
+  core::Geometry geometry{};
+  uint64_t seed = 1;
+  bool accumulate = false;
+};
+
+/// Monolithic GEMM through RedmuleDriver: operands resident in TCDM.
+class GemmWorkload : public Workload {
+ public:
+  explicit GemmWorkload(GemmSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override;
+  ClusterRequirements requirements() const override;
+  Error validate() const override;
+  WorkloadResult run(cluster::Cluster& cluster, RunContext& ctx) override;
+
+  const GemmSpec& spec() const { return spec_; }
+
+ private:
+  GemmSpec spec_;
+};
+
+/// The same GEMM with L2-resident operands streamed through the TCDM by the
+/// double-buffered tiled pipeline (cluster/tiled_gemm_runner.hpp). Z bits are
+/// identical to GemmWorkload for the same spec; only the cycle accounting
+/// (DMA included) and the cluster sizing (small TCDM, grown L2) differ.
+class TiledGemmWorkload : public Workload {
+ public:
+  explicit TiledGemmWorkload(GemmSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override;
+  ClusterRequirements requirements() const override;
+  Error validate() const override;
+  WorkloadResult run(cluster::Cluster& cluster, RunContext& ctx) override;
+
+  const GemmSpec& spec() const { return spec_; }
+
+ private:
+  GemmSpec spec_;
+};
+
+/// Spec of a whole autoencoder training step (forward, dX, dW chains with
+/// L2-resident activations) executed by cluster::NetworkRunner. Weights and
+/// the input batch are drawn from \p seed; z_hash folds the reconstruction
+/// output plus every per-layer dW gradient, so the determinism contract
+/// covers the whole backward pass.
+struct NetworkTrainingSpec {
+  workloads::AutoencoderConfig net{};
+  core::Geometry geometry{};
+  uint64_t seed = 1;
+  double lr = 0.01;  ///< the legacy batch path's fixed learning rate
+};
+
+class NetworkTrainingWorkload : public Workload {
+ public:
+  explicit NetworkTrainingWorkload(NetworkTrainingSpec spec)
+      : spec_(std::move(spec)) {}
+
+  std::string name() const override;
+  ClusterRequirements requirements() const override;
+  Error validate() const override;
+  WorkloadResult run(cluster::Cluster& cluster, RunContext& ctx) override;
+
+  const NetworkTrainingSpec& spec() const { return spec_; }
+
+ private:
+  NetworkTrainingSpec spec_;
+};
+
+// --- Spec strings and the registry ------------------------------------------
+
+/// Parsed "key=value,key=value" argument list of a spec string, with typed
+/// accessors. Accessors mark keys consumed; require_all_consumed() turns a
+/// typo'd key into a kBadConfig error instead of a silent default.
+class SpecArgs {
+ public:
+  /// Parses the part after the kind prefix ("m=64,n=64,k=64").
+  static SpecArgs parse(const std::string& body);
+
+  bool has(const std::string& key) const;
+  std::string str(const std::string& key, const std::string& def) const;
+  uint64_t u64(const std::string& key, uint64_t def) const;
+  uint32_t u32(const std::string& key, uint32_t def) const;
+  double num(const std::string& key, double def) const;
+  bool flag(const std::string& key, bool def) const;
+  /// "4x8x3" -> Geometry{4, 8, 3}.
+  core::Geometry geometry(const std::string& key, core::Geometry def) const;
+  /// "128-64-128" -> {128, 64, 128}.
+  std::vector<uint32_t> dims(const std::string& key,
+                             std::vector<uint32_t> def) const;
+
+  /// Throws TypedError(kBadConfig) naming any key no accessor consumed.
+  void require_all_consumed(const std::string& kind) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    mutable bool consumed = false;
+  };
+  std::map<std::string, Entry> kv_;
+};
+
+/// Name-keyed workload factories: "kind:key=value,..." -> Workload instance.
+/// The built-in kinds are registered on first access of global():
+///
+///   gemm:    m=,n=,k= [,geom=HxLxP] [,seed=] [,acc=0|1] [,name=]
+///   tiled:   same keys as gemm (L2-resident tiled pipeline)
+///   network: batch= [,in=] [,hidden=a-b-c] [,geom=HxLxP] [,seed=] [,lr=]
+///
+/// create() throws TypedError(kBadConfig) for unknown kinds, malformed
+/// values, or unconsumed (typo'd) keys.
+class WorkloadRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Workload>(const SpecArgs&)>;
+
+  /// The process-wide registry with the built-in kinds pre-registered.
+  static WorkloadRegistry& global();
+
+  /// Registers (or replaces) a factory for \p kind.
+  void add(const std::string& kind, Factory factory);
+  std::unique_ptr<Workload> create(const std::string& spec) const;
+  std::vector<std::string> kinds() const;
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace redmule::api

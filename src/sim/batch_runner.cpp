@@ -1,235 +1,91 @@
 #include "sim/batch_runner.hpp"
 
-#include <algorithm>
 #include <chrono>
-#include <exception>
-
-#include "cluster/network_runner.hpp"
-#include "cluster/tiled_gemm_runner.hpp"
-#include "workloads/network.hpp"
+#include <utility>
 
 namespace redmule::sim {
 
 namespace {
 
-/// Learning rate of network training-step jobs: a fixed constant so a job's
-/// outcome stays a pure function of the BatchJob record.
-constexpr double kNetworkJobLr = 0.01;
-
-/// Maps the tiled pipeline's counters onto the per-job JobStats shape the
-/// batch results carry: cycles cover the whole pipeline (DMA included),
-/// advance/stall/fma are the engine counters summed over the tile jobs.
-core::JobStats tiled_job_stats(const cluster::TiledGemmStats& ts) {
-  core::JobStats js;
-  js.cycles = ts.total_cycles;
-  js.advance_cycles = ts.advance_cycles;
-  js.stall_cycles = ts.stall_cycles;
-  js.macs = ts.macs;
-  js.fma_ops = ts.fma_ops;
-  return js;
+api::ServiceConfig service_config(const BatchConfig& cfg) {
+  api::ServiceConfig sc;
+  sc.n_threads = cfg.n_threads;
+  sc.reuse_clusters = cfg.reuse_clusters;
+  sc.keep_outputs = cfg.keep_outputs;
+  sc.base = cfg.base;
+  return sc;
 }
 
-/// FNV-1a over the row-major FP16 bit patterns, chainable across matrices.
-uint64_t hash_fold(uint64_t h, const core::MatrixF16& m) {
-  const auto* p = reinterpret_cast<const uint8_t*>(m.data());
-  for (size_t i = 0; i < m.size_bytes(); ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-uint64_t hash_matrix(const core::MatrixF16& m) {
-  return hash_fold(0xcbf29ce484222325ULL, m);
-}
-
-/// Cluster configuration a job needs: the base config with the job's
-/// geometry, banks widened to the geometry's port count and TCDM capacity
-/// grown to the working set. A pure function of (base, job), so every
-/// worker -- and the serial reference path -- derives the identical config.
-///
-/// Tiled jobs keep the base TCDM (large operands streaming through a small
-/// TCDM is the scenario) but need the L2 to hold the staged operands, and a
-/// TCDM floor that fits the smallest aligned tile set double-buffered.
-cluster::ClusterConfig config_for(const cluster::ClusterConfig& base,
-                                  const BatchJob& job) {
-  cluster::ClusterConfig cfg = base;
-  cfg.geometry = job.geometry;
-  while (cfg.tcdm.n_banks < cfg.geometry.mem_ports()) cfg.tcdm.n_banks *= 2;
-  if (job.network) {
-    // Network training steps keep activations in L2 and stream every layer
-    // through the tiled pipeline: the TCDM floor is the largest lowered
-    // GEMM's minimum aligned tile set, the L2 must hold the whole training
-    // layout (weights both ways, per-layer activations, gradients).
-    const std::vector<uint32_t> dims = job.net.dims();
-    const uint64_t tcdm_floor = cluster::NetworkRunner::min_tcdm_bytes(
-        dims, job.net.batch, cfg.geometry);
-    while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) < tcdm_floor + 4096)
-      cfg.tcdm.words_per_bank *= 2;
-    uint64_t l2_size = cfg.l2.size_bytes;
-    const uint64_t l2_need =
-        cluster::NetworkRunner::training_l2_bytes(dims, job.net.batch);
-    while (l2_size < l2_need) l2_size *= 2;
-    REDMULE_REQUIRE(l2_size <= UINT32_MAX - cfg.l2.base_addr,
-                    "network job layout exceeds the addressable L2");
-    cfg.l2.size_bytes = static_cast<uint32_t>(l2_size);
-    return cfg;
-  }
-  if (job.tiled) {
-    const uint32_t mp = job.shape.m;
-    const uint32_t np = job.shape.n + (job.shape.n & 1u);
-    const uint32_t kp = job.shape.k + (job.shape.k & 1u);
-    const workloads::TiledGemmPlan min_plan =
-        workloads::min_tile_plan(mp, np, kp, job.accumulate, cfg.geometry);
-    // TCDM floor: the planner's own smallest aligned tile set must fit
-    // (plus the allocator slack the non-tiled sizing also reserves).
-    while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) <
-           min_plan.tcdm_bytes() + 4096)
-      cfg.tcdm.words_per_bank *= 2;
-    // Grow in 64-bit: doubling the uint32 config field directly would wrap
-    // (and then spin forever) for operands past 2 GiB.
-    uint64_t l2_size = cfg.l2.size_bytes;
-    while (l2_size < min_plan.staged_l2_bytes()) l2_size *= 2;
-    REDMULE_REQUIRE(l2_size <= UINT32_MAX - cfg.l2.base_addr,
-                    "tiled job operands exceed the addressable L2");
-    cfg.l2.size_bytes = static_cast<uint32_t>(l2_size);
-    return cfg;
-  }
-  uint64_t need = job.shape.bytes() + 4096;
-  if (job.accumulate)
-    need += 2ull * job.shape.m * job.shape.k;  // the Y operand
-  while (static_cast<uint64_t>(cfg.tcdm.size_bytes()) < need)
-    cfg.tcdm.words_per_bank *= 2;
-  return cfg;
-}
-
-/// Pool key: every config field that config_for() can vary per job.
-uint64_t pool_key(const cluster::ClusterConfig& cfg) {
-  uint64_t k = cfg.geometry.h;
-  k = k * 257 + cfg.geometry.l;
-  k = k * 257 + cfg.geometry.p;
-  k = k * 8209 + cfg.tcdm.n_banks;
-  k = k * 1048583 + cfg.tcdm.words_per_bank;
-  k = k * 16777259 + cfg.l2.size_bytes;
-  return k;
-}
-
-/// Generates inputs from the job's seed and runs it on \p cl, which must be
-/// in the freshly-constructed/reset state. Input generation is identical for
-/// the tiled and monolithic paths, so the two produce bit-equal Z for the
-/// same job record modulo the `tiled` flag.
-BatchResult execute(cluster::Cluster& cl, const BatchJob& job, bool keep_outputs) {
-  cluster::RedmuleDriver drv(cl);
-  Xoshiro256 rng(job.seed);
-  if (job.network) {
-    // A whole autoencoder training step: weights then the input batch are
-    // drawn from the job's RNG stream, so (net config, seed) fully determine
-    // the outcome regardless of worker, order, or cluster reuse.
-    workloads::NetworkGraph net = workloads::NetworkGraph::autoencoder(job.net, rng);
-    const auto x = workloads::random_matrix(net.input_dim(), job.net.batch, rng);
-    cluster::NetworkRunner runner(cl, drv);
-    auto r = runner.training_step(net, x, x, kNetworkJobLr);
-    BatchResult res;
-    res.ok = true;
-    res.stats.cycles = r.stats.total_cycles;
-    res.stats.macs = r.stats.macs;
-    for (const cluster::NetworkGemmStats& gs : r.stats.gemms) {
-      res.stats.advance_cycles += gs.tiled.advance_cycles;
-      res.stats.stall_cycles += gs.tiled.stall_cycles;
-      res.stats.fma_ops += gs.tiled.fma_ops;
-    }
-    uint64_t h = hash_matrix(r.out);
-    for (const core::MatrixF16& dw : r.dw) h = hash_fold(h, dw);
-    res.z_hash = h;
-    if (keep_outputs) res.z = std::move(r.out);
-    return res;
-  }
-  const auto x = workloads::random_matrix(job.shape.m, job.shape.n, rng);
-  const auto w = workloads::random_matrix(job.shape.n, job.shape.k, rng);
-  cluster::RedmuleDriver::GemmResult g;
-  if (job.accumulate) {
-    const auto y = workloads::random_matrix(job.shape.m, job.shape.k, rng);
-    if (job.tiled) {
-      cluster::TiledGemmRunner runner(cl, drv);
-      auto r = runner.run(x, w, &y);
-      g.z = std::move(r.z);
-      g.stats = tiled_job_stats(r.stats);
-    } else {
-      g = drv.gemm_acc(x, w, y);
-    }
-  } else if (job.tiled) {
-    cluster::TiledGemmRunner runner(cl, drv);
-    auto r = runner.run(x, w);
-    g.z = std::move(r.z);
-    g.stats = tiled_job_stats(r.stats);
-  } else {
-    g = drv.gemm(x, w);
-  }
+BatchResult to_batch_result(api::WorkloadResult r) {
   BatchResult res;
-  res.ok = true;
-  res.stats = g.stats;
-  res.z_hash = hash_matrix(g.z);
-  if (keep_outputs) res.z = std::move(g.z);
+  res.ok = r.ok();
+  res.code = r.error.code;
+  res.error = r.error.to_string();
+  res.stats = r.stats;
+  res.z_hash = r.z_hash;
+  res.z = std::move(r.z);
+  return res;
+}
+
+BatchResult failed_result(const api::Error& err) {
+  BatchResult res;
+  res.ok = false;
+  res.code = err.code;
+  res.error = err.to_string();
   return res;
 }
 
 }  // namespace
 
-BatchRunner::BatchRunner(BatchConfig cfg) : cfg_(cfg) {
-  n_threads_ = cfg.n_threads != 0 ? cfg.n_threads
-                                  : std::max(1u, std::thread::hardware_concurrency());
-  workers_.resize(n_threads_);
-  threads_.reserve(n_threads_ - 1);
-  for (unsigned i = 1; i < n_threads_; ++i)
-    threads_.emplace_back([this, i] { worker_loop(i); });
+std::unique_ptr<api::Workload> lower_batch_job(const BatchJob& job) {
+  if (job.network && job.tiled)
+    throw api::TypedError(
+        api::ErrorCode::kBadConfig,
+        "ambiguous BatchJob: both `network` and `tiled` are set; a job is "
+        "exactly one workload kind");
+  if (job.network) {
+    api::NetworkTrainingSpec spec;
+    spec.net = job.net;
+    spec.geometry = job.geometry;
+    spec.seed = job.seed;
+    return std::make_unique<api::NetworkTrainingWorkload>(std::move(spec));
+  }
+  api::GemmSpec spec;
+  spec.shape = job.shape;
+  spec.geometry = job.geometry;
+  spec.seed = job.seed;
+  spec.accumulate = job.accumulate;
+  if (job.tiled) return std::make_unique<api::TiledGemmWorkload>(std::move(spec));
+  return std::make_unique<api::GemmWorkload>(std::move(spec));
 }
 
-BatchRunner::~BatchRunner() {
-  {
-    std::lock_guard<std::mutex> l(m_);
-    stop_ = true;
-  }
-  cv_start_.notify_all();
-  for (auto& t : threads_) t.join();
-}
+BatchRunner::BatchRunner(BatchConfig cfg)
+    : cfg_(cfg), service_(service_config(cfg)) {}
 
 std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) {
   stats_ = BatchStats{};
   if (jobs.empty()) return {};
 
-  auto batch = std::make_shared<Batch>();
-  batch->jobs = jobs;
-  batch->results.resize(jobs.size());
-
-  // Per-batch pool counters. Safe without a lock: between batches workers
-  // only ever touch these inside run_job(), which cannot run before the new
-  // batch is published below.
-  for (Worker& w : workers_) {
-    w.constructed = 0;
-    w.reused = 0;
-  }
+  const api::ServiceStats before = service_.stats();
+  std::vector<BatchResult> results(jobs.size());
+  // Handle index i pairs with job i; jobs that fail to lower (ambiguous
+  // flags) get their error result directly and submit nothing.
+  std::vector<std::pair<size_t, api::JobHandle>> handles;
+  handles.reserve(jobs.size());
 
   const auto t0 = std::chrono::steady_clock::now();
-  {
-    std::lock_guard<std::mutex> l(m_);
-    current_ = batch;
-    ++generation_;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    try {
+      handles.emplace_back(i, service_.submit(lower_batch_job(jobs[i])));
+    } catch (const api::TypedError& e) {
+      results[i] = failed_result({e.code(), e.what()});
+    }
   }
-  cv_start_.notify_all();
-
-  // The calling thread is worker 0: with one thread this is a plain serial
-  // loop, with N threads it drains alongside the pool instead of idling.
-  drain(workers_[0], *batch);
-  {
-    std::unique_lock<std::mutex> l(m_);
-    cv_done_.wait(l, [&] {
-      return batch->done.load(std::memory_order_acquire) == batch->jobs.size();
-    });
-  }
+  for (auto& [i, handle] : handles) results[i] = to_batch_result(handle.get());
   stats_.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  for (const BatchResult& r : batch->results) {
+  for (const BatchResult& r : results) {
     if (r.ok) {
       ++stats_.jobs_ok;
       stats_.sim_cycles += r.stats.cycles;
@@ -238,89 +94,20 @@ std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) {
       ++stats_.jobs_failed;
     }
   }
-  // Safe without synchronization: pool counters only move inside run_job(),
-  // and every run_job() of this batch completed before done reached size.
-  for (const Worker& w : workers_) {
-    stats_.clusters_constructed += w.constructed;
-    stats_.cluster_reuses += w.reused;
-  }
-  return std::move(batch->results);
-}
-
-void BatchRunner::worker_loop(unsigned idx) {
-  uint64_t seen = 0;
-  for (;;) {
-    std::shared_ptr<Batch> batch;
-    {
-      std::unique_lock<std::mutex> l(m_);
-      cv_start_.wait(l, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      batch = current_;
-    }
-    if (batch) drain(workers_[idx], *batch);
-  }
-}
-
-void BatchRunner::drain(Worker& w, Batch& b) {
-  const size_t n = b.jobs.size();
-  size_t i;
-  while ((i = b.next.fetch_add(1, std::memory_order_relaxed)) < n) {
-    b.results[i] = run_job(w, b.jobs[i]);
-    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-      std::lock_guard<std::mutex> l(m_);
-      cv_done_.notify_all();
-    }
-  }
-}
-
-BatchResult BatchRunner::run_job(Worker& w, const BatchJob& job) {
-  BatchResult res;
-  try {
-    const cluster::ClusterConfig cfg = config_for(cfg_.base, job);
-    if (!cfg_.reuse_clusters) {
-      // Baseline mode: pay full construction/destruction per job.
-      cluster::Cluster cl(cfg);
-      ++w.constructed;
-      return execute(cl, job, cfg_.keep_outputs);
-    }
-    const uint64_t key = pool_key(cfg);
-    PooledCluster* pc = nullptr;
-    for (PooledCluster& cand : w.pool)
-      if (cand.key == key) {
-        pc = &cand;
-        break;
-      }
-    if (pc == nullptr) {
-      w.pool.push_back(PooledCluster{key, std::make_unique<cluster::Cluster>(cfg), 0});
-      pc = &w.pool.back();
-      ++w.constructed;
-    } else {
-      // Unconditional reset before (not after) each job: this also recovers
-      // the instance from a previous job that timed out or threw mid-run.
-      pc->cl->reset();
-      ++w.reused;
-    }
-    ++pc->jobs_run;
-    return execute(*pc->cl, job, cfg_.keep_outputs);
-  } catch (const std::exception& e) {
-    res.ok = false;
-    res.error = e.what();
-    return res;
-  }
+  const api::ServiceStats after = service_.stats();
+  stats_.clusters_constructed = after.clusters_constructed - before.clusters_constructed;
+  stats_.cluster_reuses = after.cluster_reuses - before.cluster_reuses;
+  return results;
 }
 
 BatchResult BatchRunner::run_one(const BatchJob& job,
                                  const cluster::ClusterConfig& base,
                                  bool keep_outputs) {
-  BatchResult res;
   try {
-    cluster::Cluster cl(config_for(base, job));
-    return execute(cl, job, keep_outputs);
-  } catch (const std::exception& e) {
-    res.ok = false;
-    res.error = e.what();
-    return res;
+    const std::unique_ptr<api::Workload> work = lower_batch_job(job);
+    return to_batch_result(api::Service::run_one(*work, base, keep_outputs));
+  } catch (const api::TypedError& e) {
+    return failed_result({e.code(), e.what()});
   }
 }
 

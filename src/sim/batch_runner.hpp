@@ -1,44 +1,41 @@
 /// \file batch_runner.hpp
-/// \brief Batched multi-cluster simulation: a thread-pooled job runner.
+/// \brief Legacy batched-simulation surface, now a thin shim over the
+///        public api::Service.
 ///
-/// RedMulE jobs are embarrassingly parallel -- each GEMM/autoencoder-layer
-/// offload is a self-contained cluster simulation with no shared state -- so
-/// the path from "one job on one thread" to "heavy multi-user traffic" is a
-/// worker pool where every worker simulates whole clusters independently:
+/// The worker pool, priority queue, and per-worker cluster pools moved to
+/// src/api (service.hpp); the flag-struct BatchJob is *lowered* onto the
+/// polymorphic api::Workload adapters (api::GemmWorkload,
+/// api::TiledGemmWorkload, api::NetworkTrainingWorkload) and the synchronous
+/// run() submits them all, waits, and converts the results back. The lowered
+/// adapters reproduce the historical behavior bit-exactly -- same input
+/// generation, same cluster sizing, same hashes -- so every determinism
+/// guarantee of the old runner carries over unchanged (and is re-proven
+/// across the new surface in tests/api/test_service.cpp).
 ///
-///  - a BatchRunner owns N worker threads (the calling thread is worker 0,
-///    so n_threads == 1 degenerates to a plain serial loop with no thread
-///    machinery in the timed path);
-///  - jobs are drained from a shared queue via an atomic cursor (cheap
-///    work stealing: a worker that finishes early simply fetches the next
-///    undone index, so long jobs never serialize behind short ones);
-///  - every worker owns a pool of *reusable cluster instances*, keyed by the
-///    accelerator geometry and TCDM sizing a job needs. A pooled cluster is
-///    re-initialized in place with Cluster::reset() -- memories zeroed,
-///    arbitration and counters rewound -- instead of reconstructing the
-///    whole module hierarchy, which for short jobs is a significant
-///    fraction of wall time (BENCH_batch.json quantifies it).
+/// MIGRATION: this shim is kept for one release. New code should build
+/// api::Workload instances (directly or via api::WorkloadRegistry spec
+/// strings) and submit them to an api::Service, which additionally offers
+/// non-blocking submission, futures, completion callbacks, per-job
+/// priorities, cancel(), and drain().
 ///
-/// Determinism guarantee: per-job results (simulated cycle counts, the FP16
-/// Z output, the full JobStats) are a pure function of the BatchJob record.
-/// Inputs are generated from the job's own RNG seed (derive it with
-/// redmule::split_seed(batch_seed, job_index)), and each job runs on a
-/// cluster whose observable state is bit-equal to a freshly constructed one.
-/// Batch order, thread count, and cluster reuse therefore never change any
-/// outcome (tests/sim/test_batch_runner.cpp asserts all three).
+/// Determinism guarantee (unchanged): per-job results (simulated cycle
+/// counts, the FP16 Z output, the full JobStats) are a pure function of the
+/// BatchJob record. Inputs are generated from the job's own RNG seed (derive
+/// it with redmule::split_seed(batch_seed, job_index)), and each job runs on
+/// a cluster whose observable state is bit-equal to a freshly constructed
+/// one. Batch order, thread count, and cluster reuse therefore never change
+/// any outcome (tests/sim/test_batch_runner.cpp asserts all three).
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "api/service.hpp"
+#include "api/workload.hpp"
 #include "cluster/cluster.hpp"
-#include "cluster/driver.hpp"
 #include "workloads/autoencoder.hpp"
 #include "workloads/gemm.hpp"
 
@@ -49,39 +46,50 @@ namespace redmule::sim {
 /// from \p seed. Results depend on nothing else.
 ///
 /// With \p tiled set, the operands live in L2 and stream through the TCDM
-/// via the double-buffered tiled pipeline (cluster/tiled_gemm_runner.hpp):
-/// the cluster's TCDM is *not* grown to the working set (tiling is the
-/// point), the L2 is grown to the staged operands instead, and the reported
-/// cycle count covers the whole pipeline including DMA. Z bits are identical
-/// to the monolithic path, so tiled and non-tiled jobs of the same
-/// shape/seed hash alike; the determinism contract is unchanged.
+/// via the double-buffered tiled pipeline (cluster/tiled_gemm_runner.hpp).
+/// With \p network set, the job is a whole autoencoder *training step*
+/// executed by cluster::NetworkRunner; \p net describes the chain and the
+/// batch size, and shape/accumulate are ignored. Setting BOTH tiled and
+/// network is ambiguous and rejected with a per-job BadConfig error (the
+/// old runner silently resolved the conflict by evaluation order).
 struct BatchJob {
   workloads::GemmShape shape;
   core::Geometry geometry{};  ///< per-job accelerator geometry
   uint64_t seed = 1;          ///< input-generation seed (see split_seed)
   bool accumulate = false;    ///< Z = Y + X*W instead of Z = X*W
   bool tiled = false;         ///< L2-resident operands, tiled DMA pipeline
-
-  /// With \p network set, the job is a whole autoencoder *training step*
-  /// (forward, dX, dW chains with L2-resident activations) executed by
-  /// cluster::NetworkRunner; \p net describes the chain and the batch size,
-  /// weights and input are drawn from \p seed, and shape/accumulate/tiled
-  /// are ignored. The result's z is the reconstruction output and z_hash
-  /// additionally folds every per-layer dW gradient, so the determinism
-  /// harness covers the whole backward pass.
-  bool network = false;
+  bool network = false;       ///< whole training step (see api::NetworkTrainingWorkload)
   workloads::AutoencoderConfig net{};
 };
 
+/// Lowers the legacy flag-struct onto the polymorphic API. Throws
+/// api::TypedError(kBadConfig) for ambiguous flag combinations (both
+/// `network` and `tiled` set).
+std::unique_ptr<api::Workload> lower_batch_job(const BatchJob& job);
+
 /// Per-job outcome. z_hash is an FNV-1a digest over the Z bit patterns so
 /// determinism checks stay cheap; the full matrix is kept only on request.
+/// Move-only: Z matrices travel worker -> future -> result slot without a
+/// single copy (an accidental copy is a compile error).
 struct BatchResult {
   bool ok = false;
-  std::string error;          ///< set when the job threw (timeout, bad job)
+  api::ErrorCode code = api::ErrorCode::kNone;  ///< typed failure class
+  std::string error;  ///< human-readable rendering of the typed error
   core::JobStats stats;
   uint64_t z_hash = 0;
-  core::MatrixF16 z;          ///< populated only with BatchConfig::keep_outputs
+  workloads::MatrixF16 z;  ///< populated only with BatchConfig::keep_outputs
+
+  BatchResult() = default;
+  BatchResult(BatchResult&&) noexcept = default;
+  BatchResult& operator=(BatchResult&&) noexcept = default;
+  BatchResult(const BatchResult&) = delete;
+  BatchResult& operator=(const BatchResult&) = delete;
 };
+
+static_assert(!std::is_copy_constructible_v<BatchResult> &&
+                  std::is_nothrow_move_constructible_v<BatchResult>,
+              "BatchResult must move, never copy (keep_outputs batches carry "
+              "full Z matrices)");
 
 /// Aggregate counters of the last run() batch.
 struct BatchStats {
@@ -110,17 +118,18 @@ struct BatchConfig {
 class BatchRunner {
  public:
   explicit BatchRunner(BatchConfig cfg = {});
-  ~BatchRunner();
   BatchRunner(const BatchRunner&) = delete;
   BatchRunner& operator=(const BatchRunner&) = delete;
 
   /// Executes every job and returns results in job order. Blocks until the
-  /// batch is complete; per-job failures are reported in BatchResult::error,
-  /// not thrown (a failed job never poisons its worker's pooled clusters).
+  /// batch is complete; per-job failures are reported in BatchResult, not
+  /// thrown (a failed job never poisons its worker's pooled clusters).
   std::vector<BatchResult> run(const std::vector<BatchJob>& jobs);
 
-  unsigned n_threads() const { return n_threads_; }
+  unsigned n_threads() const { return service_.n_threads(); }
   const BatchStats& last_batch_stats() const { return stats_; }
+  /// The service the shim submits to (pooled clusters live here).
+  api::Service& service() { return service_; }
 
   /// Reference path for tests: one job, fresh everything, no pool involved.
   /// Same failure contract as run(): errors land in BatchResult, not throws.
@@ -129,43 +138,8 @@ class BatchRunner {
                              bool keep_outputs = true);
 
  private:
-  /// A batch in flight. Workers hold the shared_ptr while draining, so a
-  /// straggler waking up late can never touch freed storage.
-  struct Batch {
-    std::vector<BatchJob> jobs;
-    std::vector<BatchResult> results;
-    std::atomic<size_t> next{0};  ///< work-stealing cursor
-    std::atomic<size_t> done{0};
-  };
-
-  /// Worker-owned cluster pool entry (single-threaded access by design).
-  struct PooledCluster {
-    uint64_t key = 0;
-    std::unique_ptr<cluster::Cluster> cl;
-    uint64_t jobs_run = 0;
-  };
-  struct Worker {
-    std::vector<PooledCluster> pool;
-    uint64_t constructed = 0;
-    uint64_t reused = 0;
-  };
-
-  void worker_loop(unsigned idx);
-  void drain(Worker& w, Batch& b);
-  BatchResult run_job(Worker& w, const BatchJob& job);
-
   BatchConfig cfg_;
-  unsigned n_threads_ = 1;
-  std::vector<Worker> workers_;      ///< index 0 = the calling thread
-  std::vector<std::thread> threads_; ///< workers 1..n_threads-1
-
-  std::mutex m_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::shared_ptr<Batch> current_;
-
+  api::Service service_;
   BatchStats stats_;
 };
 

@@ -1,0 +1,15 @@
+/// \file boundary_check.cpp
+/// \brief Public-surface boundary check: this TU includes ONLY the src/api
+///        headers and must compile stand-alone (CI builds the
+///        `api_boundary_check` object target). It proves the public headers
+///        are self-contained -- no hidden include-order dependencies, no
+///        reach-ins into src/sim -- and fails the build if the api layer
+///        ever grows a dependency on the legacy batch runner.
+#include "api/service.hpp"
+#include "api/workload.hpp"
+
+// Anchor so the TU is not empty; never linked anywhere.
+int redmule_api_boundary_check_anchor() {
+  return static_cast<int>(sizeof(redmule::api::Service) +
+                          sizeof(redmule::api::WorkloadResult));
+}

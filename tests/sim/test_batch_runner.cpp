@@ -55,7 +55,7 @@ void expect_same_stats(const core::JobStats& a, const core::JobStats& b, size_t 
 }
 
 // Bit-level Z comparison (IEEE operator== would conflate +0/-0).
-void expect_same_z(const core::MatrixF16& a, const core::MatrixF16& b, size_t i) {
+void expect_same_z(const workloads::MatrixF16& a, const workloads::MatrixF16& b, size_t i) {
   ASSERT_EQ(a.rows(), b.rows()) << "job " << i;
   ASSERT_EQ(a.cols(), b.cols()) << "job " << i;
   EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0) << "job " << i;
@@ -137,10 +137,12 @@ TEST(BatchRunner, FailedJobDoesNotPoisonWorkerOrBatch) {
   ASSERT_EQ(results.size(), jobs.size());
   EXPECT_FALSE(results[2].ok);
   EXPECT_FALSE(results[2].error.empty());
+  EXPECT_EQ(results[2].code, api::ErrorCode::kBadConfig);
   // The serial reference path reports failures the same way, never throws.
   const BatchResult bad_ref = BatchRunner::run_one(bad);
   EXPECT_FALSE(bad_ref.ok);
   EXPECT_FALSE(bad_ref.error.empty());
+  EXPECT_EQ(bad_ref.code, api::ErrorCode::kBadConfig);
   for (size_t i = 0; i < jobs.size(); ++i) {
     if (i == 2) continue;
     ASSERT_TRUE(results[i].ok) << results[i].error;
@@ -224,6 +226,68 @@ TEST(BatchRunner, TiledJobBeyondAddressableL2FailsCleanly) {
   const BatchResult r = BatchRunner::run_one(j);
   EXPECT_FALSE(r.ok);
   EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.code, api::ErrorCode::kCapacity);
+}
+
+TEST(BatchRunner, AmbiguousNetworkPlusTiledIsRejectedPerJob) {
+  // Regression: a job with BOTH network and tiled set used to be silently
+  // order-dependent (the network branch won by evaluation order). It must
+  // now fail that job -- and only that job -- with a typed BadConfig error,
+  // on both the batch path and the serial reference path.
+  BatchJob ambiguous;
+  ambiguous.shape = {"16x16x16", 16, 16, 16};
+  ambiguous.geometry = {4, 8, 3};
+  ambiguous.tiled = true;
+  ambiguous.network = true;
+  ambiguous.net.input_dim = 16;
+  ambiguous.net.hidden = {8};
+  ambiguous.net.batch = 1;
+
+  const BatchResult one = BatchRunner::run_one(ambiguous);
+  EXPECT_FALSE(one.ok);
+  EXPECT_EQ(one.code, api::ErrorCode::kBadConfig);
+  EXPECT_NE(one.error.find("ambiguous"), std::string::npos) << one.error;
+
+  auto jobs = mixed_jobs();
+  jobs.insert(jobs.begin() + 1, ambiguous);
+  const auto results = run_with(2, jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].code, api::ErrorCode::kBadConfig);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (i == 1) continue;
+    ASSERT_TRUE(results[i].ok) << results[i].error;
+    const BatchResult ref = BatchRunner::run_one(jobs[i]);
+    expect_same_stats(results[i].stats, ref.stats, i);
+    expect_same_z(results[i].z, ref.z, i);
+  }
+  // Un-ambiguous versions of the same record still run (and differ).
+  BatchJob as_network = ambiguous;
+  as_network.tiled = false;
+  BatchJob as_tiled = ambiguous;
+  as_tiled.network = false;
+  const BatchResult rn = BatchRunner::run_one(as_network);
+  const BatchResult rt = BatchRunner::run_one(as_tiled);
+  ASSERT_TRUE(rn.ok) << rn.error;
+  ASSERT_TRUE(rt.ok) << rt.error;
+  EXPECT_NE(rn.z_hash, rt.z_hash);
+}
+
+TEST(BatchRunner, ResultsAreMoveOnly) {
+  // keep_outputs batches carry full Z matrices; the result pipeline must
+  // move them end to end. Copying is a compile error by design.
+  static_assert(!std::is_copy_constructible_v<BatchResult>);
+  static_assert(!std::is_copy_assignable_v<BatchResult>);
+  static_assert(std::is_nothrow_move_constructible_v<BatchResult>);
+  static_assert(std::is_nothrow_move_assignable_v<BatchResult>);
+  // Moving preserves the payload.
+  BatchResult a;
+  a.ok = true;
+  a.z_hash = 77;
+  a.z = workloads::MatrixF16(4, 4);
+  BatchResult b = std::move(a);
+  EXPECT_EQ(b.z_hash, 77u);
+  EXPECT_EQ(b.z.rows(), 4u);
 }
 
 TEST(BatchRunner, EmptyBatchAndZeroThreadsResolve) {
