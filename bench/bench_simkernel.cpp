@@ -27,6 +27,7 @@
 #include <cstring>
 
 #include "bench_util.hpp"
+#include "sim/run_control.hpp"
 #include "sim/simulator.hpp"
 
 using namespace redmule;
@@ -60,7 +61,8 @@ struct KernelRun {
 /// Long windows make the numbers robust against host scheduler noise;
 /// cluster construction and matrix setup stay outside the timed region.
 KernelRun run_timed(const core::Geometry& g, const workloads::GemmShape& s,
-                    bool fast_kernel, double min_window_s) {
+                    bool fast_kernel, double min_window_s,
+                    bool armed_checkpoints = false) {
   fp16::set_fast_fma_enabled(fast_kernel);
   cluster::ClusterConfig cfg;
   cfg.geometry = g;
@@ -70,6 +72,15 @@ KernelRun run_timed(const core::Geometry& g, const workloads::GemmShape& s,
     cfg.tcdm.words_per_bank *= 2;
   cluster::Cluster cl(cfg);
   cl.sim().set_idle_skipping(fast_kernel);
+  // Armed-but-inert RunControl: the deadline is unreachable, so every
+  // checkpoint polls and returns. This prices the robustness layer's worst
+  // case -- jobs with a deadline/cancel flag -- against the default path,
+  // whose entire cost is one null test per kCheckpointInterval cycles.
+  sim::RunControl rc;
+  if (armed_checkpoints) {
+    rc.set_cycle_limit(1ull << 60);
+    cl.install_run_control(&rc);
+  }
   cluster::RedmuleDriver drv(cl);
   Xoshiro256 rng(1);
   const auto x = workloads::random_matrix(s.m, s.n, rng);
@@ -167,6 +178,31 @@ int main(int argc, char** argv) {
       }
       json.add("speedup_fast_vs_reference",
                fast.cycles_per_sec() / ref.cycles_per_sec(), "x");
+
+      // Checkpoint overhead: the same fast-kernel run with an armed, inert
+      // RunControl. Simulated cycles must be bit-identical (checkpoints are
+      // purely observational); only host throughput may move.
+      const KernelRun armed =
+          run_timed(geo.g, shape, /*fast_kernel=*/true, window_s,
+                    /*armed_checkpoints=*/true);
+      t.add_row({geo.name, "fast+ckpt", TablePrinter::fmt_int(armed.job_stats.cycles),
+                 TablePrinter::fmt_int(armed.agg_cycles / armed.job_stats.cycles),
+                 TablePrinter::fmt(armed.cycles_per_sec(), 0),
+                 TablePrinter::fmt(armed.macs_per_sec(), 0)});
+      json.add("checkpoint.H4_L8_P3_default.sim_cycles_per_job",
+               static_cast<double>(armed.job_stats.cycles), "cycle");
+      json.add("checkpoint.H4_L8_P3_default.cycles_per_sec",
+               armed.cycles_per_sec(), "cycle/s");
+      json.add("checkpoint_overhead_armed",
+               fast.cycles_per_sec() / armed.cycles_per_sec(), "x");
+      if (armed.job_stats.cycles != fast.job_stats.cycles) {
+        std::fprintf(stderr,
+                     "FATAL: armed checkpoints changed simulated cycles "
+                     "(%llu vs %llu) -- checkpoints must be observational\n",
+                     static_cast<unsigned long long>(armed.job_stats.cycles),
+                     static_cast<unsigned long long>(fast.job_stats.cycles));
+        return 1;
+      }
       if (!smoke) {
         // The auditable acceptance numbers: recorded pre-optimization kernel
         // vs the kernel measured right now, on the default-geometry GEMM.

@@ -7,40 +7,41 @@ namespace redmule::api {
 
 namespace {
 
-/// Classifies a legacy (untyped) redmule::Error thrown mid-run into the API
-/// taxonomy by its message. New code should throw api::TypedError directly;
-/// this shim keeps the lower layers api-agnostic during the migration.
-ErrorCode classify_legacy_error(const std::string& what) {
-  if (what.find("timed out") != std::string::npos ||
-      what.find("timeout") != std::string::npos)
-    return ErrorCode::kTimeout;
-  if (what.find("out of memory") != std::string::npos ||
-      what.find("exceed") != std::string::npos ||
-      what.find("does not fit") != std::string::npos ||
-      what.find("budget") != std::string::npos)
-    return ErrorCode::kCapacity;
-  // redmule::Error is by definition a user/configuration error (check.hpp).
-  return ErrorCode::kBadConfig;
+WorkloadResult fail(ErrorCode code, const std::string& what) {
+  WorkloadResult res;
+  res.error = {code, what};
+  return res;
 }
 
 /// Runs \p fn with the full per-job failure contract: every throw becomes a
-/// typed error result, never an escaping exception.
+/// typed error result, never an escaping exception. Classification is by
+/// exception *type*, thrown at the source (common/check.hpp,
+/// sim/run_control.hpp) -- never by message text, which misfires the moment
+/// an unrelated message mentions "timeout". Catch order: most-derived first
+/// (every typed class below derives from redmule::Error).
 template <typename Fn>
 WorkloadResult guarded(Fn&& fn) {
   try {
     return fn();
   } catch (const TypedError& e) {
-    WorkloadResult res;
-    res.error = {e.code(), e.what()};
-    return res;
+    return fail(e.code(), e.what());
+  } catch (const sim::RunAborted& e) {
+    return fail(e.reason() == sim::AbortReason::kCancelled
+                    ? ErrorCode::kCancelled
+                    : ErrorCode::kTimeout,
+                e.what());
+  } catch (const redmule::TimeoutError& e) {
+    return fail(ErrorCode::kTimeout, e.what());
+  } catch (const redmule::CapacityError& e) {
+    return fail(ErrorCode::kCapacity, e.what());
   } catch (const redmule::Error& e) {
-    WorkloadResult res;
-    res.error = {classify_legacy_error(e.what()), e.what()};
-    return res;
+    // A bare redmule::Error is by definition a user/configuration error
+    // (check.hpp).
+    return fail(ErrorCode::kBadConfig, e.what());
   } catch (const std::exception& e) {
-    WorkloadResult res;
-    res.error = {ErrorCode::kEngineFault, e.what()};
-    return res;
+    // Everything untyped -- including sim::InjectedFault -- is the transient
+    // EngineFault class (the one the retry policy may re-run).
+    return fail(ErrorCode::kEngineFault, e.what());
   }
 }
 
@@ -81,6 +82,9 @@ Service::~Service() {
 JobHandle Service::submit(std::unique_ptr<Workload> workload, SubmitOptions opts) {
   Pending job;
   job.keep_outputs = opts.keep_output.value_or(cfg_.keep_outputs);
+  job.deadline = opts.deadline.value_or(cfg_.default_deadline);
+  job.max_retries = opts.max_retries;
+  job.fault_plan = opts.fault_plan;
   job.on_complete = std::move(opts.on_complete);
   JobHandle handle;
   handle.future_ = job.promise.get_future();
@@ -90,17 +94,91 @@ JobHandle Service::submit(std::unique_ptr<Workload> workload, SubmitOptions opts
     job.promise.set_value(std::move(res));  // future only; the job never ran
     return handle;
   }
+
+  // Capacity-aware admission: a spec that can never fit any grown cluster is
+  // refused here, before it occupies queue space. Only *capacity* verdicts
+  // are final at submit time -- any other requirements() failure is deferred
+  // to the worker, so it is classified through the one normal path.
+  bool over_capacity = false;
+  std::string capacity_why;
+  try {
+    (void)resolve_cluster_config(cfg_.base, workload->requirements());
+  } catch (const TypedError& e) {
+    if (e.code() == ErrorCode::kCapacity) {
+      over_capacity = true;
+      capacity_why = e.what();
+    }
+  } catch (const CapacityError& e) {
+    over_capacity = true;
+    capacity_why = e.what();
+  } catch (...) {  // deferred to the worker for classification
+  }
+  if (over_capacity) {
+    {
+      std::lock_guard<std::mutex> l(m_);
+      ++stats_.rejected;
+    }
+    job.promise.set_value(fail(ErrorCode::kCapacity, capacity_why));
+    return handle;
+  }
+
   job.work = std::move(workload);
+  Pending victim;
+  bool have_victim = false;
+  bool shed_self = false;
+  bool queue_full = false;
   {
     std::lock_guard<std::mutex> l(m_);
-    job.id = next_id_++;
-    handle.id_ = job.id;
-    ++stats_.submitted;
-    const auto key =
-        std::make_pair(-static_cast<int64_t>(opts.priority), job.id);
-    queue_index_.emplace(job.id, key);
-    queue_.emplace(key, std::move(job));
+    if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
+      if (cfg_.queue_full_policy == QueueFullPolicy::kReject) {
+        ++stats_.rejected;
+        queue_full = true;
+      } else {
+        // Shed the job that sorts last: lowest priority, youngest within the
+        // level. A new job at the victim's own priority sorts after it (ids
+        // grow), so it does not outrank the victim and is shed itself.
+        const auto victim_it = std::prev(queue_.end());
+        if (std::make_pair(-static_cast<int64_t>(opts.priority), UINT64_MAX) >=
+            victim_it->first) {
+          ++stats_.shed;
+          shed_self = true;
+        } else {
+          auto node = queue_.extract(victim_it);
+          victim = std::move(node.mapped());
+          queue_index_.erase(victim.id);
+          ++stats_.shed;
+          have_victim = true;
+        }
+      }
+    }
+    if (!queue_full && !shed_self) {
+      job.id = next_id_++;
+      handle.id_ = job.id;
+      ++stats_.submitted;
+      const auto key =
+          std::make_pair(-static_cast<int64_t>(opts.priority), job.id);
+      queue_index_.emplace(job.id, key);
+      queue_.emplace(key, std::move(job));
+    }
   }
+  // All futures resolve outside the lock, and without on_complete (the
+  // worker-thread contract: these jobs never executed).
+  if (queue_full) {
+    job.promise.set_value(
+        fail(ErrorCode::kCapacity, "service queue is full (max_queue=" +
+                                       std::to_string(cfg_.max_queue) + ")"));
+    return handle;
+  }
+  if (shed_self) {
+    job.promise.set_value(fail(
+        ErrorCode::kCancelled,
+        "shed at submission: the queue is full of higher-priority work"));
+    return handle;
+  }
+  if (have_victim)
+    victim.promise.set_value(
+        fail(ErrorCode::kCancelled,
+             "shed by a higher-priority submission (queue full)"));
   cv_work_.notify_one();
   return handle;
 }
@@ -110,7 +188,15 @@ bool Service::cancel(uint64_t job_id) {
   {
     std::lock_guard<std::mutex> l(m_);
     const auto it = queue_index_.find(job_id);
-    if (it == queue_index_.end()) return false;
+    if (it == queue_index_.end()) {
+      // Not queued. A *running* job is cancelled cooperatively: raise its
+      // flag and let the run unwind at its next checkpoint -- the typed
+      // kCancelled result flows through the job's own completion path.
+      const auto rit = running_.find(job_id);
+      if (rit == running_.end()) return false;  // already done, or unknown
+      rit->second->store(true, std::memory_order_relaxed);
+      return true;
+    }
     auto node = queue_.extract(it->second);
     queue_index_.erase(it);
     job = std::move(node.mapped());
@@ -153,27 +239,47 @@ void Service::worker_loop(unsigned idx) {
     auto node = queue_.extract(queue_.begin());
     Pending job = std::move(node.mapped());
     queue_index_.erase(job.id);
+    running_.emplace(job.id, job.cancel);
     ++active_;
     l.unlock();
 
     uint64_t constructed = 0, reused = 0;
-    WorkloadResult res = execute(w, *job.work, job.keep_outputs, constructed, reused);
+    unsigned attempt = 0;
+    WorkloadResult res = execute(w, job, 0, constructed, reused);
+    // Bounded retry: only the transient kEngineFault class re-runs. Every
+    // attempt re-executes from the spec on a reset cluster, so a retried
+    // success is bit-identical to a never-faulted run. A raised cancel flag
+    // stops the retry ladder (the next attempt would abort immediately).
+    while (res.error.code == ErrorCode::kEngineFault &&
+           attempt < job.max_retries &&
+           !job.cancel->load(std::memory_order_relaxed)) {
+      ++attempt;
+      if (cfg_.retry_backoff_ms != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            cfg_.retry_backoff_ms << (attempt - 1)));
+      res = execute(w, job, static_cast<int32_t>(attempt), constructed, reused);
+    }
     const bool ok = res.ok();
     const uint64_t cycles = res.stats.cycles;
     const uint64_t macs = res.stats.macs;
 
     // Stats become visible before the future is fulfilled, so a caller that
-    // just observed its result reads consistent aggregate counters.
+    // just observed its result reads consistent aggregate counters. The
+    // running_ entry goes with them: once get() returns, cancel(id) is
+    // deterministically false.
     l.lock();
     ++stats_.completed;
+    stats_.retries += attempt;
     if (ok) {
       stats_.sim_cycles += cycles;
       stats_.macs += macs;
     } else {
       ++stats_.failed;
+      if (res.error.code == ErrorCode::kCancelled) ++stats_.cancelled;
     }
     stats_.clusters_constructed += constructed;
     stats_.cluster_reuses += reused;
+    running_.erase(job.id);
     l.unlock();
 
     finish(job, std::move(res));
@@ -184,17 +290,28 @@ void Service::worker_loop(unsigned idx) {
   }
 }
 
-WorkloadResult Service::execute(Worker& w, Workload& work, bool keep_outputs,
+WorkloadResult Service::execute(Worker& w, Pending& job, int32_t attempt,
                                 uint64_t& constructed, uint64_t& reused) {
   return guarded([&]() -> WorkloadResult {
+    Workload& work = *job.work;
     if (Error err = work.validate()) {
       WorkloadResult res;
       res.error = std::move(err);
       return res;
     }
+    // A cancel raised while the job sat in the queue: honor it before
+    // constructing or resetting a cluster.
+    if (job.cancel->load(std::memory_order_relaxed))
+      throw sim::RunAborted(sim::AbortReason::kCancelled, 0,
+                            "job cancelled before execution started");
     const cluster::ClusterConfig cfg =
         resolve_cluster_config(cfg_.base, work.requirements());
-    RunContext ctx{keep_outputs};
+    RunContext ctx;
+    ctx.keep_outputs = job.keep_outputs;
+    ctx.deadline = job.deadline;
+    ctx.cancel = job.cancel.get();
+    ctx.fault_plan = job.fault_plan;
+    ctx.attempt = attempt;
     if (!cfg_.reuse_clusters) {
       // Baseline mode: pay full construction/destruction per job.
       cluster::Cluster cl(cfg);
@@ -238,7 +355,7 @@ void Service::finish(Pending& job, WorkloadResult res) {
 
 WorkloadResult Service::run_one(Workload& workload,
                                 const cluster::ClusterConfig& base,
-                                bool keep_outputs) {
+                                bool keep_outputs, RunContext ctx) {
   return guarded([&]() -> WorkloadResult {
     if (Error err = workload.validate()) {
       WorkloadResult res;
@@ -246,7 +363,7 @@ WorkloadResult Service::run_one(Workload& workload,
       return res;
     }
     cluster::Cluster cl(resolve_cluster_config(base, workload.requirements()));
-    RunContext ctx{keep_outputs};
+    ctx.keep_outputs = keep_outputs;
     return workload.run(cl, ctx);
   });
 }

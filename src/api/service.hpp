@@ -27,12 +27,31 @@
 /// asserts bit-identical z_hash/stats across all four axes, and against the
 /// legacy sim::BatchRunner path for equivalent specs.
 ///
+/// Robustness contracts (see docs/ARCHITECTURE.md "Robustness contracts"):
+///
+///  - ADMISSION: submit() refuses, before queuing, any workload whose
+///    requirements() can never be satisfied (typed kCapacity via the
+///    future). With a bounded queue (max_queue), a full queue either
+///    rejects the new job (kReject -> kCapacity) or evicts the
+///    lowest-priority queued job (kShedLowestPriority -> the victim's
+///    future is fulfilled kCancelled).
+///  - DEADLINES: per-job Deadline budgets (simulated-cycle and wall-clock)
+///    are enforced at cooperative checkpoints inside the run; expiry
+///    surfaces as a typed kTimeout result, never a hung worker.
+///  - CANCELLATION: cancel(id) removes a queued job (future fulfilled
+///    kCancelled) -- or, for a *running* job, raises its cooperative cancel
+///    flag: the run unwinds at the next checkpoint with kCancelled and the
+///    pooled cluster is recovered by the reset-before-run contract.
+///  - RETRY: SubmitOptions::max_retries re-runs a job whose result was the
+///    transient kEngineFault class; a retried run re-executes from the spec
+///    and is bit-identical to a first run (determinism contract).
+///
 /// Lifecycle: drain() blocks until every submitted job has completed.
-/// cancel(id) removes a not-yet-started job from the queue (its future is
-/// fulfilled with a kCancelled error). Destroying the service cancels all
-/// queued jobs, finishes the in-flight ones, and joins the workers.
+/// Destroying the service cancels all queued jobs, finishes the in-flight
+/// ones, and joins the workers.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -50,10 +69,31 @@
 
 namespace redmule::api {
 
+/// What submit() does when the queue already holds max_queue jobs.
+enum class QueueFullPolicy : uint8_t {
+  /// Refuse the new job: its future is fulfilled with a typed kCapacity
+  /// error (ServiceStats::rejected counts it).
+  kReject,
+  /// Evict the lowest-priority queued job -- the youngest within that level
+  /// -- to make room; the victim's future is fulfilled kCancelled. A new job
+  /// that does not strictly outrank the would-be victim is shed itself.
+  kShedLowestPriority,
+};
+
 struct ServiceConfig {
   unsigned n_threads = 1;      ///< worker threads; 0 = hardware_concurrency
   bool reuse_clusters = true;  ///< false: reconstruct per job (baseline mode)
   bool keep_outputs = false;   ///< default for SubmitOptions::keep_output
+  /// Backpressure: queued (not yet running) jobs beyond this bound trigger
+  /// queue_full_policy. 0 = unbounded (the legacy behavior).
+  size_t max_queue = 0;
+  QueueFullPolicy queue_full_policy = QueueFullPolicy::kReject;
+  /// Applied to jobs whose SubmitOptions carry no deadline of their own.
+  Deadline default_deadline{};
+  /// Wall-clock backoff before the first retry, doubled per further attempt
+  /// (0 = retry immediately). Purely host-side pacing: simulated results are
+  /// unaffected either way.
+  uint64_t retry_backoff_ms = 0;
   cluster::ClusterConfig base; ///< geometry/TCDM/L2 grown per workload
 };
 
@@ -62,6 +102,16 @@ struct SubmitOptions {
   int priority = 0;
   /// Overrides ServiceConfig::keep_outputs for this job.
   std::optional<bool> keep_output;
+  /// Per-job execution budget; overrides ServiceConfig::default_deadline.
+  std::optional<Deadline> deadline;
+  /// Re-run the job up to this many extra times when its result is the
+  /// transient kEngineFault class (other failures are permanent). Each
+  /// attempt executes from the spec on a reset cluster, so a retried
+  /// success is bit-identical to a never-faulted run.
+  unsigned max_retries = 0;
+  /// Deterministic fault plan threaded into the run (not owned; must outlive
+  /// the job). Test/chaos harness hook -- see sim/fault_plan.hpp.
+  const sim::FaultPlan* fault_plan = nullptr;
   /// Invoked on the worker thread right before the future is fulfilled,
   /// for jobs that actually EXECUTED (ok or failed). Jobs that never start
   /// -- cancelled, dropped at service destruction, or rejected null
@@ -75,10 +125,15 @@ struct SubmitOptions {
 
 /// Aggregate counters since construction; snapshot with Service::stats().
 struct ServiceStats {
-  uint64_t submitted = 0;
+  uint64_t submitted = 0;  ///< jobs admitted to the queue
   uint64_t completed = 0;  ///< jobs executed to a result (ok or failed)
   uint64_t failed = 0;     ///< completed with error.code != kNone
-  uint64_t cancelled = 0;  ///< removed from the queue before execution
+  /// Jobs that ended kCancelled: removed from the queue, or cancelled
+  /// cooperatively mid-run (those also count in completed/failed).
+  uint64_t cancelled = 0;
+  uint64_t rejected = 0;   ///< refused at submit (over capacity / queue full)
+  uint64_t shed = 0;       ///< evicted under kShedLowestPriority pressure
+  uint64_t retries = 0;    ///< re-executions after a transient kEngineFault
   uint64_t sim_cycles = 0;  ///< sum of per-job simulated cycles (ok jobs)
   uint64_t macs = 0;        ///< sum of per-job useful MACs (ok jobs)
   uint64_t clusters_constructed = 0;
@@ -94,7 +149,22 @@ class JobHandle {
   uint64_t id() const { return id_; }
   bool valid() const { return future_.valid(); }
   void wait() const { future_.wait(); }
-  /// Blocks until the job completes and moves the result out (one-shot).
+  /// Bounded wait: std::future_status::ready when the result is available
+  /// within \p d, timeout otherwise. Never consumes the result.
+  template <class Rep, class Period>
+  std::future_status wait_for(const std::chrono::duration<Rep, Period>& d) const {
+    return future_.wait_for(d);
+  }
+  /// Non-blocking completion probe (valid() && the result is available).
+  bool ready() const {
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+  }
+  /// Blocks until the job completes and moves the result out. ONE-SHOT: the
+  /// handle is consumed -- valid()/ready() are false afterwards and a second
+  /// get() throws std::future_error. Use wait()/wait_for()/ready() to
+  /// observe completion without consuming.
   WorkloadResult get() { return future_.get(); }
 
  private:
@@ -112,12 +182,18 @@ class Service {
 
   /// Non-blocking: enqueues the workload and returns immediately. The job
   /// starts as soon as a worker is free (priority order, FIFO within a
-  /// level). A null workload is rejected with kBadConfig via the future.
+  /// level). A null workload is rejected with kBadConfig via the future;
+  /// a workload whose requirements() can never be satisfied, or that hits a
+  /// full bounded queue under kReject, is refused with kCapacity (no id is
+  /// assigned -- the returned handle carries only the future).
   JobHandle submit(std::unique_ptr<Workload> workload, SubmitOptions opts = {});
 
-  /// Removes a queued job before it starts; its future is fulfilled with a
-  /// kCancelled error. Returns false when the job is already running,
-  /// already done, or unknown.
+  /// Cancels a job. Queued: removed immediately, its future fulfilled with
+  /// a kCancelled error. Running: the job's cooperative cancel flag is
+  /// raised and the run unwinds at its next checkpoint, delivering a typed
+  /// kCancelled result through the normal completion path (callback +
+  /// future). Returns true when the cancel was delivered either way; false
+  /// when the job is already done or unknown.
   bool cancel(uint64_t job_id);
 
   /// Blocks until the queue is empty and no job is executing. Jobs submitted
@@ -131,16 +207,25 @@ class Service {
 
   /// Reference path for tests and one-shot tools: executes one workload on
   /// a fresh, unpooled cluster synchronously. Same failure contract as the
-  /// service path: errors land in the result, never throw.
+  /// service path: errors land in the result, never throw. \p ctx supplies
+  /// the robustness knobs (deadline, cancel flag, fault plan); its
+  /// keep_outputs field is overridden by \p keep_outputs.
   static WorkloadResult run_one(Workload& workload,
                                 const cluster::ClusterConfig& base = {},
-                                bool keep_outputs = true);
+                                bool keep_outputs = true, RunContext ctx = {});
 
  private:
   struct Pending {
     uint64_t id = 0;
     std::unique_ptr<Workload> work;
     bool keep_outputs = false;
+    Deadline deadline{};
+    unsigned max_retries = 0;
+    const sim::FaultPlan* fault_plan = nullptr;
+    /// Cooperative cancel flag; shared so cancel() can raise it while the
+    /// worker owns the Pending.
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
     std::function<void(const WorkloadResult&)> on_complete;
     std::promise<WorkloadResult> promise;
   };
@@ -156,7 +241,7 @@ class Service {
   };
 
   void worker_loop(unsigned idx);
-  WorkloadResult execute(Worker& w, Workload& work, bool keep_outputs,
+  WorkloadResult execute(Worker& w, Pending& job, int32_t attempt,
                          uint64_t& constructed, uint64_t& reused);
   static void finish(Pending& job, WorkloadResult res);
 
@@ -172,6 +257,10 @@ class Service {
   /// keyed by {-priority, submission id}, smallest key pops first.
   std::map<std::pair<int64_t, uint64_t>, Pending> queue_;
   std::unordered_map<uint64_t, std::pair<int64_t, uint64_t>> queue_index_;
+  /// Cancel flags of jobs currently executing, so cancel() can reach a
+  /// running job. An entry is erased (under m_) before the job's future is
+  /// fulfilled: once get() returns, cancel(id) is deterministically false.
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> running_;
   uint64_t next_id_ = 1;
   unsigned active_ = 0;
   bool stop_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <mutex>
 
 #include "cluster/driver.hpp"
@@ -123,6 +124,33 @@ uint64_t hash_matrix(const workloads::MatrixF16& m) {
   return hash_fold(0xcbf29ce484222325ULL, m);
 }
 
+// --- ScopedRunControl -------------------------------------------------------
+
+ScopedRunControl::ScopedRunControl(cluster::Cluster& cluster,
+                                   const RunContext& ctx)
+    : cluster_(cluster) {
+  const bool want = ctx.cancel != nullptr || !ctx.deadline.unlimited() ||
+                    (ctx.fault_plan != nullptr && !ctx.fault_plan->empty());
+  if (!want) return;
+  if (ctx.cancel != nullptr) control_.set_cancel_flag(ctx.cancel);
+  // The cycle budget is relative to the cluster's current cycle, so pooled
+  // (reset) and freshly-built clusters observe the identical budget.
+  if (ctx.deadline.max_sim_cycles != 0)
+    control_.set_cycle_limit(cluster.cycle() + ctx.deadline.max_sim_cycles);
+  if (ctx.deadline.max_wall_ms != 0)
+    control_.set_wall_deadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(ctx.deadline.max_wall_ms));
+  if (ctx.fault_plan != nullptr)
+    control_.arm_faults(*ctx.fault_plan, ctx.attempt);
+  cluster_.install_run_control(&control_);
+  armed_ = true;
+}
+
+ScopedRunControl::~ScopedRunControl() {
+  if (armed_) cluster_.install_run_control(nullptr);
+}
+
 // --- GemmWorkload -----------------------------------------------------------
 
 std::string GemmWorkload::name() const { return "gemm:" + shape_tag(spec_.shape); }
@@ -140,6 +168,7 @@ ClusterRequirements GemmWorkload::requirements() const {
 Error GemmWorkload::validate() const { return check_gemm_spec(spec_); }
 
 WorkloadResult GemmWorkload::run(cluster::Cluster& cluster, RunContext& ctx) {
+  ScopedRunControl control(cluster, ctx);
   cluster::RedmuleDriver drv(cluster);
   Xoshiro256 rng(spec_.seed);
   const auto x = workloads::random_matrix(spec_.shape.m, spec_.shape.n, rng);
@@ -181,6 +210,7 @@ ClusterRequirements TiledGemmWorkload::requirements() const {
 Error TiledGemmWorkload::validate() const { return check_gemm_spec(spec_); }
 
 WorkloadResult TiledGemmWorkload::run(cluster::Cluster& cluster, RunContext& ctx) {
+  ScopedRunControl control(cluster, ctx);
   cluster::RedmuleDriver drv(cluster);
   Xoshiro256 rng(spec_.seed);
   const auto x = workloads::random_matrix(spec_.shape.m, spec_.shape.n, rng);
@@ -251,6 +281,7 @@ WorkloadResult NetworkTrainingWorkload::run(cluster::Cluster& cluster,
   // Weights then the input batch are drawn from the workload's RNG stream,
   // so (net config, seed) fully determine the outcome regardless of worker,
   // order, or cluster reuse.
+  ScopedRunControl control(cluster, ctx);
   cluster::RedmuleDriver drv(cluster);
   Xoshiro256 rng(spec_.seed);
   workloads::NetworkGraph net =

@@ -19,8 +19,14 @@
 ///  - api::Error / api::ErrorCode: the typed failure taxonomy replacing
 ///    stringly-typed error reporting. BadConfig = the spec itself is invalid;
 ///    Capacity = the spec is valid but exceeds what any cluster here can be
-///    grown to; Timeout = the simulation ran but did not converge;
-///    EngineFault = the simulation failed mid-run (an internal throw).
+///    grown to (or the service's queue bound); Timeout = the simulation ran
+///    but did not converge, or a Deadline budget expired mid-flight;
+///    EngineFault = the simulation failed mid-run (an internal throw; the
+///    one transient class the service may retry); Cancelled = the job was
+///    cancelled -- before it started, cooperatively mid-flight, or by being
+///    shed under queue pressure. Classification is by exception *type*
+///    (redmule::TimeoutError / CapacityError / sim::RunAborted /
+///    api::TypedError), thrown at the source, never by message text.
 ///  - GemmWorkload / TiledGemmWorkload / NetworkTrainingWorkload: adapters
 ///    wrapping the existing runners *bit-exactly* -- same input generation,
 ///    same cluster sizing, same hashes as the legacy sim::BatchJob paths
@@ -37,6 +43,7 @@
 /// self-contained.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -118,10 +125,38 @@ cluster::ClusterConfig resolve_cluster_config(const cluster::ClusterConfig& base
 /// (reset-between-jobs) cluster instance.
 uint64_t pool_key(const cluster::ClusterConfig& cfg);
 
-/// Per-run knobs the executor passes down (everything here must not affect
-/// the simulated outcome -- only what is retained of it).
+/// Execution budget for one job. Both limits are optional (0 = unlimited).
+/// The simulated-cycle budget is deterministic: a job that exceeds it aborts
+/// at the same checkpoint on every run, every worker, every thread count.
+/// The wall-clock budget is a best-effort guard against host-side
+/// pathologies and is inherently non-deterministic in *whether* it fires;
+/// the simulated results of jobs that complete are unaffected either way.
+/// Exceeding either surfaces as a typed kTimeout result.
+struct Deadline {
+  uint64_t max_sim_cycles = 0;  ///< simulated-cycle budget (0 = unlimited)
+  uint64_t max_wall_ms = 0;     ///< wall-clock budget in ms (0 = unlimited)
+
+  bool unlimited() const { return max_sim_cycles == 0 && max_wall_ms == 0; }
+};
+
+/// Per-run knobs the executor passes down. keep_outputs only affects what is
+/// retained of the outcome. The robustness fields (deadline, cancel,
+/// fault_plan) can *end* a run early with a typed error, but can never
+/// change a single bit of a run that completes -- checkpoints are purely
+/// observational (see sim/run_control.hpp).
 struct RunContext {
   bool keep_outputs = false;  ///< populate WorkloadResult::z (tests, examples)
+  Deadline deadline{};        ///< budgets enforced at cooperative checkpoints
+  /// Cooperative cancel flag (not owned; may be null). Polled relaxed at
+  /// checkpoints; once it reads true the run unwinds as typed kCancelled.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Deterministic fault plan (not owned; may be null). Events fire at their
+  /// simulated-cycle points, so injected failures are bit-reproducible.
+  const sim::FaultPlan* fault_plan = nullptr;
+  /// Retry attempt index (0 = first execution). Selects which fault events
+  /// arm (FaultEvent::attempt), letting tests model transient faults that a
+  /// bounded retry outlives.
+  int32_t attempt = 0;
 };
 
 /// Outcome of one workload execution. Move-only: results hold full FP16
@@ -170,6 +205,27 @@ class Workload {
   /// Executes on \p cluster, which is in the reset-fresh state and sized
   /// per requirements(). Returns stats + output hash (+ outputs on request).
   virtual WorkloadResult run(cluster::Cluster& cluster, RunContext& ctx) = 0;
+};
+
+/// RAII: arms a sim::RunControl on \p cluster from a RunContext and
+/// guarantees disarming on every exit path -- including aborts that unwind
+/// through Workload::run. Workload implementations construct one at the top
+/// of run(); when the context requests nothing (no deadline, no cancel flag,
+/// no fault events) nothing is installed, and the simulator's checkpoint
+/// poll stays a single null-pointer test.
+class ScopedRunControl {
+ public:
+  ScopedRunControl(cluster::Cluster& cluster, const RunContext& ctx);
+  ~ScopedRunControl();
+  ScopedRunControl(const ScopedRunControl&) = delete;
+  ScopedRunControl& operator=(const ScopedRunControl&) = delete;
+
+  bool armed() const { return armed_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  sim::RunControl control_;
+  bool armed_ = false;
 };
 
 // --- FNV-1a output hashing (shared by every adapter and the tests) ----------

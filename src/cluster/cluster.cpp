@@ -43,6 +43,13 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   sim_.add(hci_.get());
 }
 
+void Cluster::install_run_control(sim::RunControl* rc) {
+  sim_.set_run_control(rc);
+  if (rc != nullptr)
+    rc->set_dma_stall_hook(
+        [this](uint64_t cycles) { dma_->inject_stall(cycles); });
+}
+
 void Cluster::reset() {
   // Order mirrors construction: storage, interconnect, initiators, kernel.
   tcdm_->reset();

@@ -49,6 +49,14 @@ class Cluster {
   uint32_t redmule_periph_base() const { return cfg_.periph_base; }
   sim::Simulator& sim() { return sim_; }
 
+  /// Arms (nullptr = disarms) a RunControl on this cluster: the simulator
+  /// polls it at its deterministic checkpoint cadence, runner loops poll it
+  /// at tile/GEMM boundaries, and kDmaStall fault events are routed into the
+  /// DMA engine. The controller is owned by the caller and is NOT part of
+  /// reset() -- arming is a property of the current run, not of the
+  /// hardware state (see api::ScopedRunControl for the RAII wrapper).
+  void install_run_control(sim::RunControl* rc);
+
   /// In-place re-initialization of the whole module hierarchy to the
   /// freshly-constructed state: memories zeroed, interconnect arbitration
   /// and statistics cleared, cores halted, RedMulE aborted and cleared, the

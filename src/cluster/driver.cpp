@@ -14,8 +14,10 @@ uint32_t RedmuleDriver::alloc(uint32_t bytes) {
   // All comparisons are wrap-safe: `addr >= next_free_` rejects a round_up
   // past UINT32_MAX, and the request is checked as `bytes <= end - addr`
   // instead of `addr + bytes <= end`, which would wrap for huge requests.
-  REDMULE_REQUIRE(addr >= next_free_ && addr <= end && bytes <= end - addr,
-                  "TCDM allocator out of memory");
+  if (!(addr >= next_free_ && addr <= end && bytes <= end - addr))
+    throw CapacityError("TCDM allocator out of memory (" +
+                        std::to_string(bytes) + " bytes requested, " +
+                        std::to_string(addr < end ? end - addr : 0) + " free)");
   next_free_ = addr + bytes;
   return addr;
 }
@@ -89,7 +91,9 @@ core::JobStats RedmuleDriver::wait_job() {
       1000 + job.macs() * 4 + static_cast<uint64_t>(job.m) * job.k * 64;
   const bool ok = cluster_.run_until([&] { return !rm.busy(); }, timeout);
   job_pending_ = false;
-  REDMULE_REQUIRE(ok, "RedMulE job timed out (deadlock?)");
+  if (!ok)
+    throw TimeoutError("RedMulE job timed out after " + std::to_string(timeout) +
+                       " cycles (deadlock?)");
   return rm.last_job_stats();
 }
 

@@ -92,7 +92,8 @@ Layout build_layout(const std::vector<LayerGeom>& geoms, uint32_t batch,
   auto alloc = [&next](uint64_t rows, uint64_t cols) {
     const uint64_t addr = next;
     next += (rows * cols * 2 + 3) & ~3ull;  // keep regions word-aligned
-    REDMULE_REQUIRE(next <= UINT32_MAX, "network layout exceeds the address space");
+    if (next > UINT32_MAX)
+      throw CapacityError("network layout exceeds the address space");
     return static_cast<uint32_t>(addr);
   };
 
@@ -178,6 +179,7 @@ NetworkGemmStats run_linear_layer(Cluster& cl, RedmuleDriver& drv,
       g.m, pad_even(g.n), bp, false, drv.bytes_free(), cl.config().geometry);
   gs.tiled = tiled.run_staged({a.weight, cur_act, a.pre, 0}, plan);
   gs.tiled.macs = gs.shape.macs();  // useful MACs, not the padded grid's
+  cl.sim().checkpoint();            // per-GEMM deadline/cancel poll point
 
   if (!layer.bias.empty()) {
     MatrixF16 z = read_mat(l2, a.pre, g.m, bp);
@@ -206,8 +208,10 @@ NetworkRunner::ForwardResult NetworkRunner::forward(const NetworkGraph& net,
   const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
   const Layout lay =
       build_layout(geoms, batch, /*training=*/false, l2.config().base_addr);
-  REDMULE_REQUIRE(lay.total_bytes <= l2.config().size_bytes,
-                  "L2 too small for the network forward layout");
+  if (lay.total_bytes > l2.config().size_bytes)
+    throw CapacityError("L2 too small for the network forward layout (" +
+                        std::to_string(lay.total_bytes) + " bytes needed, " +
+                        std::to_string(l2.config().size_bytes) + " available)");
 
   // --- Stage: weights padded, activation buffers zeroed --------------------
   write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
@@ -256,6 +260,7 @@ NetworkRunner::ForwardResult NetworkRunner::forward(const NetworkGraph& net,
           g.m, np, kkp, false, drv_.bytes_free(), cl_.config().geometry);
       gs.tiled = tiled.run_staged({a.weight, a.patches, a.gemm_out, 0}, plan);
       gs.tiled.macs = gs.shape.macs();
+      cl_.sim().checkpoint();  // per-GEMM deadline/cancel poll point
 
       // Bias on the real region, then flatten row-major into the next
       // activation column (the pre buffer was zeroed, pads stay +0).
@@ -306,8 +311,10 @@ NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
   const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
   const Layout lay =
       build_layout(geoms, batch, /*training=*/true, l2.config().base_addr);
-  REDMULE_REQUIRE(lay.total_bytes <= l2.config().size_bytes,
-                  "L2 too small for the network training layout");
+  if (lay.total_bytes > l2.config().size_bytes)
+    throw CapacityError("L2 too small for the network training layout (" +
+                        std::to_string(lay.total_bytes) + " bytes needed, " +
+                        std::to_string(l2.config().size_bytes) + " available)");
 
   // --- Stage: weights (both orientations) padded, everything else zeroed ---
   write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
@@ -376,6 +383,7 @@ NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
     gw.tiled = tiled.run_staged({dy_cur, lay.act_t, lay.layers[li].dw, 0}, plan_dw);
     gw.tiled.macs = gw.shape.macs();
     res.stats.gemms.push_back(gw);
+    cl_.sim().checkpoint();  // per-GEMM deadline/cancel poll point
 
     if (li > 0) {
       NetworkGemmStats gx;
@@ -387,6 +395,7 @@ NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
       gx.tiled = tiled.run_staged({lay.layers[li].wt, dy_cur, dy_next, 0}, plan_dx);
       gx.tiled.macs = gx.shape.macs();
       res.stats.gemms.push_back(gx);
+      cl_.sim().checkpoint();  // per-GEMM deadline/cancel poll point
 
       // ReLU backward (where the pre-activation was negative) plus pad-row
       // scrubbing: the alternating dY buffers are reused across layers of

@@ -42,7 +42,9 @@ SwGemmStats run_sw_gemm(Cluster& cluster, uint32_t x_addr, uint32_t w_addr,
         return true;
       },
       timeout);
-  REDMULE_REQUIRE(ok, "software GEMM timed out");
+  if (!ok)
+    throw TimeoutError("software GEMM timed out after " +
+                       std::to_string(timeout) + " cycles");
 
   SwGemmStats stats;
   stats.cycles = cluster.cycle() - start;

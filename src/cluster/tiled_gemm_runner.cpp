@@ -80,8 +80,10 @@ TiledGemmRunner::Result TiledGemmRunner::run_planned(const MatrixF16& x,
   addrs.w_addr = addrs.x_addr + m * np * 2;
   addrs.z_addr = addrs.w_addr + np * kp * 2;
   addrs.y_addr = addrs.z_addr + m * kp * 2;
-  REDMULE_REQUIRE(plan.staged_l2_bytes() <= l2.config().size_bytes,
-                  "L2 too small for the staged tiled-GEMM operands");
+  if (plan.staged_l2_bytes() > l2.config().size_bytes)
+    throw CapacityError("L2 too small for the staged tiled-GEMM operands (" +
+                        std::to_string(plan.staged_l2_bytes()) + " bytes needed, " +
+                        std::to_string(l2.config().size_bytes) + " available)");
   {
     const auto xs = pad_to(x, m, np);
     const auto ws = pad_to(w, np, kp);
@@ -169,7 +171,7 @@ TiledGemmStats TiledGemmRunner::run_staged(const StagedGemm& addrs,
   auto wait_id = [&](uint64_t id) {
     const uint64_t before = cl_.cycle();
     const bool ok = cl_.run_until([&] { return dma.done(id); }, 100'000'000ull);
-    REDMULE_REQUIRE(ok, "tiled-GEMM DMA transfer timed out");
+    if (!ok) throw TimeoutError("tiled-GEMM DMA transfer timed out");
     stats.dma_wait_cycles += cl_.cycle() - before;
   };
   auto wait_ids = [&](const std::vector<uint64_t>& ids) {
@@ -209,6 +211,7 @@ TiledGemmStats TiledGemmRunner::run_staged(const StagedGemm& addrs,
     // Serial reference: every transfer completes before the next stage runs.
     for (size_t idx = 0; idx < steps.size(); ++idx) {
       const Step& s = steps[idx];
+      cl_.sim().checkpoint();  // per-tile deadline/cancel poll point
       wait_id(submit_x(s, xslot(idx)));
       if (plan.w_buffers() > 1) wait_id(submit_w(s, wslot(idx)));
       if (s.first_n && plan.has_y) wait_id(submit_y(s, zslot(s.ot)));
@@ -237,6 +240,7 @@ TiledGemmStats TiledGemmRunner::run_staged(const StagedGemm& addrs,
     std::vector<uint64_t> pending = submit_loads(0);
     for (size_t idx = 0; idx < steps.size(); ++idx) {
       const Step& s = steps[idx];
+      cl_.sim().checkpoint();  // per-tile deadline/cancel poll point
       wait_ids(pending);
       pending.clear();
       // First write into a Z slot: the previous tile using it must be fully

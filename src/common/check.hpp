@@ -21,6 +21,26 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Typed refinements thrown *at the source* so the public API can classify
+/// failures by type instead of by message text (which misfires the moment an
+/// unrelated message mentions "timeout"). Both derive from Error, so legacy
+/// catch sites keep working; api::Service maps them onto the error taxonomy
+/// (TimeoutError -> kTimeout, CapacityError -> kCapacity, bare Error ->
+/// kBadConfig).
+
+/// The simulation ran but did not converge within its deadlock guard.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// The request is well-formed but exceeds a physical resource of the target
+/// (TCDM/L2 capacity, the 32-bit address space, a tiling budget).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {

@@ -159,6 +159,14 @@ void DmaEngine::tick() {
   };
 
   for (const PendingBeat& beat : retry) post(beat);
+  // Injected stall: new beats stay frozen while the countdown drains, but the
+  // retry reposts above already went out -- the HCI handshake is never broken
+  // mid-beat, so an injected stall can slow a transfer but not corrupt it.
+  if (injected_stall_cycles_ > 0) {
+    --injected_stall_cycles_;
+    ++stall_cycles_;
+    return;
+  }
   for (Active& a : active_) {
     if (a.latency_left > 0) continue;
     while (used_ports < budget && a.next_offset < a.t.total_bytes()) {

@@ -77,6 +77,13 @@ class DmaEngine : public sim::Clocked {
 
   uint64_t busy_cycles() const { return busy_cycles_; }
   uint64_t stall_cycles() const { return stall_cycles_; }
+
+  /// Fault injection: freeze new-beat issue for \p cycles busy cycles.
+  /// In-flight beats still resolve and ungranted beats still repost (the HCI
+  /// handshake must complete), so the stall is protocol-safe: it stretches
+  /// transfers without corrupting them. Cumulative; cleared by reset().
+  void inject_stall(uint64_t cycles) { injected_stall_cycles_ += cycles; }
+  uint64_t injected_stall_cycles() const { return injected_stall_cycles_; }
   /// Bytes landed in the TCDM (L2 -> TCDM direction).
   uint64_t bytes_in() const { return bytes_in_; }
   /// Bytes landed in L2 (TCDM -> L2 direction).
@@ -96,6 +103,7 @@ class DmaEngine : public sim::Clocked {
     stall_cycles_ = 0;
     bytes_in_ = 0;
     bytes_out_ = 0;
+    injected_stall_cycles_ = 0;
   }
 
  private:
@@ -156,6 +164,7 @@ class DmaEngine : public sim::Clocked {
   uint64_t stall_cycles_ = 0;
   uint64_t bytes_in_ = 0;
   uint64_t bytes_out_ = 0;
+  uint64_t injected_stall_cycles_ = 0;  ///< fault injection (inject_stall)
 };
 
 }  // namespace redmule::mem

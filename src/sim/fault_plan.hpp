@@ -1,0 +1,79 @@
+/// \file fault_plan.hpp
+/// \brief Deterministic, seeded fault injection for the execution layer.
+///
+/// A FaultPlan is a list of fault events pinned to *simulated-cycle* points.
+/// Because simulated-cycle progression is a pure function of the workload
+/// spec (the determinism contract), an injected fault fires at exactly the
+/// same point on every run, on every worker, at every thread count -- which
+/// is what makes the recovery paths testable: the soak can assert that an
+/// injected fault surfaces as its typed error AND that re-running the same
+/// spec without the plan is bit-identical to a never-faulted run.
+///
+/// Events are observed by sim::RunControl at deadline checkpoints (see
+/// run_control.hpp): an event fires at the first checkpoint at or after its
+/// cycle. Supported kinds:
+///  - kEngineFault: throws sim::InjectedFault, surfacing as the typed
+///    EngineFault result (the transient class the service may retry);
+///  - kWorkerException: throws a plain std::runtime_error, exercising the
+///    untyped worker-crash classification path;
+///  - kDmaStall: freezes DMA beat issue for `arg` cycles via the hook the
+///    cluster installs (mem::DmaEngine::inject_stall) -- the job still
+///    completes bit-exactly, only its cycle count grows, unless the stall
+///    pushes it past a deadline.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace redmule::sim {
+
+enum class FaultKind : uint8_t {
+  kEngineFault,      ///< typed transient engine failure (retryable)
+  kDmaStall,         ///< freeze DMA beat issue for `arg` cycles
+  kWorkerException,  ///< untyped exception on the executing worker
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kEngineFault;
+  /// Fires at the first checkpoint at or after this simulated cycle.
+  uint64_t at_cycle = 0;
+  /// kDmaStall: number of cycles the DMA stops issuing new beats.
+  uint64_t arg = 0;
+  /// Fire only on this retry attempt (0 = first execution); -1 = every
+  /// attempt. Lets tests inject a fault that a bounded retry then outlives.
+  int32_t attempt = -1;
+};
+
+/// Exception thrown when a kEngineFault event fires. Deliberately NOT a
+/// redmule::Error (which classifies as a configuration error): an injected
+/// engine fault models an internal mid-run failure, so it rides the generic
+/// std::exception -> EngineFault classification path.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An ordered set of fault events. Value-semantic and immutable while a run
+/// is in flight (RunControl keeps its own cursor, so one plan can be shared
+/// across retries and jobs).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultEvent ev) {
+    events_.push_back(ev);
+    return *this;
+  }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace redmule::sim

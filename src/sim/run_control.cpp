@@ -1,0 +1,69 @@
+#include "sim/run_control.hpp"
+
+#include <algorithm>
+
+namespace redmule::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEngineFault: return "EngineFault";
+    case FaultKind::kDmaStall: return "DmaStall";
+    case FaultKind::kWorkerException: return "WorkerException";
+  }
+  return "Unknown";
+}
+
+const char* abort_reason_name(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kCancelled: return "Cancelled";
+    case AbortReason::kCycleDeadline: return "CycleDeadline";
+    case AbortReason::kWallDeadline: return "WallDeadline";
+  }
+  return "Unknown";
+}
+
+void RunControl::arm_faults(const FaultPlan& plan, int32_t attempt) {
+  faults_.clear();
+  next_fault_ = 0;
+  for (const FaultEvent& ev : plan.events())
+    if (ev.attempt < 0 || ev.attempt == attempt) faults_.push_back(ev);
+  std::stable_sort(faults_.begin(), faults_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_cycle < b.at_cycle;
+                   });
+}
+
+void RunControl::checkpoint(uint64_t cycle) {
+  ++checkpoints_;
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+    throw RunAborted(AbortReason::kCancelled, cycle,
+                     "job cancelled mid-flight at simulated cycle " +
+                         std::to_string(cycle));
+  if (cycle >= cycle_limit_)
+    throw RunAborted(AbortReason::kCycleDeadline, cycle,
+                     "simulated-cycle budget exhausted at cycle " +
+                         std::to_string(cycle) + " (limit " +
+                         std::to_string(cycle_limit_) + ")");
+  if (has_wall_deadline_ &&
+      std::chrono::steady_clock::now() >= wall_deadline_)
+    throw RunAborted(AbortReason::kWallDeadline, cycle,
+                     "wall-clock deadline exceeded at simulated cycle " +
+                         std::to_string(cycle));
+  while (next_fault_ < faults_.size() &&
+         cycle >= faults_[next_fault_].at_cycle) {
+    const FaultEvent ev = faults_[next_fault_++];
+    switch (ev.kind) {
+      case FaultKind::kEngineFault:
+        throw InjectedFault("injected engine fault at simulated cycle " +
+                            std::to_string(cycle));
+      case FaultKind::kWorkerException:
+        throw std::runtime_error("injected worker exception at simulated cycle " +
+                                 std::to_string(cycle));
+      case FaultKind::kDmaStall:
+        if (dma_stall_hook_) dma_stall_hook_(ev.arg);
+        break;
+    }
+  }
+}
+
+}  // namespace redmule::sim

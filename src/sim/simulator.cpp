@@ -50,6 +50,11 @@ bool Simulator::run_until(const std::function<bool()>& done, uint64_t max_cycles
   bool fast_forwarding = false;
   for (uint64_t i = 0; i < max_cycles; ++i) {
     if (done()) return true;
+    // Deadline/cancel/fault checkpoint at chunk boundaries. The null test is
+    // the only cost on the hot path; the cadence is tied to the global cycle
+    // counter so the poll points are deterministic simulated-cycle points.
+    if (run_control_ != nullptr && (cycle_ & (kCheckpointInterval - 1)) == 0)
+      run_control_->checkpoint(cycle_);
     if (fast_forwarding) {
       // Keep evaluating done() each cycle since it may observe cycle().
       ++cycle_;

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/run_control.hpp"
+
 namespace redmule::sim {
 
 /// Interface for anything driven by the cluster clock.
@@ -97,6 +99,26 @@ class Simulator {
   void set_idle_skipping(bool on) { idle_skipping_ = on; }
   bool idle_skipping() const { return idle_skipping_; }
 
+  // --- Deadlines, cancellation, fault injection -----------------------------
+  /// run_until() polls the installed RunControl at chunk boundaries: every
+  /// kCheckpointInterval-th simulated cycle. Purely observational -- the
+  /// checkpoint either returns or throws (RunAborted / an injected fault),
+  /// so cycle counts and all architectural state of completing runs are
+  /// bit-identical with and without a control installed.
+  static constexpr uint64_t kCheckpointInterval = 1024;
+
+  /// Installs (nullptr: removes) the per-job control block. Not owned; the
+  /// executor keeps it alive for the duration of the run.
+  void set_run_control(RunControl* rc) { run_control_ = rc; }
+  RunControl* run_control() const { return run_control_; }
+
+  /// Explicit checkpoint for coarser natural boundaries (tile boundaries in
+  /// the tiled pipeline, per-GEMM boundaries in the network executor).
+  /// No-op when no control is installed.
+  void checkpoint() {
+    if (run_control_ != nullptr) run_control_->checkpoint(cycle_);
+  }
+
   // --- Kernel statistics ----------------------------------------------------
   /// Module phases skipped because the module reported idle.
   uint64_t skipped_module_ticks() const { return skipped_module_ticks_; }
@@ -109,6 +131,7 @@ class Simulator {
   std::vector<Clocked*> active_commit_;  ///< per-cycle scratch, phase-2 list
   uint64_t cycle_ = 0;
   bool idle_skipping_ = true;
+  RunControl* run_control_ = nullptr;
   uint64_t skipped_module_ticks_ = 0;
   uint64_t fast_forwarded_cycles_ = 0;
 };

@@ -98,7 +98,8 @@ TiledGemmPlan plan_tiled_gemm(uint32_t m, uint32_t n, uint32_t k, bool has_y,
     }
   }
   if (!found)
-    throw Error("TCDM budget too small for any tile of this GEMM (need at least " +
+    throw CapacityError(
+        "TCDM budget too small for any tile of this GEMM (need at least " +
                 std::to_string(min_tile_plan(m, n, k, has_y, g).tcdm_bytes()) +
                 " bytes)");
   best.validate();

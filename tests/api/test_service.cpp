@@ -388,7 +388,8 @@ TEST(ApiService, CancelRemovesQueuedJobAndFulfillsFuture) {
 
   release->set_value();
   (void)blocked.get();
-  // The running job cannot be cancelled; unknown ids are rejected.
+  // A completed job cannot be cancelled (running jobs can -- see
+  // test_robustness.cpp); unknown ids are rejected.
   EXPECT_FALSE(service.cancel(blocked.id()));
   EXPECT_EQ(service.stats().cancelled, 1u);
 }

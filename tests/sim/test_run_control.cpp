@@ -1,0 +1,128 @@
+// Unit tests for sim::RunControl -- the cooperative abort/fault mechanism
+// underneath the api-layer robustness contracts. Everything here is
+// checkpoint-driven: a RunControl never acts on its own, it only throws (or
+// fires fault events) when the simulation polls it, which is what makes the
+// simulated-cycle behavior deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/run_control.hpp"
+
+using namespace redmule::sim;
+
+TEST(RunControl, DefaultControlIsInert) {
+  RunControl rc;
+  for (uint64_t c = 0; c < 5000; c += 1024) rc.checkpoint(c);
+  EXPECT_EQ(rc.checkpoints(), 5u);
+}
+
+TEST(RunControl, CycleLimitFiresAtTheFirstCheckpointAtOrPastIt) {
+  RunControl rc;
+  rc.set_cycle_limit(3000);
+  rc.checkpoint(0);
+  rc.checkpoint(1024);
+  rc.checkpoint(2048);
+  try {
+    rc.checkpoint(3072);
+    FAIL() << "expected RunAborted";
+  } catch (const RunAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kCycleDeadline);
+    EXPECT_EQ(e.cycle(), 3072u);
+  }
+  // An exact hit counts too: the budget is "cycle >= limit".
+  RunControl exact;
+  exact.set_cycle_limit(1024);
+  EXPECT_THROW(exact.checkpoint(1024), RunAborted);
+}
+
+TEST(RunControl, CancelFlagWinsOverEveryOtherCondition) {
+  std::atomic<bool> cancel{false};
+  RunControl rc;
+  rc.set_cancel_flag(&cancel);
+  rc.set_cycle_limit(10);  // also expired -- cancel must classify first
+  rc.checkpoint(0);
+  cancel.store(true);
+  try {
+    rc.checkpoint(1024);
+    FAIL() << "expected RunAborted";
+  } catch (const RunAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kCancelled);
+    EXPECT_EQ(e.cycle(), 1024u);
+  }
+}
+
+TEST(RunControl, WallDeadlineInThePastFiresImmediately) {
+  RunControl rc;
+  rc.set_wall_deadline(std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1));
+  try {
+    rc.checkpoint(42);
+    FAIL() << "expected RunAborted";
+  } catch (const RunAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kWallDeadline);
+  }
+  // A deadline comfortably in the future never fires.
+  RunControl future;
+  future.set_wall_deadline(std::chrono::steady_clock::now() +
+                           std::chrono::hours(1));
+  EXPECT_NO_THROW(future.checkpoint(0));
+}
+
+TEST(RunControl, FaultEventsFireInCycleOrderWhenTheirCycleIsReached) {
+  FaultPlan plan;
+  plan.add({FaultKind::kDmaStall, 2000, 7, -1});
+  plan.add({FaultKind::kEngineFault, 4000, 0, -1});
+  plan.add({FaultKind::kDmaStall, 100, 3, -1});  // out of order on purpose
+
+  RunControl rc;
+  std::vector<uint64_t> stalls;
+  rc.set_dma_stall_hook([&](uint64_t c) { stalls.push_back(c); });
+  rc.arm_faults(plan, 0);
+
+  rc.checkpoint(0);  // nothing due yet
+  EXPECT_TRUE(stalls.empty());
+  rc.checkpoint(1024);  // the at_cycle=100 stall is due
+  EXPECT_EQ(stalls, (std::vector<uint64_t>{3}));
+  rc.checkpoint(2048);  // the at_cycle=2000 stall
+  EXPECT_EQ(stalls, (std::vector<uint64_t>{3, 7}));
+  EXPECT_THROW(rc.checkpoint(4096), InjectedFault);
+  // Fired events are consumed: later checkpoints stay clean.
+  EXPECT_NO_THROW(rc.checkpoint(5120));
+}
+
+TEST(RunControl, AttemptFilterSelectsWhichEventsArm) {
+  FaultPlan plan;
+  plan.add({FaultKind::kEngineFault, 0, 0, /*attempt=*/0});   // first run only
+  plan.add({FaultKind::kEngineFault, 0, 0, /*attempt=*/2});   // third run only
+  plan.add({FaultKind::kDmaStall, 0, 9, /*attempt=*/-1});     // every run
+
+  std::vector<int> stalled_attempts;
+  for (int32_t attempt = 0; attempt < 3; ++attempt) {
+    RunControl rc;
+    rc.set_dma_stall_hook(
+        [&](uint64_t) { stalled_attempts.push_back(attempt); });
+    rc.arm_faults(plan, attempt);
+    if (attempt == 1) {
+      EXPECT_NO_THROW(rc.checkpoint(0));
+    } else {
+      EXPECT_THROW(rc.checkpoint(0), InjectedFault);
+    }
+  }
+  // The attempt=-1 stall armed on every run. On faulting runs the engine
+  // fault throws first (same cycle, earlier in plan order for attempt 0) --
+  // arm order within a cycle is the plan's stable order.
+  EXPECT_EQ(stalled_attempts, (std::vector<int>{1}));
+}
+
+TEST(RunControl, RunAbortedCarriesReasonCycleAndMessage) {
+  const RunAborted e(AbortReason::kCycleDeadline, 12345, "budget gone");
+  EXPECT_EQ(e.reason(), AbortReason::kCycleDeadline);
+  EXPECT_EQ(e.cycle(), 12345u);
+  EXPECT_STREQ(e.what(), "budget gone");
+  EXPECT_STREQ(abort_reason_name(AbortReason::kWallDeadline), "WallDeadline");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kDmaStall), "DmaStall");
+}
