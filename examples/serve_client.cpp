@@ -1,0 +1,261 @@
+/// \file serve_client.cpp
+/// \brief The remote serving front-end, end to end: serve::Server +
+///        serve::Client over a real socket.
+///
+/// Three modes:
+///
+///   (no args)              self-contained demo: an in-process server on a
+///                          temp unix socket, two concurrent clients
+///                          submitting a mixed workload set, cancellation,
+///                          STATS, graceful drain. Exits 0 iff every remote
+///                          result is bit-identical to a direct in-process
+///                          api::Service::run_one of the same spec.
+///   --serve ADDR           run a server on ADDR ("unix:/path" or
+///                          "tcp:host:port") until SIGTERM/SIGINT, then
+///                          drain gracefully. Prints the resolved address
+///                          (ephemeral TCP ports filled in) on stdout.
+///   --connect ADDR CMD...  client commands against a running server:
+///                            submit SPEC...   submit + wait each spec
+///                            stats            print the STATS_REPLY counters
+///                            ping             round-trip a PING
+///                            shutdown         ask the server to drain
+///                            selftest         the no-args demo suite against
+///                                             the remote server (for CI)
+///
+/// Build & run:
+///   cmake -B build -S . && cmake --build build -j
+///   ./build/example_serve_client
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.hpp"
+#include "api/workload.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace redmule;
+
+namespace {
+
+const std::vector<std::string> kSpecs = {
+    "gemm:m=48,n=48,k=48,seed=11",
+    "gemm:m=32,n=32,k=32,acc=1,seed=12",
+    "tiled:m=96,n=96,k=96,seed=13",
+    "network:in=64,hidden=32-8-32,batch=2,seed=14",
+};
+
+/// The determinism oracle: the same spec, executed directly and in-process.
+api::WorkloadResult run_direct(const std::string& spec) {
+  auto w = api::WorkloadRegistry::global().create(spec);
+  return api::Service::run_one(*w, {}, /*keep_outputs=*/false);
+}
+
+/// Submit every spec, collect out of order, check against the oracle.
+/// Returns the number of mismatches.
+int check_client(serve::Client& client, const char* who) {
+  std::vector<uint64_t> tags;
+  tags.reserve(kSpecs.size());
+  for (const auto& spec : kSpecs) tags.push_back(client.submit(spec));
+  int bad = 0;
+  for (size_t i = tags.size(); i-- > 0;) {  // reverse order on purpose
+    const serve::Client::Outcome out = client.wait(tags[i]);
+    if (!out.ok()) {
+      std::printf("[%s] %-44s -> ERROR %s\n", who, kSpecs[i].c_str(),
+                  out.message.c_str());
+      ++bad;
+      continue;
+    }
+    const api::WorkloadResult direct = run_direct(kSpecs[i]);
+    const bool match = direct.z_hash == out.result.z_hash &&
+                       direct.stats.cycles == out.result.cycles;
+    std::printf("[%s] %-44s -> %" PRIu64 " cycles, z=%016" PRIx64 "  %s\n",
+                who, kSpecs[i].c_str(), out.result.cycles, out.result.z_hash,
+                match ? "== direct" : "MISMATCH");
+    if (!match) ++bad;
+  }
+  return bad;
+}
+
+int run_suite(const std::string& address) {
+  int bad = 0;
+
+  // Two clients with interleaved submissions on one server.
+  serve::Client a(serve::ClientConfig{address, "client-a", 30000});
+  serve::Client b(serve::ClientConfig{address, "client-b", 30000});
+  std::printf("sessions %" PRIu64 " and %" PRIu64 " connected to %s\n",
+              a.session_id(), b.session_id(), address.c_str());
+  std::thread tb([&] { bad += check_client(b, "b"); });
+  bad += check_client(a, "a");
+  tb.join();
+
+  // Typed refusal for a malformed spec -- the connection survives it.
+  const auto refused = a.run("gemm:m=48,n=48,k=48,bogus_key=1");
+  if (refused.code != api::ErrorCode::kBadConfig) {
+    std::printf("malformed spec: expected kBadConfig, got %s\n",
+                api::error_code_name(refused.code));
+    ++bad;
+  } else {
+    std::printf("malformed spec refused: %s\n", refused.message.c_str());
+  }
+
+  // Cancellation: the terminal frame is RESULT or a typed kCancelled ERROR.
+  const uint64_t tag = a.submit(kSpecs[0]);
+  a.cancel(tag);
+  const auto cancelled = a.wait(tag);
+  if (cancelled.ok()) {
+    std::printf("cancel lost the race (job finished first) -- fine\n");
+  } else if (cancelled.code == api::ErrorCode::kCancelled) {
+    std::printf("cancelled: %s\n", cancelled.message.c_str());
+  } else {
+    std::printf("cancel: unexpected %s\n", api::error_code_name(cancelled.code));
+    ++bad;
+  }
+
+  if (a.ping(0xfeed) != 0xfeed) {
+    std::printf("PING nonce mismatch\n");
+    ++bad;
+  }
+  const serve::StatsReplyMsg stats = a.stats();
+  std::printf("server: %" PRIu64 " sessions, service %" PRIu64
+              " completed / %" PRIu64 " submitted, %" PRIu64
+              " protocol errors\n",
+              stats.sessions_total, stats.completed, stats.submitted,
+              stats.protocol_errors);
+  if (stats.completed == 0) ++bad;
+  return bad;
+}
+
+int mode_demo() {
+  const std::string address =
+      "unix:/tmp/redmule-serve-demo." + std::to_string(::getpid()) + ".sock";
+  serve::ServerConfig cfg;
+  cfg.address = address;
+  cfg.service.n_threads = 2;
+  serve::Server server(cfg);
+  server.start();
+
+  int bad = run_suite(server.address());
+
+  // Graceful drain through the protocol, like a deploy would do it.
+  serve::Client c(serve::ClientConfig{server.address(), "drainer", 30000});
+  c.shutdown_server();
+  server.drain();
+  std::printf("drained; %s\n", bad == 0 ? "all remote results match direct "
+                                          "execution" : "MISMATCHES above");
+  return bad == 0 ? 0 : 1;
+}
+
+int g_drain_fd = -1;
+void on_term(int) {
+  const uint8_t b = 1;
+  // write() is async-signal-safe; everything else happens on the loop.
+  (void)!::write(g_drain_fd, &b, 1);
+}
+
+int mode_serve(const std::string& address) {
+  serve::ServerConfig cfg;
+  cfg.address = address;
+  cfg.service.n_threads = 2;
+  cfg.ping_interval_ms = 10000;
+  serve::Server server(cfg);
+  server.start();
+  g_drain_fd = server.drain_wake_fd();
+  std::signal(SIGTERM, on_term);
+  std::signal(SIGINT, on_term);
+  std::printf("serving on %s (SIGTERM drains)\n", server.address().c_str());
+  std::fflush(stdout);
+  server.wait();  // blocks until a drain completes (signal or SHUTDOWN)
+  const serve::ServerStats st = server.stats();
+  std::printf("drained: %" PRIu64 " sessions served, %" PRIu64
+              " protocol errors, %" PRIu64 " jobs cancelled on disconnect\n",
+              st.sessions_total, st.protocol_errors,
+              st.jobs_cancelled_on_disconnect);
+  return 0;
+}
+
+int mode_connect(const std::string& address, int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "--connect needs a command\n");
+    return 2;
+  }
+  const std::string cmd = argv[0];
+  if (cmd == "selftest") return run_suite(address) == 0 ? 0 : 1;
+  serve::Client client(serve::ClientConfig{address, "cli", 30000});
+  if (cmd == "submit") {
+    if (argc < 2) {
+      std::fprintf(stderr, "submit needs at least one spec\n");
+      return 2;
+    }
+    std::vector<uint64_t> tags;
+    for (int i = 1; i < argc; ++i) tags.push_back(client.submit(argv[i]));
+    int bad = 0;
+    for (size_t i = 0; i < tags.size(); ++i) {
+      const auto out = client.wait(tags[i]);
+      if (out.ok()) {
+        std::printf("%s -> job %" PRIu64 ": %" PRIu64 " cycles, %" PRIu64
+                    " MACs, z=%016" PRIx64 "\n",
+                    argv[i + 1], out.result.job_id, out.result.cycles,
+                    out.result.macs, out.result.z_hash);
+      } else {
+        std::printf("%s -> %s: %s\n", argv[i + 1],
+                    api::error_code_name(out.code), out.message.c_str());
+        ++bad;
+      }
+    }
+    return bad == 0 ? 0 : 1;
+  }
+  if (cmd == "stats") {
+    const auto s = client.stats();
+    std::printf("service: submitted=%" PRIu64 " completed=%" PRIu64
+                " failed=%" PRIu64 " cancelled=%" PRIu64 " rejected=%" PRIu64
+                " shed=%" PRIu64 "\n",
+                s.submitted, s.completed, s.failed, s.cancelled, s.rejected,
+                s.shed);
+    std::printf("service: queued=%" PRIu64 " active=%" PRIu64
+                " sim_cycles=%" PRIu64 " macs=%" PRIu64 "\n",
+                s.queued_now, s.active_now, s.sim_cycles, s.macs);
+    std::printf("server: sessions=%" PRIu64 "/%" PRIu64
+                " protocol_errors=%" PRIu64 " overload_disconnects=%" PRIu64
+                " draining=%" PRIu64 "\n",
+                s.sessions_now, s.sessions_total, s.protocol_errors,
+                s.overload_disconnects, s.draining);
+    return 0;
+  }
+  if (cmd == "ping") {
+    const uint64_t n = client.ping(0x1234);
+    std::printf("pong (nonce %#" PRIx64 ")\n", n);
+    return n == 0x1234 ? 0 : 1;
+  }
+  if (cmd == "shutdown") {
+    client.shutdown_server();
+    std::printf("server acknowledged shutdown; draining\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command `%s`\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 1) return mode_demo();
+    const std::string mode = argv[1];
+    if (mode == "--serve" && argc == 3) return mode_serve(argv[2]);
+    if (mode == "--connect" && argc >= 3)
+      return mode_connect(argv[2], argc - 3, argv + 3);
+    std::fprintf(stderr,
+                 "usage: %s [--serve ADDR | --connect ADDR CMD...]\n",
+                 argv[0]);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -123,6 +123,7 @@ JobHandle Service::submit(std::unique_ptr<Workload> workload, SubmitOptions opts
   }
 
   job.work = std::move(workload);
+  job.group = opts.group;
   Pending victim;
   bool have_victim = false;
   bool shed_self = false;
@@ -183,7 +184,7 @@ JobHandle Service::submit(std::unique_ptr<Workload> workload, SubmitOptions opts
   return handle;
 }
 
-bool Service::cancel(uint64_t job_id) {
+Service::CancelOutcome Service::cancel_detail(uint64_t job_id) {
   Pending job;
   {
     std::lock_guard<std::mutex> l(m_);
@@ -193,9 +194,10 @@ bool Service::cancel(uint64_t job_id) {
       // flag and let the run unwind at its next checkpoint -- the typed
       // kCancelled result flows through the job's own completion path.
       const auto rit = running_.find(job_id);
-      if (rit == running_.end()) return false;  // already done, or unknown
-      rit->second->store(true, std::memory_order_relaxed);
-      return true;
+      if (rit == running_.end())
+        return CancelOutcome::kUnknown;  // already done, or unknown
+      rit->second.cancel->store(true, std::memory_order_relaxed);
+      return CancelOutcome::kSignalled;
     }
     auto node = queue_.extract(it->second);
     queue_index_.erase(it);
@@ -209,7 +211,40 @@ bool Service::cancel(uint64_t job_id) {
   WorkloadResult res;
   res.error = {ErrorCode::kCancelled, "cancelled before execution"};
   job.promise.set_value(std::move(res));
-  return true;
+  return CancelOutcome::kDequeued;
+}
+
+size_t Service::cancel_group(uint64_t group) {
+  if (group == 0) return 0;
+  std::vector<Pending> dequeued;
+  size_t signalled = 0;
+  {
+    std::lock_guard<std::mutex> l(m_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->second.group != group) {
+        ++it;
+        continue;
+      }
+      auto node = queue_.extract(it++);
+      queue_index_.erase(node.mapped().id);
+      dequeued.push_back(std::move(node.mapped()));
+    }
+    stats_.cancelled += dequeued.size();
+    for (auto& [id, rj] : running_)
+      if (rj.group == group) {
+        rj.cancel->store(true, std::memory_order_relaxed);
+        ++signalled;
+      }
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+  // Same contract as cancel(): futures resolve on the caller's thread with
+  // no lock held, on_complete never runs for jobs that never executed.
+  for (Pending& job : dequeued) {
+    WorkloadResult res;
+    res.error = {ErrorCode::kCancelled, "cancelled before execution"};
+    job.promise.set_value(std::move(res));
+  }
+  return dequeued.size() + signalled;
 }
 
 void Service::drain() {
@@ -220,6 +255,11 @@ void Service::drain() {
 size_t Service::queued() const {
   std::lock_guard<std::mutex> l(m_);
   return queue_.size();
+}
+
+size_t Service::active() const {
+  std::lock_guard<std::mutex> l(m_);
+  return active_;
 }
 
 ServiceStats Service::stats() const {
@@ -239,7 +279,7 @@ void Service::worker_loop(unsigned idx) {
     auto node = queue_.extract(queue_.begin());
     Pending job = std::move(node.mapped());
     queue_index_.erase(job.id);
-    running_.emplace(job.id, job.cancel);
+    running_.emplace(job.id, RunningJob{job.cancel, job.group});
     ++active_;
     l.unlock();
 

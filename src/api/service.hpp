@@ -100,6 +100,12 @@ struct ServiceConfig {
 struct SubmitOptions {
   /// Higher runs first among queued jobs; ties drain in submission order.
   int priority = 0;
+  /// Session/tenant scope for bulk cancellation: cancel_group(g) reaches
+  /// every queued and running job submitted with group == g. 0 = ungrouped
+  /// (never matched by cancel_group). The serving front-end tags each
+  /// client's jobs with its session id so a disconnect unwinds exactly that
+  /// client's work.
+  uint64_t group = 0;
   /// Overrides ServiceConfig::keep_outputs for this job.
   std::optional<bool> keep_output;
   /// Per-job execution budget; overrides ServiceConfig::default_deadline.
@@ -162,10 +168,19 @@ class JobHandle {
                std::future_status::ready;
   }
   /// Blocks until the job completes and moves the result out. ONE-SHOT: the
-  /// handle is consumed -- valid()/ready() are false afterwards and a second
-  /// get() throws std::future_error. Use wait()/wait_for()/ready() to
-  /// observe completion without consuming.
-  WorkloadResult get() { return future_.get(); }
+  /// handle is consumed -- valid()/ready() are false afterwards. A second
+  /// get() throws a typed TypedError{kBadConfig} (never the UB of touching a
+  /// moved-from future): callers holding handles in maps -- where an
+  /// accidental re-get is one lookup away -- get a classified, catchable
+  /// error. Use wait()/wait_for()/ready() to observe completion without
+  /// consuming.
+  WorkloadResult get() {
+    if (!future_.valid())
+      throw TypedError(ErrorCode::kBadConfig,
+                       "JobHandle::get() called on a consumed (or empty) "
+                       "handle: the result was already moved out");
+    return future_.get();
+  }
 
  private:
   friend class Service;
@@ -188,13 +203,34 @@ class Service {
   /// assigned -- the returned handle carries only the future).
   JobHandle submit(std::unique_ptr<Workload> workload, SubmitOptions opts = {});
 
+  /// How a cancel() landed. The distinction matters to callers that relay
+  /// completions: a kDequeued job's future is fulfilled kCancelled but its
+  /// on_complete never runs (it never executed), so anyone forwarding
+  /// results must synthesize the notification from the future themselves.
+  enum class CancelOutcome : uint8_t {
+    kUnknown = 0,  ///< already done, or never submitted
+    kDequeued,     ///< removed from the queue; future fulfilled kCancelled
+    kSignalled,    ///< running; cancel flag raised, unwinds at a checkpoint
+  };
+
   /// Cancels a job. Queued: removed immediately, its future fulfilled with
   /// a kCancelled error. Running: the job's cooperative cancel flag is
   /// raised and the run unwinds at its next checkpoint, delivering a typed
   /// kCancelled result through the normal completion path (callback +
   /// future). Returns true when the cancel was delivered either way; false
   /// when the job is already done or unknown.
-  bool cancel(uint64_t job_id);
+  bool cancel(uint64_t job_id) {
+    return cancel_detail(job_id) != CancelOutcome::kUnknown;
+  }
+  /// cancel() with the outcome surfaced (see CancelOutcome).
+  CancelOutcome cancel_detail(uint64_t job_id);
+
+  /// Session-scoped cancel: every queued and running job whose
+  /// SubmitOptions::group matched \p group. Queued matches are dequeued
+  /// (futures fulfilled kCancelled, on_complete never runs); running matches
+  /// get their cancel flags raised and unwind cooperatively. Returns the
+  /// number of jobs reached. group 0 never matches anything.
+  size_t cancel_group(uint64_t group);
 
   /// Blocks until the queue is empty and no job is executing. Jobs submitted
   /// concurrently with drain() (from other threads) may or may not be
@@ -203,6 +239,9 @@ class Service {
 
   unsigned n_threads() const { return n_threads_; }
   size_t queued() const;
+  /// Jobs currently executing on workers (instantaneous; for health/stats
+  /// surfaces alongside queued()).
+  size_t active() const;
   ServiceStats stats() const;
 
   /// Reference path for tests and one-shot tools: executes one workload on
@@ -217,6 +256,7 @@ class Service {
  private:
   struct Pending {
     uint64_t id = 0;
+    uint64_t group = 0;
     std::unique_ptr<Workload> work;
     bool keep_outputs = false;
     Deadline deadline{};
@@ -257,10 +297,15 @@ class Service {
   /// keyed by {-priority, submission id}, smallest key pops first.
   std::map<std::pair<int64_t, uint64_t>, Pending> queue_;
   std::unordered_map<uint64_t, std::pair<int64_t, uint64_t>> queue_index_;
-  /// Cancel flags of jobs currently executing, so cancel() can reach a
-  /// running job. An entry is erased (under m_) before the job's future is
-  /// fulfilled: once get() returns, cancel(id) is deterministically false.
-  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> running_;
+  /// Cancel flags (and group tags, for cancel_group) of jobs currently
+  /// executing, so cancel() can reach a running job. An entry is erased
+  /// (under m_) before the job's future is fulfilled: once get() returns,
+  /// cancel(id) is deterministically false.
+  struct RunningJob {
+    std::shared_ptr<std::atomic<bool>> cancel;
+    uint64_t group = 0;
+  };
+  std::unordered_map<uint64_t, RunningJob> running_;
   uint64_t next_id_ = 1;
   unsigned active_ = 0;
   bool stop_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 
 #include "cluster/driver.hpp"
@@ -321,7 +322,14 @@ SpecArgs SpecArgs::parse(const std::string& body) {
     if (eq == std::string::npos || eq == 0)
       throw TypedError(ErrorCode::kBadConfig,
                        "malformed spec item `" + item + "` (want key=value)");
-    args.kv_[item.substr(0, eq)] = Entry{item.substr(eq + 1), false};
+    std::string key = item.substr(0, eq);
+    // Duplicate keys are ambiguous, and under untrusted input a classic
+    // smuggling vector (the value a validator saw vs the value a consumer
+    // uses). Refuse instead of silently letting the last one win.
+    if (args.kv_.count(key) != 0)
+      throw TypedError(ErrorCode::kBadConfig,
+                       "duplicate spec key `" + key + "`");
+    args.kv_[std::move(key)] = Entry{item.substr(eq + 1), false};
   }
   return args;
 }
@@ -502,6 +510,24 @@ void WorkloadRegistry::add(const std::string& kind, Factory factory) {
 }
 
 std::unique_ptr<Workload> WorkloadRegistry::create(const std::string& spec) const {
+  // Trust-boundary checks before the string is parsed or echoed anywhere:
+  // the serving front-end hands this function raw client bytes. Bound the
+  // length first, then refuse NUL and other control bytes -- no legitimate
+  // spec contains them, and they are exactly what corrupts logs, truncates
+  // C-string consumers, and smuggles past naive validators.
+  if (spec.size() > kMaxSpecBytes)
+    throw TypedError(ErrorCode::kBadConfig,
+                     "spec string exceeds " + std::to_string(kMaxSpecBytes) +
+                         " bytes (got " + std::to_string(spec.size()) + ")");
+  for (const char c : spec)
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f)
+      throw TypedError(ErrorCode::kBadConfig,
+                       "spec string contains control byte 0x" + [c] {
+                         char buf[3];
+                         std::snprintf(buf, sizeof(buf), "%02x",
+                                       static_cast<unsigned char>(c));
+                         return std::string(buf);
+                       }());
   const size_t colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
   Factory factory;

@@ -343,6 +343,11 @@ class SpecArgs {
   std::map<std::string, Entry> kv_;
 };
 
+/// Ceiling on the length of a spec string create() accepts. Spec strings are
+/// a trust boundary -- the serving front-end feeds them straight off the
+/// wire -- so the parser bounds its input before doing any work with it.
+inline constexpr size_t kMaxSpecBytes = 4096;
+
 /// Name-keyed workload factories: "kind:key=value,..." -> Workload instance.
 /// The built-in kinds are registered on first access of global():
 ///
@@ -351,7 +356,10 @@ class SpecArgs {
 ///   network: batch= [,in=] [,hidden=a-b-c] [,geom=HxLxP] [,seed=] [,lr=]
 ///
 /// create() throws TypedError(kBadConfig) for unknown kinds, malformed
-/// values, or unconsumed (typo'd) keys.
+/// values, or unconsumed (typo'd) keys. Untrusted-input hardening, enforced
+/// before any factory runs: specs longer than kMaxSpecBytes, specs carrying
+/// NUL or other control bytes, and duplicate keys are all refused with typed
+/// kBadConfig (a duplicate key is an ambiguity, never a silent last-wins).
 class WorkloadRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Workload>(const SpecArgs&)>;

@@ -1,0 +1,392 @@
+#include "serve/frame.hpp"
+
+#include <cstring>
+
+namespace redmule::serve {
+
+namespace {
+
+using api::ErrorCode;
+using api::TypedError;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw TypedError(ErrorCode::kBadConfig, "malformed frame: " + what);
+}
+
+/// Little-endian appender for payload construction.
+class Writer {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void str(const std::string& s) {
+    // Encoders enforce the same string cap the decoder does, so a server
+    // can never emit a frame its own peer implementation must reject.
+    if (s.size() > kMaxStringBytes)
+      throw TypedError(ErrorCode::kCapacity,
+                       "string exceeds the wire cap of " +
+                           std::to_string(kMaxStringBytes) + " bytes");
+    u32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over one payload. Every accessor
+/// throws kBadConfig on overrun; expect_end() makes trailing bytes fatal.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t n) : data_(data), n_(n) {}
+
+  uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  uint32_t u32() {
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  uint64_t u64() {
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  std::string str() {
+    const uint32_t len = u32();
+    // Cap before need(): a hostile length must not even be compared against
+    // the remaining bytes in a way that could allocate first.
+    if (len > kMaxStringBytes)
+      malformed("string length " + std::to_string(len) + " exceeds the cap of " +
+                std::to_string(kMaxStringBytes));
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void expect_end() const {
+    if (pos_ != n_)
+      malformed(std::to_string(n_ - pos_) + " trailing payload bytes");
+  }
+
+ private:
+  void need(size_t k) const {
+    if (n_ - pos_ < k) malformed("payload truncated");
+  }
+  const uint8_t* data_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+Reader reader_of(const Frame& f) { return Reader(f.payload.data(), f.payload.size()); }
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kHelloAck: return "HELLO_ACK";
+    case MsgType::kSubmit: return "SUBMIT";
+    case MsgType::kResult: return "RESULT";
+    case MsgType::kError: return "ERROR";
+    case MsgType::kCancel: return "CANCEL";
+    case MsgType::kProgress: return "PROGRESS";
+    case MsgType::kPing: return "PING";
+    case MsgType::kPong: return "PONG";
+    case MsgType::kStats: return "STATS";
+    case MsgType::kStatsReply: return "STATS_REPLY";
+    case MsgType::kShutdown: return "SHUTDOWN";
+    case MsgType::kShutdownAck: return "SHUTDOWN_ACK";
+  }
+  return "UNKNOWN";
+}
+
+void encode_frame(std::vector<uint8_t>& out, MsgType type,
+                  const std::vector<uint8_t>& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size()) + 2;
+  out.reserve(out.size() + 4 + len);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<uint8_t> empty_frame(MsgType type) {
+  std::vector<uint8_t> out;
+  encode_frame(out, type, {});
+  return out;
+}
+
+std::vector<uint8_t> encode(const HelloMsg& m) {
+  Writer w;
+  w.str(m.client_name);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const HelloAckMsg& m) {
+  Writer w;
+  w.u64(m.session_id);
+  w.u32(m.max_frame_bytes);
+  w.u32(m.max_spec_bytes);
+  w.str(m.server_name);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const SubmitMsg& m) {
+  Writer w;
+  w.u64(m.tag);
+  w.i32(m.priority);
+  w.u64(m.max_sim_cycles);
+  w.u64(m.max_wall_ms);
+  w.str(m.spec);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const ResultMsg& m) {
+  Writer w;
+  w.u64(m.tag);
+  w.u64(m.job_id);
+  w.u64(m.cycles);
+  w.u64(m.advance_cycles);
+  w.u64(m.stall_cycles);
+  w.u64(m.macs);
+  w.u64(m.fma_ops);
+  w.u64(m.z_hash);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const ErrorMsg& m) {
+  Writer w;
+  w.u64(m.tag);
+  w.u8(static_cast<uint8_t>(m.code));
+  w.str(m.message);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const CancelMsg& m) {
+  Writer w;
+  w.u64(m.tag);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const ProgressMsg& m) {
+  Writer w;
+  w.u64(m.tag);
+  w.u64(m.job_id);
+  w.u8(static_cast<uint8_t>(m.state));
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const PingMsg& m) {
+  Writer w;
+  w.u64(m.nonce);
+  return w.take();
+}
+
+std::vector<uint8_t> encode(const StatsReplyMsg& m) {
+  Writer w;
+  w.u64(m.submitted);
+  w.u64(m.completed);
+  w.u64(m.failed);
+  w.u64(m.cancelled);
+  w.u64(m.rejected);
+  w.u64(m.shed);
+  w.u64(m.retries);
+  w.u64(m.sim_cycles);
+  w.u64(m.macs);
+  w.u64(m.queued_now);
+  w.u64(m.active_now);
+  w.u64(m.sessions_now);
+  w.u64(m.sessions_total);
+  w.u64(m.protocol_errors);
+  w.u64(m.overload_disconnects);
+  w.u64(m.draining);
+  w.u64(m.session_submitted);
+  w.u64(m.session_completed);
+  w.u64(m.session_errors);
+  w.u64(m.session_progress_shed);
+  w.u64(m.session_jobs_live);
+  return w.take();
+}
+
+HelloMsg decode_hello(const Frame& f) {
+  Reader r = reader_of(f);
+  HelloMsg m;
+  m.client_name = r.str();
+  r.expect_end();
+  return m;
+}
+
+HelloAckMsg decode_hello_ack(const Frame& f) {
+  Reader r = reader_of(f);
+  HelloAckMsg m;
+  m.session_id = r.u64();
+  m.max_frame_bytes = r.u32();
+  m.max_spec_bytes = r.u32();
+  m.server_name = r.str();
+  r.expect_end();
+  return m;
+}
+
+SubmitMsg decode_submit(const Frame& f) {
+  Reader r = reader_of(f);
+  SubmitMsg m;
+  m.tag = r.u64();
+  m.priority = r.i32();
+  m.max_sim_cycles = r.u64();
+  m.max_wall_ms = r.u64();
+  m.spec = r.str();
+  r.expect_end();
+  return m;
+}
+
+ResultMsg decode_result(const Frame& f) {
+  Reader r = reader_of(f);
+  ResultMsg m;
+  m.tag = r.u64();
+  m.job_id = r.u64();
+  m.cycles = r.u64();
+  m.advance_cycles = r.u64();
+  m.stall_cycles = r.u64();
+  m.macs = r.u64();
+  m.fma_ops = r.u64();
+  m.z_hash = r.u64();
+  r.expect_end();
+  return m;
+}
+
+ErrorMsg decode_error(const Frame& f) {
+  Reader r = reader_of(f);
+  ErrorMsg m;
+  m.tag = r.u64();
+  const uint8_t code = r.u8();
+  if (code > static_cast<uint8_t>(ErrorCode::kCancelled))
+    malformed("unknown error code " + std::to_string(code));
+  m.code = static_cast<ErrorCode>(code);
+  m.message = r.str();
+  r.expect_end();
+  return m;
+}
+
+CancelMsg decode_cancel(const Frame& f) {
+  Reader r = reader_of(f);
+  CancelMsg m;
+  m.tag = r.u64();
+  r.expect_end();
+  return m;
+}
+
+ProgressMsg decode_progress(const Frame& f) {
+  Reader r = reader_of(f);
+  ProgressMsg m;
+  m.tag = r.u64();
+  m.job_id = r.u64();
+  const uint8_t state = r.u8();
+  if (state > static_cast<uint8_t>(ProgressState::kRunning))
+    malformed("unknown progress state " + std::to_string(state));
+  m.state = static_cast<ProgressState>(state);
+  r.expect_end();
+  return m;
+}
+
+PingMsg decode_ping(const Frame& f) {
+  Reader r = reader_of(f);
+  PingMsg m;
+  m.nonce = r.u64();
+  r.expect_end();
+  return m;
+}
+
+StatsReplyMsg decode_stats_reply(const Frame& f) {
+  Reader r = reader_of(f);
+  StatsReplyMsg m;
+  m.submitted = r.u64();
+  m.completed = r.u64();
+  m.failed = r.u64();
+  m.cancelled = r.u64();
+  m.rejected = r.u64();
+  m.shed = r.u64();
+  m.retries = r.u64();
+  m.sim_cycles = r.u64();
+  m.macs = r.u64();
+  m.queued_now = r.u64();
+  m.active_now = r.u64();
+  m.sessions_now = r.u64();
+  m.sessions_total = r.u64();
+  m.protocol_errors = r.u64();
+  m.overload_disconnects = r.u64();
+  m.draining = r.u64();
+  m.session_submitted = r.u64();
+  m.session_completed = r.u64();
+  m.session_errors = r.u64();
+  m.session_progress_shed = r.u64();
+  m.session_jobs_live = r.u64();
+  r.expect_end();
+  return m;
+}
+
+void decode_empty(const Frame& f) {
+  if (!f.payload.empty())
+    malformed(msg_type_name(f.type) + std::string(" carries a payload"));
+}
+
+void FrameBuffer::feed(const uint8_t* data, size_t n) {
+  // Compact the consumed prefix before growing, keeping the buffer bounded
+  // by one maximal frame regardless of how the peer fragments its writes.
+  if (pos_ != 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameBuffer::next() {
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_, 4);  // buffer bytes are LE already
+  // Validate the declared length BEFORE waiting for (or allocating) the
+  // body: a hostile length field must be rejected from its first 4 bytes.
+  if (len < 2)
+    throw api::TypedError(api::ErrorCode::kBadConfig,
+                          "malformed frame: declared length " +
+                              std::to_string(len) +
+                              " is too short for version+type");
+  if (len > max_frame_bytes_)
+    throw api::TypedError(api::ErrorCode::kCapacity,
+                          "oversized frame: declared length " +
+                              std::to_string(len) + " exceeds the cap of " +
+                              std::to_string(max_frame_bytes_) + " bytes");
+  if (avail < 4u + len) return std::nullopt;
+  const uint8_t version = buf_[pos_ + 4];
+  if (version != kProtocolVersion)
+    throw api::TypedError(api::ErrorCode::kBadConfig,
+                          "unsupported protocol version " +
+                              std::to_string(version) + " (want " +
+                              std::to_string(kProtocolVersion) + ")");
+  Frame f;
+  f.version = version;
+  const uint8_t raw_type = buf_[pos_ + 5];
+  if (raw_type < static_cast<uint8_t>(MsgType::kHello) ||
+      raw_type > static_cast<uint8_t>(MsgType::kShutdownAck))
+    throw api::TypedError(api::ErrorCode::kBadConfig,
+                          "unknown message type " + std::to_string(raw_type));
+  f.type = static_cast<MsgType>(raw_type);
+  f.payload.assign(buf_.begin() + static_cast<ptrdiff_t>(pos_ + kFrameHeaderBytes),
+                   buf_.begin() + static_cast<ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4u + len;
+  return f;
+}
+
+}  // namespace redmule::serve

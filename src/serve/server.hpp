@@ -1,0 +1,199 @@
+/// \file server.hpp
+/// \brief The remote serving front-end: a session-multiplexed socket server
+///        over api::Service.
+///
+/// serve::Server turns the simulator into a network service: N clients on
+/// one TCP or unix socket, each with an independent set of in-flight jobs,
+/// one api::Service doing the work. The architecture is a single poll()
+/// event-loop thread plus the service's worker pool:
+///
+///  - the loop owns every socket and Session outright (no locks on the hot
+///    connection path) and never blocks on a peer: sockets are non-blocking,
+///    writes queue per session, reads pump into per-session FrameBuffers;
+///  - workers hand completed jobs back through a mutex-guarded completion
+///    queue and a self-pipe wake byte -- the loop turns them into RESULT /
+///    ERROR frames on the owning session;
+///  - completions that never execute a worker callback (queued jobs
+///    cancelled or shed) are caught by sweeping ready JobHandles after every
+///    loop pass, so every admitted tag gets exactly one terminal frame.
+///
+/// Robustness posture (each clause has a dedicated test in tests/serve/):
+///
+///  - TRUST BOUNDARY: every byte off the wire passes frame validation and
+///    typed decoding before it touches api::; malformed, oversized,
+///    unknown-version and unknown-type frames earn one typed ERROR frame and
+///    a disconnect -- never a crash, never a hang, never an unvalidated
+///    string reaching the registry.
+///  - SLOW CLIENTS: per-session bounded write queues shed PROGRESS first,
+///    then disconnect with a typed kCapacity overload error. A reader that
+///    stops draining its socket cannot stall the accept loop, other
+///    sessions, or server memory.
+///  - DISCONNECTS: a vanished client (EOF, reset, mid-frame cut) has its
+///    whole job group cancelled through Service::cancel_group -- queued jobs
+///    dequeue, running jobs unwind at their next RunControl checkpoint, the
+///    cluster pool recovers by the reset-before-run contract.
+///  - OVERLOAD: service-level admission verdicts (capacity refusal, bounded
+///    queue reject/shed) surface as typed protocol ERRORs on the owning tag;
+///    the server itself additionally caps sessions and per-session jobs.
+///  - LIVENESS: optional PING keepalive and idle timeouts reap silent
+///    connections; STATS exposes service + server + session counters.
+///  - DRAIN: drain()/begin_drain() stops accepting connections and new
+///    submissions, flushes completed results, and past a grace deadline
+///    unwinds still-running jobs via their cancel flags (RunControl), then
+///    closes every session. SIGTERM handlers write one byte to
+///    drain_wake_fd() -- async-signal-safe graceful shutdown.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/service.hpp"
+#include "serve/frame.hpp"
+#include "serve/session.hpp"
+#include "serve/socket.hpp"
+
+namespace redmule::serve {
+
+struct ServerConfig {
+  /// "unix:/path" or "tcp:host:port" (port 0 = ephemeral; see address()).
+  std::string address = "unix:/tmp/redmule-serve.sock";
+  std::string name = "redmule-serve";
+  /// The embedded service: worker count, queue bound + full policy, default
+  /// deadline -- the overload knobs all live here.
+  api::ServiceConfig service;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  size_t max_sessions = 64;
+  size_t max_jobs_per_session = 256;
+  /// Slow-client budget: bytes of encoded frames queued per session before
+  /// PROGRESS shedding starts; overflow past shedding disconnects.
+  size_t max_write_queue_bytes = 1 << 20;
+  /// Reap a session after this long without any inbound frame (0 = never).
+  uint64_t idle_timeout_ms = 0;
+  /// Send a PING after this long without inbound traffic (0 = never).
+  uint64_t ping_interval_ms = 0;
+  /// Grace period for drain(): jobs still running past it are cancelled.
+  uint64_t drain_grace_ms = 5000;
+  /// How long a doomed session may keep flushing its final frames.
+  uint64_t doom_linger_ms = 1000;
+};
+
+/// Server-wide counters; snapshot with Server::stats().
+struct ServerStats {
+  uint64_t sessions_total = 0;
+  uint64_t sessions_now = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t protocol_errors = 0;       ///< malformed/oversized/unexpected frames
+  uint64_t overload_disconnects = 0;  ///< slow readers cut after shedding
+  uint64_t idle_disconnects = 0;
+  uint64_t jobs_cancelled_on_disconnect = 0;
+  bool draining = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and launches the event loop. Throws redmule::Error
+  /// when the address cannot be bound.
+  void start();
+  /// The resolved listen address (ephemeral TCP ports are filled in).
+  const std::string& address() const { return address_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown: stop accepting, refuse new SUBMITs, flush results,
+  /// cancel whatever still runs after the grace period, close sessions,
+  /// stop the loop. Blocking; begin_drain() is the async form.
+  void drain();
+  void begin_drain();
+  /// Blocks until a drain completes, WITHOUT initiating one: the waiting
+  /// side for a drain triggered elsewhere (a SIGTERM handler writing to
+  /// drain_wake_fd(), or a client's SHUTDOWN frame). Joins the loop thread.
+  void wait();
+  /// Immediate shutdown: every session's jobs are cancelled, sockets close
+  /// without flushing, the loop joins. Idempotent; also called by ~Server.
+  void stop();
+
+  /// Writing one byte to this fd triggers begin_drain() from the event
+  /// loop -- the only thing a SIGTERM handler needs (write() is
+  /// async-signal-safe; none of the other entry points are).
+  int drain_wake_fd() const { return wake_write_fd_; }
+
+  api::Service& service() { return *service_; }
+  ServerStats stats() const;
+
+ private:
+  struct Completion {
+    uint64_t session_id = 0;
+    uint64_t tag = 0;
+    api::ErrorCode code = api::ErrorCode::kNone;
+    std::string message;
+    ResultMsg result;  ///< valid when code == kNone
+  };
+
+  void loop();
+  void accept_pending();
+  void pump_reads(Session& s);
+  void handle_frame(Session& s, const Frame& f);
+  void handle_submit(Session& s, const Frame& f);
+  void handle_stats(Session& s);
+  void deliver_completions();
+  void deliver_terminal(Session& s, uint64_t tag, const Completion& c);
+  void sweep_ready_handles(Session& s);
+  /// Typed ERROR (tag 0) + doom: the one exit for protocol violations,
+  /// overload and idle reaping.
+  void fail_session(Session& s, api::ErrorCode code, const std::string& why,
+                    bool count_protocol_error);
+  bool enqueue(Session& s, MsgType type, std::vector<uint8_t> frame_bytes);
+  void reap_session(uint64_t id);
+  void drain_tick(int64_t now_ms);
+  static int64_t now_ms();
+
+  ServerConfig cfg_;
+  std::string address_;
+  Listener listener_;
+
+  // Wake pipe: workers write 'W' after pushing a completion; signal handlers
+  // (or anyone) write anything else to request a drain.
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  mutable std::mutex completions_m_;
+  std::deque<Completion> completions_;
+
+  mutable std::mutex stats_m_;
+  ServerStats stats_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::mutex lifecycle_m_;
+  std::condition_variable lifecycle_cv_;
+  bool loop_exited_ = false;
+
+  // Loop-thread-owned state (no locks): sessions keyed by id.
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  bool draining_ = false;
+  int64_t drain_deadline_ms_ = 0;
+  bool drain_cancelled_jobs_ = false;
+
+  std::thread loop_thread_;
+  /// Declared last: destroyed first, so worker callbacks (which touch the
+  /// completion queue and wake pipe above) are all gone before any other
+  /// member unwinds.
+  std::unique_ptr<api::Service> service_;
+};
+
+}  // namespace redmule::serve

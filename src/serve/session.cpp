@@ -1,0 +1,40 @@
+#include "serve/session.hpp"
+
+namespace redmule::serve {
+
+Session::Enqueue Session::enqueue_frame(MsgType type, std::vector<uint8_t> bytes,
+                                        size_t max_bytes) {
+  out_bytes_ += bytes.size();
+  out_.push_back(OutFrame{type, std::move(bytes), 0});
+  if (out_bytes_ <= max_bytes) return Enqueue::kOk;
+  // Over budget: shed advisory PROGRESS frames, oldest first. A frame whose
+  // transmission already started cannot be dropped (the peer would see a
+  // corrupt stream), hence the off == 0 guard.
+  for (auto it = out_.begin(); it != out_.end() && out_bytes_ > max_bytes;) {
+    if (it->type == MsgType::kProgress && it->off == 0) {
+      out_bytes_ -= it->bytes.size();
+      ++counters_.progress_shed;
+      it = out_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out_bytes_ <= max_bytes ? Enqueue::kOk : Enqueue::kOverflow;
+}
+
+bool Session::flush_writes() {
+  while (!out_.empty()) {
+    OutFrame& f = out_.front();
+    const IoResult r = sock_.write_some(f.bytes.data() + f.off,
+                                        f.bytes.size() - f.off);
+    if (r.fatal) return false;
+    if (r.n == 0) return true;  // EAGAIN: wait for the next POLLOUT
+    f.off += r.n;
+    out_bytes_ -= r.n;
+    counters_.bytes_out += r.n;
+    if (f.off == f.bytes.size()) out_.pop_front();
+  }
+  return true;
+}
+
+}  // namespace redmule::serve

@@ -1,0 +1,269 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace redmule::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw redmule::Error(what + ": " + std::strerror(errno));
+}
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;  // unix
+  std::string host;  // tcp
+  uint16_t port = 0;
+};
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = address.substr(5);
+    if (out.path.empty()) throw redmule::Error("empty unix socket path in `" + address + "`");
+    sockaddr_un probe{};
+    if (out.path.size() >= sizeof(probe.sun_path))
+      throw redmule::Error("unix socket path too long: `" + out.path + "`");
+    return out;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+      throw redmule::Error("want tcp:host:port, got `" + address + "`");
+    out.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long p = std::strtoul(port.c_str(), &end, 10);
+    if (end == port.c_str() || *end != '\0' || p > 65535)
+      throw redmule::Error("bad tcp port `" + port + "` in `" + address + "`");
+    out.port = static_cast<uint16_t>(p);
+    return out;
+  }
+  throw redmule::Error("address must start with unix: or tcp:, got `" + address + "`");
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw redmule::Error("not an IPv4 address: `" + host + "`");
+  return addr;
+}
+
+}  // namespace
+
+// --- Socket -----------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_to(const std::string& address) {
+  const ParsedAddress pa = parse_address(address);
+  const int fd = ::socket(pa.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket()");
+  Socket s(fd);
+  int rc;
+  if (pa.is_unix) {
+    const sockaddr_un addr = make_unix_addr(pa.path);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } else {
+    const sockaddr_in addr = make_tcp_addr(pa.host, pa.port);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+  }
+  if (rc != 0) sys_fail("connect(" + address + ")");
+  return s;
+}
+
+void Socket::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) sys_fail("fcntl(F_GETFL)");
+  if (::fcntl(fd_, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK)) < 0)
+    sys_fail("fcntl(F_SETFL)");
+}
+
+void Socket::set_recv_timeout_ms(uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    sys_fail("setsockopt(SO_RCVTIMEO)");
+}
+
+IoResult Socket::read_some(void* buf, size_t cap) {
+  IoResult r;
+  const ssize_t n = ::recv(fd_, buf, cap, 0);
+  if (n > 0) {
+    r.n = static_cast<size_t>(n);
+  } else if (n == 0) {
+    r.closed = true;
+  } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+    r.fatal = true;
+  }
+  return r;
+}
+
+IoResult Socket::write_some(const void* buf, size_t n) {
+  IoResult r;
+  // MSG_NOSIGNAL: a vanished peer must surface as EPIPE on this call, not
+  // as a SIGPIPE that kills the whole server process.
+  const ssize_t w = ::send(fd_, buf, n, MSG_NOSIGNAL);
+  if (w >= 0) {
+    r.n = static_cast<size_t>(w);
+  } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+    r.fatal = true;
+  }
+  return r;
+}
+
+bool Socket::read_exact(void* buf, size_t n) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw redmule::Error("connection closed mid-frame (" +
+                           std::to_string(got) + "/" + std::to_string(n) +
+                           " bytes)");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw redmule::TimeoutError("read timed out waiting for the server");
+    sys_fail("recv()");
+  }
+  return true;
+}
+
+void Socket::write_all(const void* buf, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w >= 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    sys_fail("send()");
+  }
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      address_(std::move(other.address_)),
+      unlink_path_(std::move(other.unlink_path_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    address_ = std::move(other.address_);
+    unlink_path_ = std::move(other.unlink_path_);
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+Listener Listener::bind_to(const std::string& address) {
+  const ParsedAddress pa = parse_address(address);
+  const int fd = ::socket(pa.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket()");
+  Listener l;
+  l.fd_ = fd;
+  if (pa.is_unix) {
+    ::unlink(pa.path.c_str());
+    const sockaddr_un addr = make_unix_addr(pa.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      sys_fail("bind(" + address + ")");
+    l.unlink_path_ = pa.path;
+    l.address_ = address;
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = make_tcp_addr(pa.host, pa.port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      sys_fail("bind(" + address + ")");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+      sys_fail("getsockname()");
+    l.address_ = "tcp:" + pa.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(fd, 64) != 0) sys_fail("listen(" + address + ")");
+  // Non-blocking so a connection that vanishes between poll() and accept()
+  // can never stall the event loop.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return l;
+}
+
+Socket Listener::accept_one() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Socket();
+  Socket s(fd);
+  s.set_nonblocking(true);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // no-op on unix
+  return s;
+}
+
+}  // namespace redmule::serve

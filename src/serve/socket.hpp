@@ -1,0 +1,95 @@
+/// \file socket.hpp
+/// \brief Minimal POSIX stream-socket wrappers for the serving front-end.
+///
+/// Addresses are strings of the form "unix:/path/to.sock" or
+/// "tcp:host:port" (IPv4). TCP port 0 binds an ephemeral port; the bound
+/// Listener reports the resolved address so tests never race on port
+/// numbers. All failures throw redmule::Error with errno context -- the
+/// server layer above maps connection-level failures onto session teardown,
+/// never process death.
+///
+/// Server-side sockets run non-blocking (the poll loop must never be
+/// captive to one peer); client-side sockets run blocking with an optional
+/// receive timeout so a vanished server surfaces as a typed error instead
+/// of a hang.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace redmule::serve {
+
+/// Outcome of one non-blocking read/write attempt.
+struct IoResult {
+  size_t n = 0;         ///< bytes moved
+  bool closed = false;  ///< peer performed an orderly shutdown (read only)
+  bool fatal = false;   ///< unrecoverable socket error (ECONNRESET, EPIPE...)
+};
+
+/// Move-only RAII file descriptor with stream-socket helpers.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Blocking connect to "unix:..." or "tcp:host:port".
+  static Socket connect_to(const std::string& address);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  void set_nonblocking(bool on);
+  /// Blocking-read timeout (SO_RCVTIMEO); 0 disables.
+  void set_recv_timeout_ms(uint64_t ms);
+
+  /// Non-blocking single attempt; n == 0 && !closed && !fatal means EAGAIN.
+  IoResult read_some(void* buf, size_t cap);
+  IoResult write_some(const void* buf, size_t n);
+
+  /// Blocking loops for the client side. read_exact returns false on a
+  /// clean EOF at a frame boundary (0 bytes read so far); throws on EOF
+  /// mid-buffer, timeouts, and socket errors.
+  bool read_exact(void* buf, size_t n);
+  void write_all(const void* buf, size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound + listening server socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on \p address (see file comment). Unix paths are
+  /// unlinked first so a stale socket file from a crashed predecessor never
+  /// blocks a restart.
+  static Listener bind_to(const std::string& address);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The resolved address ("tcp:127.0.0.1:41234" after an ephemeral bind).
+  const std::string& address() const { return address_; }
+  /// Non-blocking accept; invalid Socket when no connection is pending.
+  Socket accept_one();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string address_;
+  std::string unlink_path_;  ///< unix socket file to remove on close
+};
+
+}  // namespace redmule::serve

@@ -1,0 +1,121 @@
+// Untrusted-input hardening of the WorkloadRegistry spec parser. Spec
+// strings are a trust boundary -- the serving front-end feeds them straight
+// off the wire -- so create() must refuse, with typed kBadConfig and before
+// any factory runs:
+//
+//  - specs longer than kMaxSpecBytes;
+//  - specs carrying NUL or any other control byte (embedded terminators and
+//    terminal escape sequences never reach a parser or a log line);
+//  - duplicate keys (an ambiguity, never a silent last-wins);
+//
+// plus the pre-existing classes, table-driven: unknown kinds, malformed
+// values, typo'd (unconsumed) keys. Valid specs at the boundary (exactly
+// kMaxSpecBytes, printable-only) must still parse.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/workload.hpp"
+
+using namespace redmule;
+using api::ErrorCode;
+using api::TypedError;
+using api::WorkloadRegistry;
+
+namespace {
+
+ErrorCode create_error(const std::string& spec, std::string* message = nullptr) {
+  try {
+    (void)WorkloadRegistry::global().create(spec);
+  } catch (const TypedError& e) {
+    if (message != nullptr) *message = e.what();
+    return e.code();
+  }
+  return ErrorCode::kNone;
+}
+
+}  // namespace
+
+TEST(SpecHardening, MalformedSpecTable) {
+  struct Case {
+    const char* what;
+    std::string spec;
+  };
+  const std::vector<Case> cases = {
+      {"empty spec", ""},
+      {"unknown kind", "nosuchkind:m=1"},
+      {"empty kind", ":m=1"},
+      {"typo'd key", "gemm:m=16,n=16,k=16,bogus=1"},
+      {"malformed value", "gemm:m=notanumber,n=16,k=16"},
+      {"empty key", "gemm:=5,m=16,n=16,k=16"},
+      {"duplicate key", "gemm:m=16,m=16,n=16,k=16"},
+      {"duplicate key different values", "gemm:m=16,m=32,n=16,k=16"},
+      {"embedded NUL", std::string("gemm:m=16,\0n=16,k=16", 20)},
+      {"leading NUL", std::string("\0gemm:m=16", 10)},
+      {"newline", "gemm:m=16,\nn=16,k=16"},
+      {"carriage return", "gemm:m=16,\rn=16,k=16"},
+      {"escape byte", "gemm:m=16,\x1bn=16,k=16"},
+      {"DEL byte", "gemm:m=16,\x7fn=16,k=16"},
+      {"tab", "gemm:m=16,\tn=16,k=16"},
+      {"oversized spec", "gemm:m=16,n=16,k=16,name=" +
+                             std::string(api::kMaxSpecBytes, 'x')},
+  };
+  for (const Case& c : cases) {
+    std::string message;
+    EXPECT_EQ(create_error(c.spec, &message), ErrorCode::kBadConfig)
+        << c.what << " was not refused (message: " << message << ")";
+  }
+}
+
+TEST(SpecHardening, RefusalMessagesNeverEchoControlBytes) {
+  // The refusal for a control-byte spec must name the byte by value, not
+  // echo it (the message may end up in a log or over the wire).
+  std::string message;
+  ASSERT_EQ(create_error(std::string("gemm:m=16,\x1b]0;owned\x07", 20), &message),
+            ErrorCode::kBadConfig);
+  for (const char ch : message) {
+    EXPECT_FALSE((ch >= 0 && ch < 0x20) || ch == 0x7f)
+        << "control byte echoed in: " << message;
+  }
+}
+
+TEST(SpecHardening, ExactlyMaxSpecBytesStillParses) {
+  // Pad with a consumed key ("name=" is accepted by the gemm factory) to hit
+  // the cap exactly: the bound is > kMaxSpecBytes, not >=.
+  std::string spec = "gemm:m=16,n=16,k=16,name=";
+  ASSERT_LT(spec.size(), api::kMaxSpecBytes);
+  spec.append(api::kMaxSpecBytes - spec.size(), 'p');
+  ASSERT_EQ(spec.size(), api::kMaxSpecBytes);
+  EXPECT_NO_THROW((void)WorkloadRegistry::global().create(spec));
+  spec.push_back('p');  // one past the cap
+  EXPECT_EQ(create_error(spec), ErrorCode::kBadConfig);
+}
+
+TEST(SpecHardening, OversizedRefusalHappensBeforeParsing) {
+  // An oversized spec full of garbage that would also fail parsing must be
+  // refused for its SIZE -- the parser must not have touched the body.
+  std::string message;
+  const std::string spec(api::kMaxSpecBytes + 1, ',');
+  ASSERT_EQ(create_error(spec, &message), ErrorCode::kBadConfig);
+  EXPECT_NE(message.find("bytes"), std::string::npos)
+      << "expected a size refusal, got: " << message;
+}
+
+TEST(SpecHardening, ValidSpecsOfEveryKindStillWork) {
+  for (const char* spec :
+       {"gemm:m=16,n=16,k=16,seed=5", "tiled:m=48,n=48,k=48,seed=6",
+        "network:in=32,hidden=16-8-16,batch=1,seed=7"}) {
+    auto w = WorkloadRegistry::global().create(spec);
+    ASSERT_NE(w, nullptr) << spec;
+    EXPECT_EQ(w->validate().code, ErrorCode::kNone) << spec;
+  }
+}
+
+TEST(SpecHardening, DuplicateKeyMessageNamesTheKey) {
+  std::string message;
+  ASSERT_EQ(create_error("gemm:m=16,n=16,k=16,seed=1,seed=2", &message),
+            ErrorCode::kBadConfig);
+  EXPECT_NE(message.find("seed"), std::string::npos) << message;
+  EXPECT_NE(message.find("duplicate"), std::string::npos) << message;
+}

@@ -1,0 +1,295 @@
+// Wire-protocol contracts of serve::Frame and serve::FrameBuffer:
+//
+//  - ROUNDTRIP: every message struct encodes and decodes bit-identically,
+//    including empty strings, maximum values, and non-ASCII spec bytes.
+//  - STRICTNESS: a payload must decode to exactly its declared length --
+//    truncated payloads and trailing bytes are typed kBadConfig, never a
+//    partial decode.
+//  - HOSTILE INPUT: the FrameBuffer validates the length field before
+//    allocating, the version before the type, and throws typed errors for
+//    every malformation class (short length, oversized, bad version,
+//    unknown type) -- table-driven, one case per class.
+//  - INCREMENTALITY: frames split across arbitrary feed() boundaries (down
+//    to one byte at a time) reassemble identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/frame.hpp"
+
+using namespace redmule;
+using namespace redmule::serve;
+using api::ErrorCode;
+using api::TypedError;
+
+namespace {
+
+Frame one_frame(const std::vector<uint8_t>& bytes,
+                uint32_t cap = kDefaultMaxFrameBytes) {
+  FrameBuffer fb(cap);
+  fb.feed(bytes.data(), bytes.size());
+  auto f = fb.next();
+  EXPECT_TRUE(f.has_value());
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+  return std::move(*f);
+}
+
+ErrorCode thrown_code(const std::vector<uint8_t>& bytes,
+                      uint32_t cap = kDefaultMaxFrameBytes) {
+  FrameBuffer fb(cap);
+  fb.feed(bytes.data(), bytes.size());
+  try {
+    (void)fb.next();
+  } catch (const TypedError& e) {
+    return e.code();
+  }
+  return ErrorCode::kNone;
+}
+
+}  // namespace
+
+// --- Roundtrips --------------------------------------------------------------
+
+TEST(ServeFrame, HelloRoundtrip) {
+  const Frame f = one_frame(frame_of(MsgType::kHello, HelloMsg{"client-x"}));
+  EXPECT_EQ(f.type, MsgType::kHello);
+  EXPECT_EQ(decode_hello(f).client_name, "client-x");
+}
+
+TEST(ServeFrame, HelloAckRoundtrip) {
+  HelloAckMsg m;
+  m.session_id = 0xdeadbeefcafe1234ULL;
+  m.max_frame_bytes = 1 << 20;
+  m.max_spec_bytes = 4096;
+  m.server_name = "srv";
+  const HelloAckMsg d =
+      decode_hello_ack(one_frame(frame_of(MsgType::kHelloAck, m)));
+  EXPECT_EQ(d.session_id, m.session_id);
+  EXPECT_EQ(d.max_frame_bytes, m.max_frame_bytes);
+  EXPECT_EQ(d.max_spec_bytes, m.max_spec_bytes);
+  EXPECT_EQ(d.server_name, m.server_name);
+}
+
+TEST(ServeFrame, SubmitRoundtripIncludingNegativePriority) {
+  SubmitMsg m;
+  m.tag = ~0ULL;
+  m.priority = -17;
+  m.max_sim_cycles = 123456789;
+  m.max_wall_ms = 42;
+  m.spec = "gemm:m=64,n=64,k=64,seed=7";
+  const SubmitMsg d = decode_submit(one_frame(frame_of(MsgType::kSubmit, m)));
+  EXPECT_EQ(d.tag, m.tag);
+  EXPECT_EQ(d.priority, -17);
+  EXPECT_EQ(d.max_sim_cycles, m.max_sim_cycles);
+  EXPECT_EQ(d.max_wall_ms, m.max_wall_ms);
+  EXPECT_EQ(d.spec, m.spec);
+}
+
+TEST(ServeFrame, ResultRoundtrip) {
+  ResultMsg m;
+  m.tag = 3;
+  m.job_id = 99;
+  m.cycles = 1;
+  m.advance_cycles = 2;
+  m.stall_cycles = 3;
+  m.macs = 4;
+  m.fma_ops = 5;
+  m.z_hash = 0x0123456789abcdefULL;
+  const ResultMsg d = decode_result(one_frame(frame_of(MsgType::kResult, m)));
+  EXPECT_EQ(d.tag, m.tag);
+  EXPECT_EQ(d.job_id, m.job_id);
+  EXPECT_EQ(d.cycles, m.cycles);
+  EXPECT_EQ(d.advance_cycles, m.advance_cycles);
+  EXPECT_EQ(d.stall_cycles, m.stall_cycles);
+  EXPECT_EQ(d.macs, m.macs);
+  EXPECT_EQ(d.fma_ops, m.fma_ops);
+  EXPECT_EQ(d.z_hash, m.z_hash);
+}
+
+TEST(ServeFrame, ErrorRoundtripEveryCode) {
+  for (const ErrorCode code :
+       {ErrorCode::kNone, ErrorCode::kBadConfig, ErrorCode::kCapacity,
+        ErrorCode::kTimeout, ErrorCode::kEngineFault, ErrorCode::kCancelled}) {
+    const ErrorMsg d = decode_error(
+        one_frame(frame_of(MsgType::kError, ErrorMsg{7, code, "why"})));
+    EXPECT_EQ(d.tag, 7u);
+    EXPECT_EQ(d.code, code);
+    EXPECT_EQ(d.message, "why");
+  }
+}
+
+TEST(ServeFrame, SmallMessagesRoundtrip) {
+  EXPECT_EQ(decode_cancel(one_frame(frame_of(MsgType::kCancel, CancelMsg{9}))).tag,
+            9u);
+  const ProgressMsg p = decode_progress(
+      one_frame(frame_of(MsgType::kProgress, ProgressMsg{1, 2, ProgressState::kQueued})));
+  EXPECT_EQ(p.tag, 1u);
+  EXPECT_EQ(p.job_id, 2u);
+  EXPECT_EQ(decode_ping(one_frame(frame_of(MsgType::kPing, PingMsg{0xabc}))).nonce,
+            0xabcu);
+  decode_empty(one_frame(empty_frame(MsgType::kStats)));
+  decode_empty(one_frame(empty_frame(MsgType::kShutdownAck)));
+}
+
+TEST(ServeFrame, StatsReplyRoundtrip) {
+  StatsReplyMsg m;
+  uint64_t v = 1;
+  m.submitted = v++; m.completed = v++; m.failed = v++; m.cancelled = v++;
+  m.rejected = v++; m.shed = v++; m.retries = v++; m.sim_cycles = v++;
+  m.macs = v++; m.queued_now = v++; m.active_now = v++; m.sessions_now = v++;
+  m.sessions_total = v++; m.protocol_errors = v++;
+  m.overload_disconnects = v++; m.draining = v++; m.session_submitted = v++;
+  m.session_completed = v++; m.session_errors = v++;
+  m.session_progress_shed = v++; m.session_jobs_live = v++;
+  const StatsReplyMsg d =
+      decode_stats_reply(one_frame(frame_of(MsgType::kStatsReply, m)));
+  EXPECT_EQ(d.submitted, m.submitted);
+  EXPECT_EQ(d.draining, m.draining);
+  EXPECT_EQ(d.session_jobs_live, m.session_jobs_live);
+  EXPECT_EQ(d.protocol_errors, m.protocol_errors);
+}
+
+// --- Strict decoding ---------------------------------------------------------
+
+TEST(ServeFrame, TruncatedPayloadIsTyped) {
+  Frame f = one_frame(frame_of(MsgType::kCancel, CancelMsg{9}));
+  f.payload.pop_back();
+  try {
+    (void)decode_cancel(f);
+    FAIL() << "truncated payload decoded";
+  } catch (const TypedError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadConfig);
+  }
+}
+
+TEST(ServeFrame, TrailingBytesAreTyped) {
+  Frame f = one_frame(frame_of(MsgType::kCancel, CancelMsg{9}));
+  f.payload.push_back(0);
+  try {
+    (void)decode_cancel(f);
+    FAIL() << "trailing bytes accepted";
+  } catch (const TypedError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadConfig);
+  }
+}
+
+TEST(ServeFrame, LyingStringLengthIsTyped) {
+  // A HELLO whose string claims more bytes than the payload holds.
+  std::vector<uint8_t> payload = {10, 0, 0, 0, 'h', 'i'};  // len=10, 2 bytes
+  std::vector<uint8_t> bytes;
+  encode_frame(bytes, MsgType::kHello, payload);
+  const Frame f = one_frame(bytes);
+  try {
+    (void)decode_hello(f);
+    FAIL() << "lying string length decoded";
+  } catch (const TypedError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadConfig);
+  }
+}
+
+// --- Hostile frames (table-driven) -------------------------------------------
+
+namespace {
+
+std::vector<uint8_t> raw_frame(uint32_t len, uint8_t version, uint8_t type,
+                               size_t body_bytes) {
+  std::vector<uint8_t> out = {static_cast<uint8_t>(len),
+                              static_cast<uint8_t>(len >> 8),
+                              static_cast<uint8_t>(len >> 16),
+                              static_cast<uint8_t>(len >> 24), version, type};
+  out.resize(out.size() + body_bytes, 0xab);
+  return out;
+}
+
+}  // namespace
+
+TEST(ServeFrame, MalformedFrameTable) {
+  struct Case {
+    const char* what;
+    std::vector<uint8_t> bytes;
+    ErrorCode want;
+  };
+  const uint32_t cap = 1024;
+  const Case cases[] = {
+      {"length 0 (no room for version+type)", raw_frame(0, 1, 1, 0),
+       ErrorCode::kBadConfig},
+      {"length 1", raw_frame(1, 1, 1, 0), ErrorCode::kBadConfig},
+      {"oversized length field", raw_frame(cap + 3, 1, 1, 0),
+       ErrorCode::kCapacity},
+      {"absurd length field (4 GiB)", raw_frame(0xffffffffu, 1, 1, 0),
+       ErrorCode::kCapacity},
+      {"unknown version", raw_frame(2, 99, 1, 0), ErrorCode::kBadConfig},
+      {"unknown type", raw_frame(2, 1, 200, 0), ErrorCode::kBadConfig},
+      {"type 0", raw_frame(2, 1, 0, 0), ErrorCode::kBadConfig},
+      // Version must be rejected before the type is even looked at.
+      {"unknown version AND unknown type", raw_frame(2, 77, 222, 0),
+       ErrorCode::kBadConfig},
+  };
+  for (const Case& c : cases)
+    EXPECT_EQ(thrown_code(c.bytes, cap), c.want) << c.what;
+}
+
+TEST(ServeFrame, GarbageBytesThrowTyped) {
+  // 64 bytes of pseudo-random garbage: whatever the length field decodes to,
+  // the outcome must be a typed error or "need more bytes" -- never a crash.
+  std::vector<uint8_t> garbage;
+  uint32_t x = 0x12345678;
+  for (int i = 0; i < 64; ++i) {
+    x = x * 1664525 + 1013904223;
+    garbage.push_back(static_cast<uint8_t>(x >> 24));
+  }
+  FrameBuffer fb(1024);
+  fb.feed(garbage.data(), garbage.size());
+  try {
+    while (fb.next()) {
+    }
+    SUCCEED();  // interpreted as incomplete frames; fine
+  } catch (const TypedError&) {
+    SUCCEED();  // typed rejection; fine
+  }
+}
+
+// --- Incremental reassembly --------------------------------------------------
+
+TEST(ServeFrame, OneByteAtATimeReassembles) {
+  SubmitMsg m;
+  m.tag = 42;
+  m.spec = "tiled:m=96,n=96,k=96,seed=13";
+  const std::vector<uint8_t> bytes = frame_of(MsgType::kSubmit, m);
+  FrameBuffer fb;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_FALSE(fb.next().has_value()) << "frame complete early at " << i;
+    fb.feed(&bytes[i], 1);
+  }
+  auto f = fb.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(decode_submit(*f).spec, m.spec);
+}
+
+TEST(ServeFrame, BackToBackFramesInOneFeed) {
+  std::vector<uint8_t> stream = frame_of(MsgType::kCancel, CancelMsg{1});
+  const auto second = frame_of(MsgType::kPing, PingMsg{2});
+  stream.insert(stream.end(), second.begin(), second.end());
+  FrameBuffer fb;
+  fb.feed(stream.data(), stream.size());
+  auto f1 = fb.next();
+  auto f2 = fb.next();
+  ASSERT_TRUE(f1 && f2);
+  EXPECT_EQ(f1->type, MsgType::kCancel);
+  EXPECT_EQ(f2->type, MsgType::kPing);
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+}
+
+TEST(ServeFrame, MaxFrameSizedPayloadIsAccepted) {
+  // Exactly at the cap passes; the boundary case belongs to the accept side.
+  const uint32_t cap = 256;
+  std::vector<uint8_t> payload(cap - 2, 0x5a);
+  // Build a HELLO whose string fills the payload exactly.
+  HelloMsg m;
+  m.client_name.assign(cap - 2 - 4, 'x');  // u32 length prefix + bytes
+  const auto bytes = frame_of(MsgType::kHello, m);
+  const Frame f = one_frame(bytes, cap);
+  EXPECT_EQ(decode_hello(f).client_name.size(), m.client_name.size());
+}
