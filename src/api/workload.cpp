@@ -376,12 +376,12 @@ double SpecArgs::num(const std::string& key, double def) const {
   try {
     size_t used = 0;
     const double out = std::stod(v, &used);
-    if (used != v.size()) throw std::invalid_argument(v);
-    return out;
+    if (used == v.size()) return out;
   } catch (const std::exception&) {
-    throw TypedError(ErrorCode::kBadConfig,
-                     "spec key `" + key + "`: `" + v + "` is not a number");
+    // stod's invalid_argument/out_of_range fall through to the typed throw.
   }
+  throw TypedError(ErrorCode::kBadConfig,
+                   "spec key `" + key + "`: `" + v + "` is not a number");
 }
 
 bool SpecArgs::flag(const std::string& key, bool def) const {

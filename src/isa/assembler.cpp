@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <unordered_map>
 
 #include "common/check.hpp"
@@ -352,9 +353,14 @@ Program assemble(const std::string& source) {
     prog.instrs.push_back(std::move(ins));
   }
 
-  for (const auto& [name, idx] : labels) prog.labels.emplace_back(name, idx);
+  // Total order (address, then name): the map's hash order must never leak
+  // into the program listing, and sorting by address alone would tie-break
+  // aliased labels nondeterministically.
+  prog.labels.assign(labels.begin(), labels.end());
   std::sort(prog.labels.begin(), prog.labels.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
+            [](const auto& a, const auto& b) {
+              return std::tie(a.second, a.first) < std::tie(b.second, b.first);
+            });
   return prog;
 }
 

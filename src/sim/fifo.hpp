@@ -51,7 +51,14 @@ class Fifo : public Clocked {
     staged_.clear();
   }
 
-  void clear() {
+  /// Quiescent whenever nothing is staged: tick() is always a no-op and
+  /// commit() only moves staged elements, so until the next push() both
+  /// phases are guaranteed no-ops (popping is an external act).
+  bool is_idle() const override { return staged_.empty(); }
+
+  /// Reset-equals-constructed: drop all committed and staged elements,
+  /// keeping the configured capacity.
+  void reset() {
     data_.clear();
     staged_.clear();
   }

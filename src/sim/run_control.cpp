@@ -45,6 +45,7 @@ void RunControl::checkpoint(uint64_t cycle) {
                          std::to_string(cycle) + " (limit " +
                          std::to_string(cycle_limit_) + ")");
   if (has_wall_deadline_ &&
+      // redmule-lint: allow(determinism) wall-deadline site: aborts the run with a typed error, never alters a result
       std::chrono::steady_clock::now() >= wall_deadline_)
     throw RunAborted(AbortReason::kWallDeadline, cycle,
                      "wall-clock deadline exceeded at simulated cycle " +

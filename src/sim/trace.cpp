@@ -1,6 +1,8 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -16,8 +18,15 @@ size_t Trace::dump_csv(const std::string& path) const {
   REDMULE_REQUIRE(f != nullptr, "cannot open trace output file: " + path);
   std::fprintf(f, "signal,cycle,value\n");
   size_t n = 0;
-  for (const auto& [name, samples] : signals_) {
-    for (const auto& [cycle, value] : samples) {
+  // Emit signals in name order: the CSV is a comparable artifact, so its row
+  // order must not depend on the map's hash order.
+  std::vector<std::string> names;
+  names.reserve(signals_.size());
+  // redmule-lint: allow(determinism) key collection only; rows are emitted in sorted order below
+  for (const auto& entry : signals_) names.push_back(entry.first);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    for (const auto& [cycle, value] : signals_.at(name)) {
       std::fprintf(f, "%s,%llu,%lld\n", name.c_str(),
                    static_cast<unsigned long long>(cycle), static_cast<long long>(value));
       ++n;

@@ -89,8 +89,8 @@ class RaggedGemm : public ::testing::TestWithParam<workloads::GemmShape> {};
 
 INSTANTIATE_TEST_SUITE_P(AllLeftovers, RaggedGemm,
                          ::testing::ValuesIn(workloads::ragged_sweep()),
-                         [](const auto& info) {
-                           std::string n = info.param.name;
+                         [](const auto& name_info) {
+                           std::string n = name_info.param.name;
                            for (char& c : n)
                              if (c == 'x') c = '_';
                            return n;

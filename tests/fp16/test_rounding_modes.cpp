@@ -14,8 +14,8 @@ INSTANTIATE_TEST_SUITE_P(AllModes, RoundingModeTest,
                          ::testing::Values(RoundingMode::kRNE, RoundingMode::kRTZ,
                                            RoundingMode::kRDN, RoundingMode::kRUP,
                                            RoundingMode::kRMM),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& name_info) {
+                           switch (name_info.param) {
                              case RoundingMode::kRNE: return "RNE";
                              case RoundingMode::kRTZ: return "RTZ";
                              case RoundingMode::kRDN: return "RDN";

@@ -54,7 +54,7 @@ INSTANTIATE_TEST_SUITE_P(
                 }},
         AluCase{"sltu", [](uint32_t a, uint32_t b) { return uint32_t{a < b}; }},
         AluCase{"mul", [](uint32_t a, uint32_t b) { return a * b; }}),
-    [](const auto& info) { return info.param.mnemonic; });
+    [](const auto& name_info) { return name_info.param.mnemonic; });
 
 TEST_P(AluOp, MatchesReferenceSemantics) {
   const AluCase& c = GetParam();
@@ -108,7 +108,7 @@ INSTANTIATE_TEST_SUITE_P(
                    }},
         BranchCase{"bltu", [](uint32_t a, uint32_t b) { return a < b; }},
         BranchCase{"bgeu", [](uint32_t a, uint32_t b) { return a >= b; }}),
-    [](const auto& info) { return info.param.mnemonic; });
+    [](const auto& name_info) { return name_info.param.mnemonic; });
 
 TEST_P(BranchOp, TakenMatchesReference) {
   const BranchCase& c = GetParam();

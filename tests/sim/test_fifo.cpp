@@ -46,14 +46,25 @@ TEST(Fifo, InterleavedPushPop) {
   EXPECT_TRUE(f.empty());
 }
 
-TEST(Fifo, ClearEmptiesEverything) {
+TEST(Fifo, ResetEmptiesEverything) {
   Fifo<int> f(4);
   f.push(1);
   f.commit();
   f.push(2);
-  f.clear();
+  f.reset();
   EXPECT_TRUE(f.empty());
   EXPECT_FALSE(f.can_pop());
+}
+
+TEST(Fifo, IdleExactlyWhenNothingStaged) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.is_idle());  // empty: both phases are no-ops
+  f.push(1);
+  EXPECT_FALSE(f.is_idle());  // staged element: commit() must run
+  f.commit();
+  EXPECT_TRUE(f.is_idle());  // committed data needs no clock to be popped
+  f.pop();
+  EXPECT_TRUE(f.is_idle());
 }
 
 TEST(Fifo, ZeroCapacityRejected) {

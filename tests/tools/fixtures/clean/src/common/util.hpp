@@ -1,0 +1,4 @@
+#pragma once
+// Tokenizer traps: banned patterns inside comments and literals must not
+// fire. throw std::runtime_error("doc"); rand(); now();
+inline const char* trap() { return "throw std::runtime_error(\"x\") rand() now("; }

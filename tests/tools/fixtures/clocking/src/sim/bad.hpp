@@ -1,0 +1,22 @@
+// Fixture: Clocked subclasses must override reset() and is_idle().
+#pragma once
+class Clocked {
+ public:
+  virtual void tick() = 0;
+  virtual bool is_idle() const { return false; }
+};
+class MissingBoth : public Clocked {
+ public:
+  void tick() override {}
+};
+class MissingIdle : public Clocked {
+ public:
+  void tick() override {}
+  void reset() {}
+};
+class Complete : public Clocked {
+ public:
+  void tick() override {}
+  void reset() {}
+  bool is_idle() const override { return true; }
+};

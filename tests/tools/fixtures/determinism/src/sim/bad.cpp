@@ -1,0 +1,14 @@
+// Fixture: every nondeterministic source in a result-producing module.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+unsigned roll() { return rand(); }
+long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+std::unordered_map<int, int> table;
+int hash_table() {
+  int h = 0;
+  for (const auto& kv : table) h ^= kv.second;
+  return h;
+}

@@ -1,0 +1,2 @@
+// Fixture: the old CI grep contract -- api must not include sim.
+#include "sim/sim.hpp"

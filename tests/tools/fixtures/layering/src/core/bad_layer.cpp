@@ -1,0 +1,2 @@
+// Fixture: core must not reach up into cluster.
+#include "cluster/cluster.hpp"

@@ -1,0 +1,1 @@
+// Fixture: a module absent from the declared map must be flagged.

@@ -1,0 +1,2 @@
+// Fixture: serve speaks only api (and common).
+#include "cluster/cluster.hpp"

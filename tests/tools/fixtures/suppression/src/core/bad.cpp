@@ -1,0 +1,9 @@
+// Fixture: both inline suppression forms.
+#include <stdexcept>
+void same_line() {
+  throw std::runtime_error("a");  // redmule-lint: allow(typed-errors) fixture: same-line form
+}
+void line_above() {
+  // redmule-lint: allow(typed-errors) fixture: annotation-above form
+  throw std::runtime_error("b");
+}

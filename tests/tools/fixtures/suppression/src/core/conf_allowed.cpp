@@ -1,0 +1,3 @@
+// Fixture: allowlist.conf suppression.
+#include <stdexcept>
+void conf() { throw std::logic_error("c"); }

@@ -1,0 +1,13 @@
+// Fixture: cap-before-alloc at the wire boundary.
+#include <vector>
+struct Reader { unsigned u32(); };
+constexpr unsigned kMaxBodyBytes = 1024;
+void decode_unguarded(Reader& r, std::vector<unsigned char>& buf) {
+  unsigned n = r.u32();
+  buf.resize(n);
+}
+void decode_guarded(Reader& r, std::vector<unsigned char>& buf) {
+  unsigned n = r.u32();
+  if (n > kMaxBodyBytes) return;
+  buf.resize(n);
+}

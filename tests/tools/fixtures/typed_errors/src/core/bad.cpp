@@ -1,0 +1,10 @@
+// Fixture: raw std:: throws and a bare rethrow must be flagged.
+#include <stdexcept>
+void fail_raw() { throw std::runtime_error("untyped"); }
+void rethrow() {
+  try {
+    fail_raw();
+  } catch (...) {
+    throw;
+  }
+}

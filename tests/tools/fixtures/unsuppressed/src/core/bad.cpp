@@ -1,0 +1,8 @@
+// Fixture: byte-identical to suppression/src/core/bad.cpp minus annotations.
+#include <stdexcept>
+void same_line() {
+  throw std::runtime_error("a");
+}
+void line_above() {
+  throw std::runtime_error("b");
+}

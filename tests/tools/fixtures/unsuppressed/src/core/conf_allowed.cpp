@@ -1,0 +1,3 @@
+// Fixture: byte-identical to suppression twin, no allowlist in this tree.
+#include <stdexcept>
+void conf() { throw std::logic_error("c"); }

@@ -1,0 +1,219 @@
+/// \file test_lint.cpp
+/// \brief redmule-lint contract tests: one violating fixture per rule must be
+///        detected, the seed tree must pass clean, and the suppression /
+///        allowlist syntax must round-trip (annotated twin clean, stripped
+///        twin flagged).
+///
+/// Fixture trees live under tests/tools/fixtures/<case>/: each is a mini
+/// repository root (src/<module>/...) fed to the real analyzer entry point.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+using redmule::lintool::Finding;
+using redmule::lintool::Options;
+using redmule::lintool::RunResult;
+using redmule::lintool::run_lint;
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(REDMULE_LINT_FIXTURES) + "/" + name;
+}
+
+RunResult run_fixture(const std::string& name, std::vector<std::string> rules = {}) {
+  Options opts;
+  opts.root = fixture(name);
+  opts.rules = std::move(rules);
+  RunResult r = run_lint(opts);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r;
+}
+
+size_t count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [&](const Finding& f) { return f.rule == rule; }));
+}
+
+bool has_finding(const std::vector<Finding>& findings, const std::string& rule,
+                 const std::string& path_suffix) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.path.size() >= path_suffix.size() &&
+           f.path.compare(f.path.size() - path_suffix.size(), path_suffix.size(),
+                          path_suffix) == 0;
+  });
+}
+
+}  // namespace
+
+TEST(Lint, TypedErrorsFixtureDetected) {
+  RunResult r = run_fixture("typed_errors");
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(count_rule(r.findings, "typed-errors"), 2u);
+  // One raw std:: throw, one bare rethrow.
+  EXPECT_NE(r.findings[0].message.find("std::runtime_error"), std::string::npos);
+  EXPECT_NE(r.findings[1].message.find("bare `throw`"), std::string::npos);
+}
+
+TEST(Lint, DeterminismFixtureDetected) {
+  RunResult r = run_fixture("determinism");
+  EXPECT_EQ(count_rule(r.findings, "determinism"), 3u) << "rand, now, unordered";
+  bool saw_rand = false, saw_now = false, saw_unordered = false;
+  for (const Finding& f : r.findings) {
+    saw_rand |= f.message.find("rand()") != std::string::npos;
+    saw_now |= f.message.find("now()") != std::string::npos;
+    saw_unordered |= f.message.find("unordered") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_rand);
+  EXPECT_TRUE(saw_now);
+  EXPECT_TRUE(saw_unordered);
+}
+
+TEST(Lint, LayeringFixtureDetected) {
+  RunResult r = run_fixture("layering");
+  EXPECT_EQ(count_rule(r.findings, "layering"), 4u);
+  EXPECT_TRUE(has_finding(r.findings, "layering", "core/bad_layer.cpp"))
+      << "core -> cluster must be flagged";
+  EXPECT_TRUE(has_finding(r.findings, "layering", "api/bad_api.cpp"))
+      << "api -> sim (the old CI grep) must be flagged";
+  EXPECT_TRUE(has_finding(r.findings, "layering", "serve/bad_serve.cpp"))
+      << "serve -> cluster must be flagged";
+  EXPECT_TRUE(has_finding(r.findings, "layering", "newmod/thing.cpp"))
+      << "an undeclared module must be flagged";
+}
+
+TEST(Lint, TrustBoundaryFixtureDetected) {
+  RunResult r = run_fixture("trust_boundary");
+  ASSERT_EQ(count_rule(r.findings, "trust-boundary"), 1u)
+      << "exactly the unguarded resize; the cap-checked twin must pass";
+  const Finding& f = r.findings[0];
+  EXPECT_EQ(f.line, 7) << "the resize in decode_unguarded";
+  EXPECT_NE(f.message.find("cap"), std::string::npos);
+}
+
+TEST(Lint, ClockingFixtureDetected) {
+  RunResult r = run_fixture("clocking");
+  ASSERT_EQ(count_rule(r.findings, "clocking"), 2u);
+  EXPECT_NE(r.findings[0].message.find("MissingBoth"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("reset() and is_idle()"), std::string::npos);
+  EXPECT_NE(r.findings[1].message.find("MissingIdle"), std::string::npos);
+  EXPECT_EQ(r.findings[1].message.find("reset() and"), std::string::npos)
+      << "MissingIdle has reset(); only is_idle() is missing";
+}
+
+TEST(Lint, CleanFixturePassesIncludingTokenizerTraps) {
+  // The clean tree contains every banned pattern inside comments and string
+  // literals; the tokenizer must blank them before the rules run.
+  RunResult r = run_fixture("clean");
+  EXPECT_TRUE(r.findings.empty()) << r.findings.size() << " unexpected finding(s), first: "
+                                  << (r.findings.empty() ? "" : r.findings[0].message);
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(Lint, SuppressionAndAllowlistRoundTrip) {
+  // Annotated tree: both inline forms + one allowlist.conf entry -> clean,
+  // with all three violations accounted for as suppressed.
+  RunResult with = run_fixture("suppression");
+  EXPECT_TRUE(with.findings.empty())
+      << "first leak: " << (with.findings.empty() ? "" : with.findings[0].message);
+  EXPECT_EQ(with.suppressed.size(), 3u);
+
+  // Stripped twin (same code, no annotations, no allowlist): every
+  // violation must come back. This is the round-trip: suppression syntax is
+  // the only thing keeping the annotated tree clean.
+  RunResult without = run_fixture("unsuppressed");
+  EXPECT_EQ(without.findings.size(), 3u);
+  EXPECT_TRUE(without.suppressed.empty());
+}
+
+TEST(Lint, MalformedAllowlistRejected) {
+  Options opts;
+  opts.root = fixture("suppression");
+  opts.allowlist_path = fixture("bad_allowlist.conf");
+  RunResult r = run_lint(opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("reason mandatory"), std::string::npos);
+}
+
+TEST(Lint, UnknownRuleRejected) {
+  Options opts;
+  opts.root = fixture("clean");
+  opts.rules = {"no-such-rule"};
+  RunResult r = run_lint(opts);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Lint, RuleSelectionFilters) {
+  // Running only the determinism rule over the typed-errors fixture must
+  // report nothing: rules are individually selectable.
+  RunResult r = run_fixture("typed_errors", {"determinism"});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Lint, BuildCoverageCrossCheck) {
+  // A compile_commands.json that lacks a src TU must produce a
+  // build-coverage finding; one that lists every TU must not.
+  const std::string missing = testing::TempDir() + "/cc_missing.json";
+  {
+    std::ofstream out(missing);
+    out << "[{\"file\": \"src/core/other.cpp\"}]\n";
+  }
+  Options opts;
+  opts.root = fixture("clean");
+  opts.compile_commands_path = missing;
+  RunResult r = run_lint(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(count_rule(r.findings, "build-coverage"), 1u);
+  EXPECT_TRUE(has_finding(r.findings, "build-coverage", "serve/srv.cpp"));
+
+  const std::string complete = testing::TempDir() + "/cc_complete.json";
+  {
+    std::ofstream out(complete);
+    out << "[{\"file\": \"" << fixture("clean") << "/src/serve/srv.cpp\"}]\n";
+  }
+  opts.compile_commands_path = complete;
+  RunResult r2 = run_lint(opts);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(count_rule(r2.findings, "build-coverage"), 0u);
+}
+
+TEST(Lint, AllRulesHaveNamesAndDescriptions) {
+  auto rules = redmule::lintool::all_rules();
+  ASSERT_EQ(rules.size(), 5u);
+  std::vector<std::string> names;
+  for (const auto* r : rules) {
+    EXPECT_NE(std::string(r->name()), "");
+    EXPECT_NE(std::string(r->description()), "");
+    names.push_back(r->name());
+  }
+  // The five contracts from docs/ARCHITECTURE.md "Enforced contracts".
+  const std::vector<std::string> expected = {"typed-errors", "determinism", "layering",
+                                             "trust-boundary", "clocking"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(Lint, SeedTreePassesClean) {
+  // The real repository must lint clean: zero findings, with the documented
+  // exception sites (fault-injection throw, compat-shim layering, wall-clock
+  // stat/deadline reads) visible as suppressions -- never silently absent.
+  Options opts;
+  opts.root = REDMULE_LINT_REPO_ROOT;
+  RunResult r = run_lint(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  for (const Finding& f : r.findings)
+    ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  EXPECT_GE(r.files_scanned, 80u) << "the walk must cover the whole src tree";
+  EXPECT_TRUE(std::any_of(r.suppressed.begin(), r.suppressed.end(),
+                          [](const Finding& f) {
+                            return f.rule == "typed-errors" &&
+                                   f.path == "src/sim/run_control.cpp";
+                          }))
+      << "the seed allowlist entry (fault-injection throw) must stay live";
+}

@@ -1,0 +1,148 @@
+/// \file lint.hpp
+/// \brief redmule-lint: contract-enforcing static analysis for this repo.
+///
+/// The reproduction hangs off a handful of load-bearing contracts documented
+/// in docs/ARCHITECTURE.md (typed errors only, seeded determinism, the module
+/// layering DAG, cap-before-alloc at the serve trust boundary, the Clocked
+/// reset/is_idle protocol). This tool makes them machine-checked: it loads
+/// every source file under src/, strips comments and literals with a small
+/// state-machine tokenizer (so rules never fire inside strings or doc text),
+/// walks the full quoted-#include graph rooted at src/, and runs a set of
+/// named, individually-suppressible rules over the result.
+///
+/// Suppression forms, both carrying a mandatory human-readable reason:
+///  - inline:   // redmule-lint: allow(rule-name) reason...
+///    applies to findings on the same line, or -- when the comment is the
+///    whole line -- to the next line that carries code;
+///  - allowlist file (tools/lint/allowlist.conf): `rule|path|substring|reason`
+///    entries; `*` as substring matches any line in the file.
+///
+/// The library surface exists so tests can drive the analyzer over fixture
+/// trees; the CLI in main.cpp is a thin wrapper.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace redmule::lintool {
+
+/// One quoted #include directive ("..." form; <...> system headers are
+/// outside the layering contract and ignored).
+struct IncludeEdge {
+  int line = 0;             ///< 1-based line of the directive
+  std::string target;       ///< include path as written, e.g. "core/engine.hpp"
+  std::string raw;          ///< the raw source line (for allowlist matching)
+};
+
+/// One loaded source file with literals/comments blanked out.
+struct SourceFile {
+  std::string path;         ///< repo-relative path with forward slashes
+  std::string module_name;  ///< first directory under src/ ("core", "sim", ...);
+                            ///< empty when the file is not under src/
+  bool is_header = false;
+  std::vector<std::string> raw_lines;   ///< verbatim source lines
+  std::vector<std::string> code_lines;  ///< same length/offsets, with comments and
+                                        ///< string/char-literal contents blanked
+  std::string code_text;                ///< code_lines joined with '\n'
+  std::vector<IncludeEdge> includes;    ///< quoted includes, in order
+
+  /// Map an offset into code_text back to a 1-based line number.
+  int line_of(size_t offset) const;
+};
+
+/// One rule violation.
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+/// Inline + allowlist suppression state for one run.
+class Suppressions {
+ public:
+  /// Parse `// redmule-lint: allow(a,b) reason` annotations out of a file.
+  void collect_inline(const SourceFile& f);
+  /// Load allowlist.conf (`rule|path|substring|reason` lines, '#' comments).
+  /// Returns false (with *error set) on malformed entries.
+  bool load_allowlist(const std::string& conf_path, std::string* error);
+
+  /// True when `finding` is covered by an inline annotation or allowlist
+  /// entry. `raw_line` is the verbatim source line of the finding.
+  bool allowed(const Finding& finding, const std::string& raw_line) const;
+
+  /// Number of allowlist entries loaded (for reporting).
+  size_t allowlist_entries() const { return allowlist_.size(); }
+
+ private:
+  struct AllowlistEntry {
+    std::string rule;
+    std::string path;
+    std::string substring;  ///< "*" = any line
+    std::string reason;
+  };
+  // (path, line) -> rule names allowed there. "*" allows every rule.
+  std::map<std::pair<std::string, int>, std::set<std::string>> inline_;
+  std::vector<AllowlistEntry> allowlist_;
+};
+
+/// The loaded repository: every analyzed file plus the include graph.
+class Repo {
+ public:
+  /// Load every *.hpp/*.cpp under `root`/src (recursively). Returns false
+  /// with *error set when the tree cannot be read.
+  bool load(const std::string& root, std::string* error);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+  const SourceFile* find(const std::string& repo_rel_path) const;
+  const std::string& root() const { return root_; }
+
+  /// True when `include_target` (e.g. "core/engine.hpp") resolves to a file
+  /// under src/.
+  bool include_resolves(const std::string& include_target) const;
+
+ private:
+  std::string root_;
+  std::vector<SourceFile> files_;
+  std::set<std::string> src_paths_;  ///< paths relative to src/
+};
+
+/// A named contract rule.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  virtual const char* description() const = 0;
+  virtual void check(const Repo& repo, const SourceFile& f,
+                     std::vector<Finding>* out) const = 0;
+};
+
+/// The five contract rules, in stable order.
+std::vector<const Rule*> all_rules();
+
+struct Options {
+  std::string root;                    ///< repository root (contains src/)
+  std::vector<std::string> rules;      ///< empty = all rules
+  std::string allowlist_path;          ///< empty = <root>/tools/lint/allowlist.conf if present
+  std::string compile_commands_path;   ///< empty = skip the coverage cross-check
+};
+
+struct RunResult {
+  bool ok = false;                  ///< analysis ran (not: no findings)
+  std::string error;                ///< set when !ok
+  size_t files_scanned = 0;
+  std::vector<Finding> findings;    ///< violations after suppression
+  std::vector<Finding> suppressed;  ///< violations covered by a suppression
+};
+
+/// Load the tree and run the selected rules.
+RunResult run_lint(const Options& opts);
+
+/// Blank comments and string/char literals in one file's text, preserving
+/// line structure and column offsets. Exposed for tests.
+std::vector<std::string> blank_noncode(const std::vector<std::string>& raw_lines);
+
+}  // namespace redmule::lintool

@@ -1,0 +1,94 @@
+/// \file main.cpp
+/// \brief redmule-lint CLI.
+///
+/// Usage:
+///   redmule-lint [--root DIR] [--compile-commands FILE] [--allowlist FILE]
+///                [--rule NAME]... [--list-rules] [--verbose]
+///
+/// Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: redmule-lint [--root DIR] [--compile-commands FILE]\n"
+               "                    [--allowlist FILE] [--rule NAME]...\n"
+               "                    [--list-rules] [--verbose]\n"
+               "\n"
+               "Contract-enforcing static analysis for this repository: loads\n"
+               "every source file under <root>/src, walks the quoted-#include\n"
+               "graph, and checks the named contract rules. Findings print as\n"
+               "  path:line: [rule] message\n"
+               "Suppress individual findings with an inline\n"
+               "  // redmule-lint: allow(rule) reason\n"
+               "annotation (same line, or alone on the line above) or an\n"
+               "allowlist entry (`rule|path|substring|reason`; default file\n"
+               "<root>/tools/lint/allowlist.conf).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using redmule::lintool::Finding;
+  using redmule::lintool::Options;
+  using redmule::lintool::RunResult;
+
+  Options opts;
+  opts.root = ".";
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "redmule-lint: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opts.root = value("--root");
+    } else if (arg == "--compile-commands") {
+      opts.compile_commands_path = value("--compile-commands");
+    } else if (arg == "--allowlist") {
+      opts.allowlist_path = value("--allowlist");
+    } else if (arg == "--rule") {
+      opts.rules.push_back(value("--rule"));
+    } else if (arg == "--list-rules") {
+      for (const auto* rule : redmule::lintool::all_rules())
+        std::printf("%-16s %s\n", rule->name(), rule->description());
+      return 0;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "redmule-lint: unknown argument `%s`\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  RunResult result = redmule::lintool::run_lint(opts);
+  if (!result.ok) {
+    std::fprintf(stderr, "redmule-lint: %s\n", result.error.c_str());
+    return 2;
+  }
+  for (const Finding& f : result.findings)
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  if (verbose) {
+    for (const Finding& f : result.suppressed)
+      std::fprintf(stderr, "suppressed %s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "redmule-lint: %zu files, %zu finding(s), %zu suppressed\n",
+               result.files_scanned, result.findings.size(), result.suppressed.size());
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Run the full static-analysis wall: redmule-lint (contract rules) plus the
+# curated clang-tidy baseline (.clang-tidy at the repo root). This is the
+# same sequence the CI static-analysis job runs on every push.
+#
+# Usage: tools/lint/static-analysis.sh [BUILD_DIR]
+#   BUILD_DIR defaults to `build` and must contain compile_commands.json
+#   (the top-level CMakeLists exports it unconditionally) and the
+#   redmule-lint binary (target `redmule-lint`).
+#
+# Environment:
+#   SEEDED_VIOLATION=1  plant a temporary contract violation and require the
+#                       wall to FAIL on it (proves the gate is live), then
+#                       clean up. Used by CI; safe locally.
+#
+# Exit: 0 = wall clean (and, with SEEDED_VIOLATION=1, gate proven live);
+#       nonzero otherwise.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-build}"
+case "$BUILD_DIR" in
+  /*) ;;
+  *) BUILD_DIR="$ROOT/$BUILD_DIR" ;;
+esac
+LINT="$BUILD_DIR/tools/lint/redmule-lint"
+CDB="$BUILD_DIR/compile_commands.json"
+FAIL=0
+
+if [ ! -x "$LINT" ]; then
+  echo "static-analysis: $LINT not built (cmake --build $BUILD_DIR --target redmule-lint)" >&2
+  exit 2
+fi
+if [ ! -f "$CDB" ]; then
+  echo "static-analysis: $CDB missing (configure with CMake >= the repo top-level, which exports it)" >&2
+  exit 2
+fi
+
+echo "=== redmule-lint"
+"$LINT" --root "$ROOT" --compile-commands "$CDB" || FAIL=1
+
+echo "=== clang-tidy (curated wall from .clang-tidy)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Analyze every first-party TU in the compilation database; the config and
+  # warnings-as-errors policy come from .clang-tidy at the repo root.
+  mapfile -t TUS < <(cd "$ROOT" && ls src/*/*.cpp tools/lint/*.cpp)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    # run-clang-tidy treats the file args as regexes matched against the
+    # absolute paths in the compilation database, so pass them unanchored.
+    (cd "$ROOT" && run-clang-tidy -quiet -p "$BUILD_DIR" "${TUS[@]}") || FAIL=1
+  else
+    for tu in "${TUS[@]}"; do
+      clang-tidy -quiet -p "$BUILD_DIR" "$ROOT/$tu" || FAIL=1
+    done
+  fi
+else
+  echo "clang-tidy not installed; skipping (CI always runs it)"
+fi
+
+if [ "${SEEDED_VIOLATION:-0}" = "1" ]; then
+  echo "=== seeded-violation smoke (the wall must FAIL on a planted violation)"
+  SEED_FILE="$ROOT/src/core/lint_seeded_violation.cpp"
+  trap 'rm -f "$SEED_FILE"' EXIT
+  cat > "$SEED_FILE" <<'EOF'
+// Planted by tools/lint/static-analysis.sh SEEDED_VIOLATION smoke; never committed.
+#include <stdexcept>
+#include "cluster/cluster.hpp"
+void lint_seeded_violation() { throw std::runtime_error("seeded"); }
+EOF
+  if "$LINT" --root "$ROOT" > /dev/null 2>&1; then
+    echo "seeded-violation smoke FAILED: redmule-lint passed a tree with a planted typed-errors + layering violation" >&2
+    rm -f "$SEED_FILE"
+    exit 3
+  fi
+  rm -f "$SEED_FILE"
+  trap - EXIT
+  echo "seeded-violation smoke OK: the gate rejects a planted violation"
+fi
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "static-analysis: FAILED" >&2
+  exit 1
+fi
+echo "static-analysis: clean"
