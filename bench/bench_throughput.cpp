@@ -1,30 +1,29 @@
-/// Aggregate-throughput benchmark of the batched simulation subsystem
-/// (sim/batch_runner.hpp): how many simulated cycles / MACs / jobs per host
-/// second the simulator sustains when a queue of independent RedMulE jobs is
-/// drained by a pool of worker threads with pooled, reset()-reused cluster
-/// instances.
+/// Aggregate-throughput benchmark of batched execution through the async
+/// api::Service (api/service.hpp): how many simulated cycles / MACs / jobs
+/// per host second the simulator sustains when a queue of independent
+/// RedMulE jobs is drained by a pool of worker threads with pooled,
+/// reset()-reused cluster instances.
 ///
 /// Three job mixes are swept across thread counts 1..max(4, hw_concurrency):
 ///  - uniform:        identical default-geometry GEMMs (homogeneous traffic);
 ///  - mixed_geometry: assorted H/L/P accelerator geometries and shapes (the
 ///    multi-tenant case: every user simulates a different configuration);
 ///  - short_long:     ~200x MAC spread between jobs (worst case for static
-///    partitioning; exercises the work-stealing cursor).
+///    partitioning).
 ///
-/// A fourth sweep drives the public api::Service front-end with a
-/// registry-instantiated mixed-workload queue (monolithic gemm + tiled +
-/// network training steps, interleaved priorities) and validates every
-/// outcome against the legacy BatchRunner lowering of the same scenarios --
-/// the cross-path equivalence gate of the API migration.
+/// A fourth sweep drives a mixed-workload queue instantiated from registry
+/// spec strings (monolithic gemm + tiled + network training steps,
+/// interleaved priorities) -- the multi-scenario case the polymorphic
+/// api::Workload surface exists for.
 ///
 /// Every sweep validates the determinism guarantee: per-job simulated cycle
 /// counts, stall/advance splits, FMA-op counts, and Z-output hashes must be
-/// bit-identical across all thread counts and against the serial reference;
-/// any mismatch is a fatal error (nonzero exit), not a statistic.
+/// bit-identical across all thread counts and against the serial
+/// Service::run_one reference; any mismatch is a fatal error (nonzero
+/// exit), not a statistic.
 ///
 /// The 1-thread runs additionally quantify reset-vs-reconstruct: the same
-/// batch with cluster reuse disabled (a fresh module hierarchy per job, the
-/// pre-batch-runner way of scripting job sequences).
+/// batch with cluster reuse disabled (a fresh module hierarchy per job).
 ///
 /// Usage: bench_throughput [--smoke] [--out <path>] [--max-threads N] [--reps N]
 ///   --smoke        tiny problems, threads {1,2} (CI rot check, not a
@@ -38,12 +37,14 @@
 #include <cinttypes>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/service.hpp"
 #include "api/workload.hpp"
 #include "bench_util.hpp"
-#include "sim/batch_runner.hpp"
+#include "common/rng.hpp"
+#include "workloads/gemm.hpp"
 
 using namespace redmule;
 using namespace redmule::bench;
@@ -54,19 +55,32 @@ constexpr uint64_t kBatchSeed = 42;
 
 struct Mix {
   std::string name;
-  std::vector<sim::BatchJob> jobs;
+  std::vector<std::string> specs;
 };
 
-/// Repeats the base job set \p reps times and assigns every job its own
+std::string gemm_spec(const workloads::GemmShape& s, const core::Geometry& g,
+                      bool acc = false, bool tiled = false) {
+  std::string spec = std::string(tiled ? "tiled" : "gemm") +
+                     ":m=" + std::to_string(s.m) + ",n=" + std::to_string(s.n) +
+                     ",k=" + std::to_string(s.k) +
+                     ",geom=" + std::to_string(g.h) + "x" + std::to_string(g.l) +
+                     "x" + std::to_string(g.p);
+  if (acc) spec += ",acc=1";
+  return spec;
+}
+
+/// Repeats the base spec set \p reps times and assigns every job its own
 /// deterministic RNG stream from the batch seed.
-std::vector<sim::BatchJob> replicate(std::vector<sim::BatchJob> base, unsigned reps) {
-  std::vector<sim::BatchJob> jobs;
-  jobs.reserve(base.size() * reps);
+std::vector<std::string> replicate(const std::vector<std::string>& base,
+                                   unsigned reps, uint64_t seed_root) {
+  std::vector<std::string> specs;
+  specs.reserve(base.size() * reps);
   for (unsigned r = 0; r < reps; ++r)
-    for (const sim::BatchJob& j : base) jobs.push_back(j);
-  for (size_t i = 0; i < jobs.size(); ++i)
-    jobs[i].seed = split_seed(kBatchSeed, i);
-  return jobs;
+    for (const std::string& s : base) {
+      specs.push_back(s + ",seed=" +
+                      std::to_string(split_seed(seed_root, specs.size())));
+    }
+  return specs;
 }
 
 std::vector<Mix> make_mixes(bool smoke, unsigned reps) {
@@ -75,58 +89,83 @@ std::vector<Mix> make_mixes(bool smoke, unsigned reps) {
 
   {  // Homogeneous traffic: one geometry, one shape.
     const uint32_t s = smoke ? 16 : 64;
-    std::vector<sim::BatchJob> base;
-    sim::BatchJob j;
-    j.shape = {std::to_string(s) + "^3", s, s, s};
-    j.geometry = kDefault;
-    base.push_back(j);
-    mixes.push_back({"uniform", replicate(std::move(base), smoke ? 2 : 48 * reps)});
+    const std::vector<std::string> base = {
+        gemm_spec({"", s, s, s}, kDefault)};
+    mixes.push_back(
+        {"uniform", replicate(base, smoke ? 2 : 48 * reps, kBatchSeed)});
   }
 
   {  // Short-job traffic: per-job overhead (programming, reset) dominates,
      // so this is where pooled-cluster reuse pays the most.
     const uint32_t s = smoke ? 8 : 16;
-    std::vector<sim::BatchJob> base;
-    sim::BatchJob j;
-    j.shape = {std::to_string(s) + "^3", s, s, s};
-    j.geometry = kDefault;
-    base.push_back(j);
-    mixes.push_back({"short_uniform", replicate(std::move(base), smoke ? 2 : 384 * reps)});
+    const std::vector<std::string> base = {
+        gemm_spec({"", s, s, s}, kDefault)};
+    mixes.push_back(
+        {"short_uniform", replicate(base, smoke ? 2 : 384 * reps, kBatchSeed)});
   }
 
   {  // Multi-tenant traffic: every job a different geometry/shape pair.
     const std::vector<std::pair<core::Geometry, workloads::GemmShape>> pairs = {
-        {{4, 8, 3}, {"64x64x64", 64, 64, 64}},
-        {{2, 4, 3}, {"32x48x32", 32, 48, 32}},
-        {{8, 8, 3}, {"48x64x48", 48, 64, 48}},
-        {{4, 4, 3}, {"33x31x17", 33, 31, 17}},
-        {{4, 8, 3}, {"24x20x40", 24, 20, 40}},
-        {{2, 4, 3}, {"16x16x16", 16, 16, 16}},
-        {{8, 8, 3}, {"72x24x56", 72, 24, 56}},
-        {{4, 8, 3}, {"17x33x31", 17, 33, 31}},
+        {{4, 8, 3}, {"", 64, 64, 64}}, {{2, 4, 3}, {"", 32, 48, 32}},
+        {{8, 8, 3}, {"", 48, 64, 48}}, {{4, 4, 3}, {"", 33, 31, 17}},
+        {{4, 8, 3}, {"", 24, 20, 40}}, {{2, 4, 3}, {"", 16, 16, 16}},
+        {{8, 8, 3}, {"", 72, 24, 56}}, {{4, 8, 3}, {"", 17, 33, 31}},
     };
-    std::vector<sim::BatchJob> base;
+    std::vector<std::string> base;
     for (const auto& [g, s] : pairs) {
-      sim::BatchJob j;
-      j.shape = smoke ? workloads::GemmShape{"12x12x12", 12, 12, 12} : s;
-      j.geometry = g;
-      j.accumulate = base.size() % 4 == 3;  // keep the Y-path hot in batch mode
-      base.push_back(j);
+      const workloads::GemmShape shape =
+          smoke ? workloads::GemmShape{"", 12, 12, 12} : s;
+      base.push_back(gemm_spec(shape, g,
+                               /*acc=*/base.size() % 4 == 3));  // keep Y hot
     }
-    mixes.push_back({"mixed_geometry", replicate(std::move(base), smoke ? 1 : 12 * reps)});
+    mixes.push_back(
+        {"mixed_geometry", replicate(base, smoke ? 1 : 12 * reps, kBatchSeed)});
   }
 
   {  // Short-vs-long mix on the default geometry.
-    std::vector<sim::BatchJob> base;
-    for (const workloads::GemmShape& s : workloads::short_long_sweep()) {
-      sim::BatchJob j;
-      j.shape = smoke ? workloads::GemmShape{"8x8x8", 8, 8, 8} : s;
-      j.geometry = kDefault;
-      base.push_back(j);
-    }
-    mixes.push_back({"short_long", replicate(std::move(base), smoke ? 1 : 9 * reps)});
+    std::vector<std::string> base;
+    for (const workloads::GemmShape& s : workloads::short_long_sweep())
+      base.push_back(gemm_spec(
+          smoke ? workloads::GemmShape{"", 8, 8, 8} : s, kDefault));
+    mixes.push_back(
+        {"short_long", replicate(base, smoke ? 1 : 9 * reps, kBatchSeed)});
   }
   return mixes;
+}
+
+/// The registry-driven mixed-workload traffic: monolithic GEMMs, tiled L2
+/// pipelines, and whole network training steps interleaved in ONE queue.
+std::vector<std::string> registry_mix(bool smoke, unsigned reps) {
+  std::vector<std::string> protos;
+  const auto add_gemm = [&](uint32_t m, uint32_t n, uint32_t k, bool acc,
+                            bool tiled) {
+    protos.push_back(gemm_spec({"", m, n, k}, {4, 8, 3}, acc, tiled));
+  };
+  const auto add_network = [&](uint32_t in, const std::string& hidden,
+                               uint32_t batch) {
+    protos.push_back("network:in=" + std::to_string(in) + ",hidden=" + hidden +
+                     ",batch=" + std::to_string(batch) + ",geom=4x8x3");
+  };
+  if (smoke) {
+    add_gemm(12, 12, 12, false, false);
+    add_gemm(10, 8, 12, true, false);
+    add_gemm(24, 24, 24, false, true);
+    add_network(16, "8-4-8", 1);
+  } else {
+    add_gemm(48, 48, 48, false, false);
+    add_gemm(32, 32, 32, true, false);
+    add_gemm(96, 96, 96, false, true);
+    add_gemm(64, 48, 64, false, false);
+    add_network(64, "32-8-32", 2);
+    add_network(48, "24-24", 4);
+  }
+  std::vector<std::string> out;
+  const unsigned total_reps = smoke ? 1 : 4 * reps;
+  for (unsigned r = 0; r < total_reps; ++r)
+    for (const std::string& p : protos)
+      out.push_back(p + ",seed=" +
+                    std::to_string(split_seed(kBatchSeed + 1, out.size())));
+  return out;
 }
 
 /// Fingerprint of one job outcome; everything that must be thread-invariant.
@@ -136,93 +175,89 @@ struct Outcome {
   bool operator==(const Outcome&) const = default;
 };
 
-Outcome outcome_of(const sim::BatchResult& r) {
-  return {r.stats.cycles, r.stats.advance_cycles, r.stats.stall_cycles,
-          r.stats.fma_ops, r.z_hash, r.ok};
-}
-
 Outcome outcome_of(const api::WorkloadResult& r) {
   return {r.stats.cycles, r.stats.advance_cycles, r.stats.stall_cycles,
           r.stats.fma_ops, r.z_hash, r.ok()};
 }
 
-/// The registry-driven mixed-workload traffic: monolithic GEMMs, tiled L2
-/// pipelines, and whole network training steps interleaved in ONE queue --
-/// the multi-scenario case the polymorphic api::Workload surface exists
-/// for. Each scenario carries its spec string AND the equivalent legacy
-/// BatchJob so the sweep double-checks cross-path equivalence (new Service
-/// vs legacy BatchRunner lowering) at every point.
-struct RegistryScenario {
-  std::string spec;
-  sim::BatchJob legacy;
-};
+/// Aggregate figures of one timed batch (was sim::BatchStats before the
+/// BatchRunner shim was removed).
+struct BatchTiming {
+  double wall_s = 0.0;
+  uint64_t jobs_ok = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t sim_cycles = 0;
+  uint64_t macs = 0;
+  uint64_t cluster_reuses = 0;
 
-std::vector<RegistryScenario> registry_mix(bool smoke, unsigned reps) {
-  struct Proto {
-    std::string spec;  ///< without the seed key
-    sim::BatchJob legacy;
-  };
-  std::vector<Proto> protos;
-  const auto add_gemm = [&](uint32_t m, uint32_t n, uint32_t k, bool acc,
-                            bool tiled) {
-    sim::BatchJob j;
-    j.shape = {std::to_string(m) + "x" + std::to_string(n) + "x" +
-                   std::to_string(k),
-               m, n, k};
-    j.geometry = {4, 8, 3};
-    j.accumulate = acc;
-    j.tiled = tiled;
-    std::string spec = std::string(tiled ? "tiled" : "gemm") +
-                       ":m=" + std::to_string(m) + ",n=" + std::to_string(n) +
-                       ",k=" + std::to_string(k) + ",geom=4x8x3";
-    if (acc) spec += ",acc=1";
-    protos.push_back({std::move(spec), j});
-  };
-  const auto add_network = [&](uint32_t in, std::vector<uint32_t> hidden,
-                               uint32_t batch) {
-    sim::BatchJob j;
-    j.network = true;
-    j.net.input_dim = in;
-    j.net.hidden = hidden;
-    j.net.batch = batch;
-    j.geometry = {4, 8, 3};
-    std::string spec = "network:in=" + std::to_string(in) + ",hidden=";
-    for (size_t i = 0; i < hidden.size(); ++i) {
-      if (i) spec += '-';
-      spec += std::to_string(hidden[i]);
-    }
-    spec += ",batch=" + std::to_string(batch) + ",geom=4x8x3";
-    protos.push_back({std::move(spec), j});
-  };
-  if (smoke) {
-    add_gemm(12, 12, 12, false, false);
-    add_gemm(10, 8, 12, true, false);
-    add_gemm(24, 24, 24, false, true);
-    add_network(16, {8, 4, 8}, 1);
-  } else {
-    add_gemm(48, 48, 48, false, false);
-    add_gemm(32, 32, 32, true, false);
-    add_gemm(96, 96, 96, false, true);
-    add_gemm(64, 48, 64, false, false);
-    add_network(64, {32, 8, 32}, 2);
-    add_network(48, {24, 24}, 4);
-  }
-  std::vector<RegistryScenario> out;
-  const unsigned total_reps = smoke ? 1 : 4 * reps;
-  for (unsigned r = 0; r < total_reps; ++r)
-    for (const Proto& p : protos) {
-      const uint64_t seed = split_seed(kBatchSeed + 1, out.size());
-      sim::BatchJob j = p.legacy;
-      j.seed = seed;
-      out.push_back({p.spec + ",seed=" + std::to_string(seed), j});
-    }
-  return out;
-}
+  double cycles_per_sec() const { return wall_s > 0 ? sim_cycles / wall_s : 0; }
+  double macs_per_sec() const { return wall_s > 0 ? macs / wall_s : 0; }
+  double jobs_per_sec() const { return wall_s > 0 ? jobs_ok / wall_s : 0; }
+};
 
 struct SweepPoint {
   unsigned threads;
-  sim::BatchStats stats;
+  BatchTiming stats;
 };
+
+std::vector<Outcome> serial_reference(const std::vector<std::string>& specs) {
+  std::vector<Outcome> reference;
+  reference.reserve(specs.size());
+  for (const std::string& s : specs) {
+    auto w = api::WorkloadRegistry::global().create(s);
+    reference.push_back(outcome_of(api::Service::run_one(*w)));
+  }
+  return reference;
+}
+
+/// Submits the whole spec set, waits for every result, and (optionally)
+/// validates each against the serial reference. Priorities interleave three
+/// service classes to exercise the priority queue.
+BatchTiming run_batch(api::Service& service, const std::vector<std::string>& specs,
+                      const std::vector<Outcome>* reference, unsigned threads,
+                      const std::string& mix_name, bool* all_deterministic) {
+  const uint64_t reuses_before = service.stats().cluster_reuses;
+  std::vector<api::JobHandle> handles;
+  handles.reserve(specs.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    api::SubmitOptions opts;
+    opts.priority = static_cast<int>(i % 3) - 1;
+    handles.push_back(
+        service.submit(api::WorkloadRegistry::global().create(specs[i]), opts));
+  }
+  BatchTiming st;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const api::WorkloadResult r = handles[i].get();
+    if (r.ok()) {
+      ++st.jobs_ok;
+      st.sim_cycles += r.stats.cycles;
+      st.macs += r.stats.macs;
+    } else {
+      ++st.jobs_failed;
+    }
+    if (reference && !(outcome_of(r) == (*reference)[i])) {
+      std::fprintf(stderr,
+                   "FATAL: job %zu of mix %s diverged at %u threads (cycles "
+                   "%" PRIu64 " vs %" PRIu64 ", z_hash %016" PRIx64
+                   " vs %016" PRIx64 ", ok=%d)\n",
+                   i, mix_name.c_str(), threads, r.stats.cycles,
+                   (*reference)[i].cycles, r.z_hash, (*reference)[i].z_hash,
+                   r.ok() ? 1 : 0);
+      *all_deterministic = false;
+    }
+  }
+  st.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  st.cluster_reuses = service.stats().cluster_reuses - reuses_before;
+  if (reference && st.jobs_failed != 0) {
+    std::fprintf(stderr, "FATAL: %" PRIu64 " job(s) of mix %s failed\n",
+                 st.jobs_failed, mix_name.c_str());
+    *all_deterministic = false;
+  }
+  return st;
+}
 
 }  // namespace
 
@@ -244,8 +279,9 @@ int main(int argc, char** argv) {
   if (max_threads == 0) max_threads = smoke ? 2 : std::max(4u, hw);
 
   print_header("Batched multi-cluster throughput (host-side performance)",
-               "independent jobs scale across worker threads with pooled, "
-               "reset()-reused clusters; per-job results stay bit-identical");
+               "independent jobs scale across api::Service worker threads with "
+               "pooled, reset()-reused clusters; per-job results stay "
+               "bit-identical");
   std::printf("host hardware_concurrency: %u, sweeping 1..%u threads\n\n", hw,
               max_threads);
 
@@ -262,16 +298,16 @@ int main(int argc, char** argv) {
   TablePrinter table({"Mix", "Jobs", "Threads", "Wall s", "SimCycles/s", "SimMACs/s",
                       "Jobs/s", "Speedup", "Efficiency"});
 
-  for (Mix& mix : make_mixes(smoke, reps)) {
+  std::vector<Mix> mixes = make_mixes(smoke, reps);
+  mixes.push_back({"mixed_workload", registry_mix(smoke, reps)});
+
+  for (const Mix& mix : mixes) {
     const std::string& mn = mix.name;
-    json.add(mn + ".jobs", static_cast<double>(mix.jobs.size()), "jobs");
+    json.add(mn + ".jobs", static_cast<double>(mix.specs.size()), "jobs");
 
     // Serial reference outcomes (fresh cluster per job, no pool): the ground
     // truth every sweep point must reproduce bit-identically.
-    std::vector<Outcome> reference;
-    reference.reserve(mix.jobs.size());
-    for (const sim::BatchJob& j : mix.jobs)
-      reference.push_back(outcome_of(sim::BatchRunner::run_one(j, {}, false)));
+    const std::vector<Outcome> reference = serial_reference(mix.specs);
 
     // Best-of-N timed batches after a warmup batch: host-scheduler noise on
     // shared machines easily exceeds the effects being measured, and the
@@ -281,56 +317,41 @@ int main(int argc, char** argv) {
     // Reset-vs-reconstruct at 1 thread: same batch, reuse disabled.
     double no_reuse_wall = 0.0;
     {
-      sim::BatchConfig cfg;
+      api::ServiceConfig cfg;
       cfg.n_threads = 1;
       cfg.reuse_clusters = false;
-      sim::BatchRunner runner(cfg);
-      (void)runner.run(mix.jobs);  // warmup (page cache, allocator)
+      api::Service service(cfg);
+      (void)run_batch(service, mix.specs, nullptr, 1, mn, &all_deterministic);
       for (int r = 0; r < timed_reps; ++r) {
-        (void)runner.run(mix.jobs);
-        const double w = runner.last_batch_stats().wall_s;
-        if (r == 0 || w < no_reuse_wall) no_reuse_wall = w;
+        const BatchTiming st =
+            run_batch(service, mix.specs, nullptr, 1, mn, &all_deterministic);
+        if (r == 0 || st.wall_s < no_reuse_wall) no_reuse_wall = st.wall_s;
       }
     }
 
     std::vector<SweepPoint> points;
     for (const unsigned t : sweep) {
-      sim::BatchConfig cfg;
+      api::ServiceConfig cfg;
       cfg.n_threads = t;
-      sim::BatchRunner runner(cfg);
-      (void)runner.run(mix.jobs);  // warmup: workers build their pools
-      sim::BatchStats best;
+      api::Service service(cfg);
+      // Warmup batch: workers build their pools. Every timed repetition is
+      // validated against the serial reference -- a divergence in a slower
+      // (discarded-for-timing) batch must fail the bench just the same.
+      (void)run_batch(service, mix.specs, nullptr, t, mn, &all_deterministic);
+      BatchTiming best;
       for (int r = 0; r < timed_reps; ++r) {
-        // Every repetition is validated against the serial reference -- a
-        // divergence in a slower (discarded-for-timing) batch must fail the
-        // bench just the same.
-        const std::vector<sim::BatchResult> results = runner.run(mix.jobs);
-        const sim::BatchStats& st = runner.last_batch_stats();
+        const BatchTiming st =
+            run_batch(service, mix.specs, &reference, t, mn, &all_deterministic);
         if (r == 0 || st.wall_s < best.wall_s) best = st;
-        for (size_t i = 0; i < results.size(); ++i) {
-          if (outcome_of(results[i]) == reference[i]) continue;
-          std::fprintf(stderr,
-                       "FATAL: job %zu of mix %s diverged at %u threads, rep %d "
-                       "(cycles %" PRIu64 " vs %" PRIu64 ", z_hash %016" PRIx64
-                       " vs %016" PRIx64 ", ok=%d)\n",
-                       i, mn.c_str(), t, r, results[i].stats.cycles,
-                       reference[i].cycles, results[i].z_hash, reference[i].z_hash,
-                       results[i].ok ? 1 : 0);
-          all_deterministic = false;
-        }
-        if (st.jobs_failed != 0) {
-          std::fprintf(stderr, "FATAL: %" PRIu64 " job(s) of mix %s failed\n",
-                       st.jobs_failed, mn.c_str());
-          all_deterministic = false;
-        }
       }
       points.push_back({t, best});
     }
 
     const double base_cps = points.front().stats.cycles_per_sec();
     json.add(mn + ".t1.reset_vs_reconstruct_speedup",
-             points.front().stats.wall_s > 0 ? no_reuse_wall / points.front().stats.wall_s
-                                             : 0.0,
+             points.front().stats.wall_s > 0
+                 ? no_reuse_wall / points.front().stats.wall_s
+                 : 0.0,
              "x");
     for (const SweepPoint& p : points) {
       const std::string prefix = mn + ".t" + std::to_string(p.threads);
@@ -342,102 +363,8 @@ int main(int argc, char** argv) {
       json.add(prefix + ".efficiency", speedup / p.threads, "frac");
       json.add(prefix + ".cluster_reuses", static_cast<double>(p.stats.cluster_reuses),
                "jobs");
-      table.add_row({mn, TablePrinter::fmt_int(mix.jobs.size()),
+      table.add_row({mn, TablePrinter::fmt_int(mix.specs.size()),
                      TablePrinter::fmt_int(p.threads), TablePrinter::fmt(p.stats.wall_s, 3),
-                     TablePrinter::fmt(p.stats.cycles_per_sec(), 0),
-                     TablePrinter::fmt(p.stats.macs_per_sec(), 0),
-                     TablePrinter::fmt(p.stats.jobs_per_sec(), 1),
-                     TablePrinter::fmt(speedup, 2),
-                     TablePrinter::fmt(speedup / p.threads, 2)});
-    }
-  }
-
-  // --- Registry-driven mixed workloads through the async api::Service -----
-  // gemm + tiled + network jobs interleaved in one priority queue,
-  // instantiated from spec strings, validated at every sweep point against
-  // the legacy BatchRunner lowering of the same scenarios (cross-path
-  // equivalence is part of the determinism gate).
-  {
-    const std::vector<RegistryScenario> mix = registry_mix(smoke, reps);
-    const std::string mn = "mixed_workload";
-    json.add(mn + ".jobs", static_cast<double>(mix.size()), "jobs");
-
-    std::vector<Outcome> reference;
-    reference.reserve(mix.size());
-    for (const RegistryScenario& s : mix)
-      reference.push_back(outcome_of(sim::BatchRunner::run_one(s.legacy, {}, false)));
-
-    const int timed_reps = smoke ? 1 : 3;
-    std::vector<SweepPoint> points;
-    for (const unsigned t : sweep) {
-      api::ServiceConfig cfg;
-      cfg.n_threads = t;
-      api::Service service(cfg);
-      const auto run_batch = [&](bool validate) {
-        std::vector<api::JobHandle> handles;
-        handles.reserve(mix.size());
-        const auto t0 = std::chrono::steady_clock::now();
-        for (size_t i = 0; i < mix.size(); ++i) {
-          api::SubmitOptions opts;
-          // Exercise the priority queue: three interleaved service classes.
-          opts.priority = static_cast<int>(i % 3) - 1;
-          handles.push_back(service.submit(
-              api::WorkloadRegistry::global().create(mix[i].spec), opts));
-        }
-        sim::BatchStats st;
-        for (size_t i = 0; i < handles.size(); ++i) {
-          const api::WorkloadResult r = handles[i].get();
-          if (r.ok()) {
-            ++st.jobs_ok;
-            st.sim_cycles += r.stats.cycles;
-            st.macs += r.stats.macs;
-          } else {
-            ++st.jobs_failed;
-          }
-          if (validate && !(outcome_of(r) == reference[i])) {
-            std::fprintf(stderr,
-                         "FATAL: registry job %zu (%s) diverged from the "
-                         "legacy path at %u threads (cycles %" PRIu64
-                         " vs %" PRIu64 ", z_hash %016" PRIx64 " vs %016" PRIx64
-                         ", ok=%d)\n",
-                         i, mix[i].spec.c_str(), t, r.stats.cycles,
-                         reference[i].cycles, r.z_hash, reference[i].z_hash,
-                         r.ok() ? 1 : 0);
-            all_deterministic = false;
-          }
-        }
-        st.wall_s = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-        if (validate && st.jobs_failed != 0) {
-          std::fprintf(stderr,
-                       "FATAL: %" PRIu64 " registry job(s) failed at %u threads\n",
-                       st.jobs_failed, t);
-          all_deterministic = false;
-        }
-        return st;
-      };
-      (void)run_batch(false);  // warmup: workers build their pools
-      sim::BatchStats best;
-      for (int r = 0; r < timed_reps; ++r) {
-        const sim::BatchStats st = run_batch(true);
-        if (r == 0 || st.wall_s < best.wall_s) best = st;
-      }
-      points.push_back({t, best});
-    }
-
-    const double base_cps = points.front().stats.cycles_per_sec();
-    for (const SweepPoint& p : points) {
-      const std::string prefix = mn + ".t" + std::to_string(p.threads);
-      const double speedup = base_cps > 0 ? p.stats.cycles_per_sec() / base_cps : 0.0;
-      json.add(prefix + ".cycles_per_sec", p.stats.cycles_per_sec(), "cycle/s");
-      json.add(prefix + ".macs_per_sec", p.stats.macs_per_sec(), "MAC/s");
-      json.add(prefix + ".jobs_per_sec", p.stats.jobs_per_sec(), "job/s");
-      json.add(prefix + ".speedup_vs_t1", speedup, "x");
-      json.add(prefix + ".efficiency", speedup / p.threads, "frac");
-      table.add_row({mn, TablePrinter::fmt_int(mix.size()),
-                     TablePrinter::fmt_int(p.threads),
-                     TablePrinter::fmt(p.stats.wall_s, 3),
                      TablePrinter::fmt(p.stats.cycles_per_sec(), 0),
                      TablePrinter::fmt(p.stats.macs_per_sec(), 0),
                      TablePrinter::fmt(p.stats.jobs_per_sec(), 1),

@@ -1,0 +1,70 @@
+#include "api/pool.hpp"
+
+#include <algorithm>
+
+namespace redmule::api {
+
+ClusterPool::Acquired ClusterPool::acquire(const cluster::ClusterConfig& cfg) {
+  ++jobs_run_;
+  const uint64_t key = pool_key(cfg);
+  for (Entry& cand : pool_)
+    if (cand.key == key) {
+      // Unconditional reset before (not after) each job: this also recovers
+      // the instance from a previous job that timed out or threw mid-run.
+      cand.cl->reset();
+      return {cand.cl.get(), false};
+    }
+  pool_.push_back(Entry{key, std::make_unique<cluster::Cluster>(cfg)});
+  return {pool_.back().cl.get(), true};
+}
+
+PoolWorkers::PoolWorkers(unsigned n_threads) {
+  n_threads_ = n_threads != 0
+                   ? n_threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  pools_.resize(n_threads_);
+  threads_.reserve(n_threads_);
+  for (unsigned i = 0; i < n_threads_; ++i)
+    threads_.emplace_back([this, i] { loop(i); });
+}
+
+PoolWorkers::~PoolWorkers() {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void PoolWorkers::post(Task task) {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void PoolWorkers::loop(unsigned idx) {
+  ClusterPool& pool = pools_[idx];
+  std::unique_lock<std::mutex> l(m_);
+  for (;;) {
+    cv_.wait(l, [&] { return stop_ || !tasks_.empty(); });
+    if (tasks_.empty()) {
+      if (stop_) return;  // drained: every posted task has run
+      continue;
+    }
+    Task task = std::move(tasks_.front());
+    tasks_.pop_front();
+    l.unlock();
+    try {
+      task(pool);
+    } catch (...) {
+      // Tasks own their error handling (the posting layer captures failures
+      // into its own completion state); nothing may kill the worker.
+    }
+    l.lock();
+  }
+}
+
+}  // namespace redmule::api

@@ -1,0 +1,114 @@
+/// \file pool.hpp
+/// \brief The pooled-cluster execution engine extracted from api::Service.
+///
+/// Two pieces, usable together or separately:
+///
+///  - api::ClusterPool: a single-threaded pool of reusable cluster instances
+///    keyed by the *resolved* cluster config (api::pool_key). acquire() finds
+///    an instance with the same key and re-initializes it in place with
+///    Cluster::reset() -- the reset-equals-constructed contract -- or
+///    constructs one when no key matches. Construction is the expensive path
+///    (the whole module hierarchy); reset is the cheap one, and the two are
+///    observationally identical, which is what makes pooling invisible to
+///    results.
+///  - api::PoolWorkers: a fixed set of worker threads, each owning a private
+///    ClusterPool, draining one shared FIFO of tasks. A task receives its
+///    worker's pool by reference and acquires whatever cluster configs it
+///    needs; pools are never shared across threads, so no cluster is ever
+///    touched by two threads (no locking on the simulation hot path).
+///
+/// api::Service fronts this engine with admission control, a priority queue,
+/// deadlines, cancellation and retry; shard::ShardExecutor drives it directly
+/// to run the phase-1 slices of one sharded workload in parallel. Both get
+/// the same pooling semantics from the same code, so the
+/// reset-equals-constructed guarantee cannot drift between the two fronts.
+///
+/// Destruction contract: ~PoolWorkers() runs every task already posted (a
+/// posted task is never silently dropped), then joins. Callers that need a
+/// barrier short of destruction synchronize inside their tasks (the service
+/// tracks its own queue/active counters; the shard executor joins on
+/// per-shard completion slots).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/workload.hpp"
+#include "cluster/cluster.hpp"
+
+namespace redmule::api {
+
+/// Worker-private pool of reusable cluster instances (single-threaded access
+/// by design: each PoolWorkers thread owns exactly one, and standalone users
+/// must not share one across threads).
+class ClusterPool {
+ public:
+  struct Acquired {
+    cluster::Cluster* cl = nullptr;
+    /// True when this call constructed the instance; false when an existing
+    /// instance was recovered with reset() (reset-equals-constructed).
+    bool constructed = false;
+  };
+
+  /// Returns a cluster whose config resolves to the same pool_key as \p cfg,
+  /// in the reset-fresh state: an existing instance is reset() first -- which
+  /// also recovers it from a previous job that threw mid-run -- and a missing
+  /// one is constructed. The pointer stays valid until the pool is destroyed.
+  Acquired acquire(const cluster::ClusterConfig& cfg);
+
+  size_t size() const { return pool_.size(); }
+  /// Total jobs served (acquire() calls) since construction.
+  uint64_t jobs_run() const { return jobs_run_; }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    std::unique_ptr<cluster::Cluster> cl;
+  };
+  std::vector<Entry> pool_;
+  uint64_t jobs_run_ = 0;
+};
+
+/// Fixed worker threads, each with a private ClusterPool, draining a shared
+/// FIFO of tasks. The scheduling layer above decides *what* runs (priorities,
+/// admission, shard order); this layer only guarantees that every posted task
+/// runs exactly once, on some worker, with that worker's pool.
+class PoolWorkers {
+ public:
+  using Task = std::function<void(ClusterPool&)>;
+
+  /// \p n_threads workers (0 = hardware_concurrency).
+  explicit PoolWorkers(unsigned n_threads);
+  /// Drains every already-posted task, then joins the workers.
+  ~PoolWorkers();
+  PoolWorkers(const PoolWorkers&) = delete;
+  PoolWorkers& operator=(const PoolWorkers&) = delete;
+
+  /// Enqueues \p task; it runs exactly once. Tasks own their error handling:
+  /// an exception escaping a task is swallowed (the worker must survive), so
+  /// anything the caller needs to observe must be captured into the task's
+  /// own completion state.
+  void post(Task task);
+
+  unsigned n_threads() const { return n_threads_; }
+
+ private:
+  void loop(unsigned idx);
+
+  unsigned n_threads_ = 1;
+  std::vector<ClusterPool> pools_;  ///< one per worker, thread-private
+  std::vector<std::thread> threads_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace redmule::api

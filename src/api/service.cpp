@@ -47,28 +47,25 @@ WorkloadResult guarded(Fn&& fn) {
 
 }  // namespace
 
-Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {
-  n_threads_ = cfg_.n_threads != 0
-                   ? cfg_.n_threads
-                   : std::max(1u, std::thread::hardware_concurrency());
-  workers_.resize(n_threads_);
-  threads_.reserve(n_threads_);
-  for (unsigned i = 0; i < n_threads_; ++i)
-    threads_.emplace_back([this, i] { worker_loop(i); });
+Service::Service(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      engine_(std::make_unique<PoolWorkers>(cfg_.n_threads)) {
+  n_threads_ = engine_->n_threads();
 }
 
 Service::~Service() {
   std::vector<Pending> orphans;
   {
     std::lock_guard<std::mutex> l(m_);
-    stop_ = true;
     for (auto& [key, job] : queue_) orphans.push_back(std::move(job));
     queue_.clear();
     queue_index_.clear();
     stats_.cancelled += orphans.size();
   }
-  cv_work_.notify_all();
-  for (auto& t : threads_) t.join();
+  // Tear down the engine: already-posted tokens drain (the ones whose jobs
+  // were just orphaned find an empty queue and no-op), in-flight jobs
+  // finish, workers join.
+  engine_.reset();
   // Fulfill the orphaned futures only after the workers are gone, so a
   // not-yet-started job can never be both cancelled and executed. Futures
   // only: on_complete is a worker-thread contract and these never ran.
@@ -180,7 +177,7 @@ JobHandle Service::submit(std::unique_ptr<Workload> workload, SubmitOptions opts
     victim.promise.set_value(
         fail(ErrorCode::kCancelled,
              "shed by a higher-priority submission (queue full)"));
-  cv_work_.notify_one();
+  engine_->post([this](ClusterPool& pool) { run_next(pool); });
   return handle;
 }
 
@@ -267,70 +264,63 @@ ServiceStats Service::stats() const {
   return stats_;
 }
 
-void Service::worker_loop(unsigned idx) {
-  Worker& w = workers_[idx];
+void Service::run_next(ClusterPool& pool) {
   std::unique_lock<std::mutex> l(m_);
-  for (;;) {
-    cv_work_.wait(l, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
-    }
-    auto node = queue_.extract(queue_.begin());
-    Pending job = std::move(node.mapped());
-    queue_index_.erase(job.id);
-    running_.emplace(job.id, RunningJob{job.cancel, job.group});
-    ++active_;
-    l.unlock();
+  if (queue_.empty()) return;  // the token's job was cancelled or shed
+  auto node = queue_.extract(queue_.begin());
+  Pending job = std::move(node.mapped());
+  queue_index_.erase(job.id);
+  running_.emplace(job.id, RunningJob{job.cancel, job.group});
+  ++active_;
+  l.unlock();
 
-    uint64_t constructed = 0, reused = 0;
-    unsigned attempt = 0;
-    WorkloadResult res = execute(w, job, 0, constructed, reused);
-    // Bounded retry: only the transient kEngineFault class re-runs. Every
-    // attempt re-executes from the spec on a reset cluster, so a retried
-    // success is bit-identical to a never-faulted run. A raised cancel flag
-    // stops the retry ladder (the next attempt would abort immediately).
-    while (res.error.code == ErrorCode::kEngineFault &&
-           attempt < job.max_retries &&
-           !job.cancel->load(std::memory_order_relaxed)) {
-      ++attempt;
-      if (cfg_.retry_backoff_ms != 0)
-        std::this_thread::sleep_for(std::chrono::milliseconds(
-            cfg_.retry_backoff_ms << (attempt - 1)));
-      res = execute(w, job, static_cast<int32_t>(attempt), constructed, reused);
-    }
-    const bool ok = res.ok();
-    const uint64_t cycles = res.stats.cycles;
-    const uint64_t macs = res.stats.macs;
-
-    // Stats become visible before the future is fulfilled, so a caller that
-    // just observed its result reads consistent aggregate counters. The
-    // running_ entry goes with them: once get() returns, cancel(id) is
-    // deterministically false.
-    l.lock();
-    ++stats_.completed;
-    stats_.retries += attempt;
-    if (ok) {
-      stats_.sim_cycles += cycles;
-      stats_.macs += macs;
-    } else {
-      ++stats_.failed;
-      if (res.error.code == ErrorCode::kCancelled) ++stats_.cancelled;
-    }
-    stats_.clusters_constructed += constructed;
-    stats_.cluster_reuses += reused;
-    running_.erase(job.id);
-    l.unlock();
-
-    finish(job, std::move(res));
-
-    l.lock();
-    --active_;
-    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  uint64_t constructed = 0, reused = 0;
+  unsigned attempt = 0;
+  WorkloadResult res = execute(pool, job, 0, constructed, reused);
+  // Bounded retry: only the transient kEngineFault class re-runs. Every
+  // attempt re-executes from the spec on a reset cluster, so a retried
+  // success is bit-identical to a never-faulted run. A raised cancel flag
+  // stops the retry ladder (the next attempt would abort immediately).
+  while (res.error.code == ErrorCode::kEngineFault &&
+         attempt < job.max_retries &&
+         !job.cancel->load(std::memory_order_relaxed)) {
+    ++attempt;
+    if (cfg_.retry_backoff_ms != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          cfg_.retry_backoff_ms << (attempt - 1)));
+    res = execute(pool, job, static_cast<int32_t>(attempt), constructed, reused);
   }
+  const bool ok = res.ok();
+  const uint64_t cycles = res.stats.cycles;
+  const uint64_t macs = res.stats.macs;
+
+  // Stats become visible before the future is fulfilled, so a caller that
+  // just observed its result reads consistent aggregate counters. The
+  // running_ entry goes with them: once get() returns, cancel(id) is
+  // deterministically false.
+  l.lock();
+  ++stats_.completed;
+  stats_.retries += attempt;
+  if (ok) {
+    stats_.sim_cycles += cycles;
+    stats_.macs += macs;
+  } else {
+    ++stats_.failed;
+    if (res.error.code == ErrorCode::kCancelled) ++stats_.cancelled;
+  }
+  stats_.clusters_constructed += constructed;
+  stats_.cluster_reuses += reused;
+  running_.erase(job.id);
+  l.unlock();
+
+  finish(job, std::move(res));
+
+  l.lock();
+  --active_;
+  if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
 }
 
-WorkloadResult Service::execute(Worker& w, Pending& job, int32_t attempt,
+WorkloadResult Service::execute(ClusterPool& pool, Pending& job, int32_t attempt,
                                 uint64_t& constructed, uint64_t& reused) {
   return guarded([&]() -> WorkloadResult {
     Workload& work = *job.work;
@@ -358,26 +348,12 @@ WorkloadResult Service::execute(Worker& w, Pending& job, int32_t attempt,
       ++constructed;
       return work.run(cl, ctx);
     }
-    const uint64_t key = pool_key(cfg);
-    PooledCluster* pc = nullptr;
-    for (PooledCluster& cand : w.pool)
-      if (cand.key == key) {
-        pc = &cand;
-        break;
-      }
-    if (pc == nullptr) {
-      w.pool.push_back(
-          PooledCluster{key, std::make_unique<cluster::Cluster>(cfg), 0});
-      pc = &w.pool.back();
+    const ClusterPool::Acquired acq = pool.acquire(cfg);
+    if (acq.constructed)
       ++constructed;
-    } else {
-      // Unconditional reset before (not after) each job: this also recovers
-      // the instance from a previous job that timed out or threw mid-run.
-      pc->cl->reset();
+    else
       ++reused;
-    }
-    ++pc->jobs_run;
-    return work.run(*pc->cl, ctx);
+    return work.run(*acq.cl, ctx);
   });
 }
 

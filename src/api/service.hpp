@@ -4,28 +4,26 @@
 /// api::Service is the public front door for running work on simulated
 /// clusters: callers submit() polymorphic api::Workload instances and get a
 /// JobHandle (a future) back immediately -- no blocking, no batch assembly.
-/// Internally the service keeps the machinery that made the legacy batch
-/// runner fast, retargeted from the flag-struct BatchJob to the interface:
+/// The execution engine underneath -- worker threads with worker-private
+/// pools of reset()-reused cluster instances -- lives in api/pool.hpp
+/// (ClusterPool + PoolWorkers) and is shared with the shard executor
+/// (shard/sharding.hpp); the service adds the scheduling front-end:
 ///
-///  - a pool of N worker threads drains a shared priority queue (higher
-///    priority first, FIFO within a priority level -- the queue plays the
-///    role of the old work-stealing cursor: a worker that finishes early
-///    simply pops the next job, so long jobs never serialize behind short
-///    ones);
-///  - every worker owns a pool of reusable cluster instances keyed by the
-///    workload's *resolved* cluster config (api::pool_key): a pooled cluster
-///    is re-initialized in place with Cluster::reset() before every job
-///    instead of reconstructing the module hierarchy;
+///  - a shared priority queue (higher priority first, FIFO within a priority
+///    level -- the queue plays the role of the old work-stealing cursor: a
+///    worker that finishes early simply pops the next job, so long jobs
+///    never serialize behind short ones);
+///  - per-job admission, deadlines, cancellation, bounded retry;
 ///  - failures are values, not poison: validate()/requirements()/run()
 ///    errors are caught per job and reported as typed api::Error results;
-///    the unconditional reset-before-run recovers pooled instances from any
-///    previous job that threw mid-flight.
+///    ClusterPool's unconditional reset-before-run recovers pooled instances
+///    from any previous job that threw mid-flight.
 ///
 /// Determinism: a workload's result is a pure function of its spec (the
 /// Workload contract), so submission order, priority, thread count, and
-/// cluster reuse never change any outcome -- tests/api/test_service.cpp
-/// asserts bit-identical z_hash/stats across all four axes, and against the
-/// legacy sim::BatchRunner path for equivalent specs.
+/// cluster reuse never change any outcome -- tests/api/test_service.cpp and
+/// tests/api/test_service_batch.cpp assert bit-identical z_hash/stats across
+/// all four axes and against the serial run_one() reference.
 ///
 /// Robustness contracts (see docs/ARCHITECTURE.md "Robustness contracts"):
 ///
@@ -64,6 +62,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/pool.hpp"
 #include "api/workload.hpp"
 #include "cluster/cluster.hpp"
 
@@ -270,28 +269,23 @@ class Service {
     std::promise<WorkloadResult> promise;
   };
 
-  /// Worker-owned cluster pool entry (single-threaded access by design).
-  struct PooledCluster {
-    uint64_t key = 0;
-    std::unique_ptr<cluster::Cluster> cl;
-    uint64_t jobs_run = 0;
-  };
-  struct Worker {
-    std::vector<PooledCluster> pool;
-  };
-
-  void worker_loop(unsigned idx);
-  WorkloadResult execute(Worker& w, Pending& job, int32_t attempt,
+  /// One engine token: pops the highest-priority pending job (if any -- a
+  /// cancel or shed may have emptied the slot) and runs it with the worker's
+  /// pool. Exactly one token is posted per admitted job, so tokens can only
+  /// no-op when the queue shrank through another path.
+  void run_next(ClusterPool& pool);
+  WorkloadResult execute(ClusterPool& pool, Pending& job, int32_t attempt,
                          uint64_t& constructed, uint64_t& reused);
   static void finish(Pending& job, WorkloadResult res);
 
   ServiceConfig cfg_;
   unsigned n_threads_ = 1;
-  std::vector<Worker> workers_;
-  std::vector<std::thread> threads_;
+  /// The shared pooled-cluster engine (api/pool.hpp). Destroyed explicitly
+  /// in ~Service after the queue is orphaned, so every posted token drains
+  /// as a no-op and in-flight jobs finish before orphan futures resolve.
+  std::unique_ptr<PoolWorkers> engine_;
 
   mutable std::mutex m_;
-  std::condition_variable cv_work_;
   std::condition_variable cv_idle_;
   /// Priority queue with stable FIFO within a level and O(log n) cancel:
   /// keyed by {-priority, submission id}, smallest key pops first.
@@ -308,7 +302,6 @@ class Service {
   std::unordered_map<uint64_t, RunningJob> running_;
   uint64_t next_id_ = 1;
   unsigned active_ = 0;
-  bool stop_ = false;
 
   ServiceStats stats_;  ///< guarded by m_
 };

@@ -29,8 +29,8 @@
 ///    api::TypedError), thrown at the source, never by message text.
 ///  - GemmWorkload / TiledGemmWorkload / NetworkTrainingWorkload: adapters
 ///    wrapping the existing runners *bit-exactly* -- same input generation,
-///    same cluster sizing, same hashes as the legacy sim::BatchJob paths
-///    (tests/api/test_service.cpp proves equivalence).
+///    same cluster sizing, same hashes whether run serially or through the
+///    async service (tests/api/test_service.cpp proves equivalence).
 ///  - api::WorkloadRegistry: name-keyed factories so benches, CLIs and tests
 ///    can instantiate scenarios from a spec string like
 ///    "gemm:m=64,n=64,k=64,seed=7" without compile-time knowledge of the

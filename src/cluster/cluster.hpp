@@ -62,8 +62,8 @@ class Cluster {
   /// and statistics cleared, cores halted, RedMulE aborted and cleared, the
   /// cycle counter rewound. Everything observable afterwards is bit-equal to
   /// a new Cluster with the same config, at a fraction of the construction
-  /// cost -- this is what lets batch workers pool cluster instances instead
-  /// of rebuilding them per job (see sim/batch_runner.hpp).
+  /// cost -- this is what lets pooled workers reuse cluster instances
+  /// instead of rebuilding them per job (see api/pool.hpp).
   void reset();
 
   uint64_t cycle() const { return sim_.cycle(); }

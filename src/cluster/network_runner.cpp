@@ -190,6 +190,39 @@ NetworkGemmStats run_linear_layer(Cluster& cl, RedmuleDriver& drv,
   return gs;
 }
 
+/// L2 regions of a DwAccumulator: per-layer resident partials plus one
+/// (dY, A^T) staging pair sized for the widest slice. With base = 0 this
+/// doubles as the sizing function, exactly like build_layout.
+struct AccLayout {
+  std::vector<uint32_t> dw;  ///< per layer, (m x pad_even(n))
+  uint32_t dy = 0;           ///< scratch, (max m x Bp)
+  uint32_t act_t = 0;        ///< scratch, (Bp x max pad_even(n))
+  uint64_t total_bytes = 0;
+};
+
+AccLayout build_acc_layout(const std::vector<LayerGeom>& geoms, uint32_t bp,
+                           uint32_t base) {
+  uint64_t next = base;
+  auto alloc = [&next](uint64_t rows, uint64_t cols) {
+    const uint64_t addr = next;
+    next += (rows * cols * 2 + 3) & ~3ull;
+    if (next > UINT32_MAX)
+      throw CapacityError("gradient-reduction layout exceeds the address space");
+    return static_cast<uint32_t>(addr);
+  };
+  AccLayout lay;
+  uint32_t max_m = 0, max_np = 0;
+  for (const LayerGeom& g : geoms) {
+    lay.dw.push_back(alloc(g.m, pad_even(g.n)));
+    max_m = std::max(max_m, g.m);
+    max_np = std::max(max_np, pad_even(g.n));
+  }
+  lay.dy = alloc(max_m, bp);
+  lay.act_t = alloc(bp, max_np);
+  lay.total_bytes = next - base;
+  return lay;
+}
+
 }  // namespace
 
 NetworkRunner::NetworkRunner(Cluster& cluster, RedmuleDriver& driver,
@@ -426,6 +459,217 @@ NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
     if (lr != 0.0) workloads::apply_sgd_update(net.weight(l), res.dw[l], lr, batch);
   }
   return res;
+}
+
+NetworkRunner::TrainingSliceResult NetworkRunner::training_slice(
+    const NetworkGraph& net, const MatrixF16& x, const MatrixF16& target) {
+  const size_t n_layers = net.n_layers();
+  REDMULE_REQUIRE(n_layers >= 1, "empty network");
+  REDMULE_REQUIRE(!net.has_conv(), "training requires a pure linear chain");
+  REDMULE_REQUIRE(!net.layer(n_layers - 1).relu,
+                  "training expects a linear output layer (no final ReLU)");
+  for (const workloads::NetworkLayer& l : net.layers())
+    REDMULE_REQUIRE(l.bias.empty(), "training does not support bias layers");
+  REDMULE_REQUIRE(x.rows() == net.input_dim(), "input dimension mismatch");
+  const uint32_t batch = static_cast<uint32_t>(x.cols());
+  REDMULE_REQUIRE(batch >= 1, "batch must be positive");
+  REDMULE_REQUIRE(target.rows() == net.output_dim() && target.cols() == batch,
+                  "target shape mismatch");
+  const uint32_t bp = pad_even(batch);
+
+  // The FULL training layout, even though the dW regions stay untouched:
+  // every forward/dX GEMM must see the same addresses, plans and staged bits
+  // as training_step would for this slice, so the per-column results -- and
+  // the captured dW operands -- are bit-identical to the monolithic run.
+  auto& l2 = cl_.l2();
+  const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
+  const Layout lay =
+      build_layout(geoms, batch, /*training=*/true, l2.config().base_addr);
+  if (lay.total_bytes > l2.config().size_bytes)
+    throw CapacityError("L2 too small for the network training layout (" +
+                        std::to_string(lay.total_bytes) + " bytes needed, " +
+                        std::to_string(l2.config().size_bytes) + " available)");
+
+  write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
+  for (size_t l = 0; l < geoms.size(); ++l) {
+    const LayerGeom& g = geoms[l];
+    const LayerAddrs& a = lay.layers[l];
+    write_mat(l2, a.weight, pad_to(net.layer(l).weight, g.m, pad_even(g.n)));
+    write_mat(l2, a.wt,
+              pad_to(net.layer(l).weight.transposed(), g.n, pad_even(g.m)));
+    zero_region(l2, a.pre, pad_even(g.out_vec), bp);
+    if (g.relu) zero_region(l2, a.act, pad_even(g.out_vec), bp);
+  }
+
+  TrainingSliceResult res;
+  res.grads.batch = batch;
+  res.grads.padded_batch = bp;
+  res.grads.dy.resize(n_layers);
+  res.grads.act.resize(n_layers);
+  const uint64_t cycle0 = cl_.cycle();
+  TiledGemmRunner tiled(cl_, drv_, TiledGemmOptions{opts_.double_buffer});
+  const core::Geometry& geom = cl_.config().geometry;
+
+  uint32_t cur_act = lay.input;
+  for (size_t l = 0; l < geoms.size(); ++l) {
+    res.stats.gemms.push_back(run_linear_layer(cl_, drv_, tiled, net.layer(l),
+                                               geoms[l], lay.layers[l], cur_act,
+                                               batch, bp, l));
+    cur_act = lay.layers[l].act;
+  }
+
+  // Loss gradient exactly as training_step writes it (the MSE scalar is the
+  // orchestrator's job -- it needs the assembled full-batch output).
+  const LayerGeom& gl = geoms.back();
+  {
+    const MatrixF16 out = read_mat(l2, lay.layers.back().pre, gl.m, bp);
+    MatrixF16 dy(pad_even(gl.out_vec), bp);  // pads stay exactly +0
+    for (uint32_t r = 0; r < gl.m; ++r)
+      for (uint32_t c = 0; c < batch; ++c)
+        dy(r, c) = Float16::from_double(out(r, c).to_double() -
+                                        target(r, c).to_double());
+    write_mat(l2, lay.dy0, dy);
+    res.out = strip_to(out, gl.m, batch);
+  }
+
+  // Backward dX chain only; at each layer, capture the padded L2 bits the
+  // dW GEMM would read -- dY as its (m x Bp) X operand, the input
+  // activation whose transpose is its W operand -- for the accumulator.
+  uint32_t dy_cur = lay.dy0, dy_next = lay.dy1;
+  for (size_t li = n_layers; li-- > 0;) {
+    const LayerGeom& g = geoms[li];
+    const uint32_t inp = pad_even(g.n), outp = pad_even(g.m);
+    const uint32_t act_in = li == 0 ? lay.input : lay.layers[li - 1].act;
+    res.grads.dy[li] = read_mat(l2, dy_cur, g.m, bp);
+    res.grads.act[li] = read_mat(l2, act_in, inp, bp);
+
+    if (li > 0) {
+      NetworkGemmStats gx;
+      gx.layer = static_cast<unsigned>(li);
+      gx.phase = AeGemm::Phase::kGradInput;
+      gx.shape = {"L" + std::to_string(li) + ".dX", g.n, g.m, batch};
+      const TiledGemmPlan plan_dx = workloads::plan_tiled_gemm(
+          g.n, outp, bp, false, drv_.bytes_free(), geom);
+      gx.tiled = tiled.run_staged({lay.layers[li].wt, dy_cur, dy_next, 0}, plan_dx);
+      gx.tiled.macs = gx.shape.macs();
+      res.stats.gemms.push_back(gx);
+      cl_.sim().checkpoint();  // per-GEMM deadline/cancel poll point
+
+      MatrixF16 dx = read_mat(l2, dy_next, inp, bp);
+      const bool mask = net.layer(li - 1).relu;
+      const MatrixF16 pa =
+          mask ? read_mat(l2, lay.layers[li - 1].pre, g.n, bp) : MatrixF16();
+      for (uint32_t r = 0; r < inp; ++r)
+        for (uint32_t c = 0; c < bp; ++c) {
+          if (r >= g.n)
+            dx(r, c) = Float16{};
+          else if (mask && c < batch && Float16::lt(pa(r, c), Float16{}))
+            dx(r, c) = Float16{};
+        }
+      write_mat(l2, dy_next, dx);
+      std::swap(dy_cur, dy_next);
+    }
+  }
+  res.stats.total_cycles = cl_.cycle() - cycle0;
+  for (const NetworkGemmStats& gs : res.stats.gemms)
+    res.stats.macs += gs.tiled.macs;
+  return res;
+}
+
+DwAccumulator::DwAccumulator(Cluster& cluster, RedmuleDriver& driver,
+                             const NetworkGraph& net, uint32_t max_padded_batch,
+                             NetworkRunnerOptions opts)
+    : cl_(cluster), drv_(driver), opts_(opts),
+      max_padded_batch_(max_padded_batch) {
+  REDMULE_REQUIRE(net.n_layers() >= 1, "empty network");
+  REDMULE_REQUIRE(!net.has_conv(),
+                  "gradient reduction requires a pure linear chain");
+  REDMULE_REQUIRE(max_padded_batch >= 2 && max_padded_batch % 2 == 0,
+                  "padded batch must be even and positive");
+
+  auto& l2 = cl_.l2();
+  const std::vector<LayerGeom> geoms =
+      geoms_from_graph(net, max_padded_batch);
+  const AccLayout lay =
+      build_acc_layout(geoms, max_padded_batch, l2.config().base_addr);
+  if (lay.total_bytes > l2.config().size_bytes)
+    throw CapacityError("L2 too small for the gradient-reduction layout (" +
+                        std::to_string(lay.total_bytes) + " bytes needed, " +
+                        std::to_string(l2.config().size_bytes) + " available)");
+  for (size_t l = 0; l < geoms.size(); ++l) {
+    const LayerGeom& g = geoms[l];
+    layers_.push_back(LayerSlot{g.m, g.n, lay.dw[l]});
+    zero_region(l2, lay.dw[l], g.m, pad_even(g.n));
+    gradient_bytes_ += static_cast<uint64_t>(g.m) * pad_even(g.n) * 2;
+  }
+  dy_addr_ = lay.dy;
+  act_t_addr_ = lay.act_t;
+}
+
+NetworkStats DwAccumulator::accumulate(
+    const NetworkRunner::SliceBackward& grads, bool first) {
+  REDMULE_REQUIRE(grads.dy.size() == layers_.size() &&
+                      grads.act.size() == layers_.size(),
+                  "slice layer count mismatch");
+  const uint32_t sp = grads.padded_batch;
+  REDMULE_REQUIRE(sp == pad_even(grads.batch) && sp >= 2 &&
+                      sp <= max_padded_batch_,
+                  "slice padded batch out of range");
+
+  auto& l2 = cl_.l2();
+  NetworkStats stats;
+  const uint64_t cycle0 = cl_.cycle();
+  TiledGemmRunner tiled(cl_, drv_, TiledGemmOptions{opts_.double_buffer});
+  const core::Geometry& geom = cl_.config().geometry;
+
+  // Same descending-layer order as training_step's backward walk.
+  for (size_t li = layers_.size(); li-- > 0;) {
+    const LayerSlot& s = layers_[li];
+    const uint32_t np = pad_even(s.n);
+    REDMULE_REQUIRE(grads.dy[li].rows() == s.m && grads.dy[li].cols() == sp,
+                    "slice dY shape mismatch");
+    REDMULE_REQUIRE(grads.act[li].rows() == np && grads.act[li].cols() == sp,
+                    "slice activation shape mismatch");
+    // The captured padded bits, staged verbatim: dY as the X operand, the
+    // activation transposed into the W operand -- the exact staging
+    // training_step performs for its dW GEMM, restricted to this slice.
+    write_mat(l2, dy_addr_, grads.dy[li]);
+    write_mat(l2, act_t_addr_, grads.act[li].transposed());  // (sp x np)
+
+    NetworkGemmStats gw;
+    gw.layer = static_cast<unsigned>(li);
+    gw.phase = AeGemm::Phase::kGradWeight;
+    gw.shape = {"L" + std::to_string(li) + ".dW", s.m, grads.batch, s.n};
+    // first: plain GEMM starting the chain. Otherwise the resident partial
+    // preloads as Y in place (y == z), continuing the reduction exactly as
+    // the monolithic chain's next H-aligned segment would.
+    const TiledGemmPlan plan = workloads::plan_tiled_gemm(
+        s.m, sp, np, /*has_y=*/!first, drv_.bytes_free(), geom);
+    gw.tiled = tiled.run_staged(
+        {dy_addr_, act_t_addr_, s.dw, first ? 0u : s.dw}, plan);
+    gw.tiled.macs = gw.shape.macs();
+    stats.macs += gw.tiled.macs;
+    stats.gemms.push_back(gw);
+    cl_.sim().checkpoint();  // per-GEMM deadline/cancel poll point
+  }
+  stats.total_cycles = cl_.cycle() - cycle0;
+  return stats;
+}
+
+std::vector<core::MatrixF16> DwAccumulator::gradients() const {
+  auto& l2 = cl_.l2();
+  std::vector<core::MatrixF16> dw;
+  dw.reserve(layers_.size());
+  for (const LayerSlot& s : layers_)
+    dw.push_back(
+        strip_to(read_mat(l2, s.dw, s.m, pad_even(s.n)), s.m, s.n));
+  return dw;
+}
+
+uint64_t DwAccumulator::l2_bytes(const std::vector<uint32_t>& dims,
+                                 uint32_t batch) {
+  return build_acc_layout(geoms_from_dims(dims, batch), pad_even(batch), 0)
+      .total_bytes;
 }
 
 uint64_t NetworkRunner::training_l2_bytes(const std::vector<uint32_t>& dims,

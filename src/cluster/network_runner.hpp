@@ -95,6 +95,36 @@ class NetworkRunner {
   TrainingResult training_step(workloads::NetworkGraph& net, const MatrixF16& x,
                                const MatrixF16& target, double lr);
 
+  /// Captured backward operands of one batch slice: for every layer, the
+  /// exact padded L2 bit patterns the training_step dW GEMMs would read.
+  /// Staging these bits verbatim on another cluster and running the same
+  /// GEMM reproduces the dW chain segment bit-identically (the lowering
+  /// contract's staging is value-faithful).
+  struct SliceBackward {
+    uint32_t batch = 0;         ///< real slice columns
+    uint32_t padded_batch = 0;  ///< staged columns (== batch for even slices)
+    /// Per layer: the dW X operand, (m_l x padded_batch) -- the dY bits.
+    std::vector<core::MatrixF16> dy;
+    /// Per layer: the padded input activation, (pad_even(n_l) x
+    /// padded_batch); its transpose is the dW W operand.
+    std::vector<core::MatrixF16> act;
+  };
+  struct TrainingSliceResult {
+    core::MatrixF16 out;  ///< forward output, real (out_dim x batch)
+    SliceBackward grads;
+    NetworkStats stats;  ///< forward + dX GEMMs executed on this cluster
+  };
+  /// One batch *slice* of a training step, for the sharded executor
+  /// (shard/sharding.hpp): forward, loss gradient, and dX chains exactly as
+  /// training_step runs them -- same layout, same plans, same per-column
+  /// bits -- but with every dW GEMM skipped; the operands those GEMMs would
+  /// have read are captured instead, for a DwAccumulator to reduce in fixed
+  /// shard order. \p net is never updated (the SGD step needs the fully
+  /// reduced gradients).
+  TrainingSliceResult training_slice(const workloads::NetworkGraph& net,
+                                     const MatrixF16& x,
+                                     const MatrixF16& target);
+
   /// L2 bytes the training-step layout needs for a linear chain with the
   /// given dimension sequence (ReLU between layers, no bias -- the
   /// autoencoder shape). The batch runner sizes pooled clusters with this.
@@ -109,6 +139,59 @@ class NetworkRunner {
   Cluster& cl_;
   RedmuleDriver& drv_;
   NetworkRunnerOptions opts_;
+};
+
+/// Deterministic fixed-order reduction of per-shard weight gradients on one
+/// cluster. Every layer's partial dW stays resident in L2, and each
+/// accumulate() continues the layer's reduction chain with one
+/// accumulate-GEMM: the resident partial is the Y operand, the shard's
+/// (dY, act^T) capture the X/W operands. Because shard slice boundaries are
+/// H-aligned (shard::plan_shards) these cuts obey the tiled pipeline's
+/// chain-cutting contract, so -- fed in fixed shard order -- the reduced
+/// gradient is bit-identical to the single-cluster monolithic dW chain,
+/// regardless of which clusters computed the slices or when they finished.
+class DwAccumulator {
+ public:
+  /// Builds the resident layout (per-layer padded dW partials + staging
+  /// scratch sized for \p max_padded_batch columns) on \p cluster's L2.
+  DwAccumulator(Cluster& cluster, RedmuleDriver& driver,
+                const workloads::NetworkGraph& net, uint32_t max_padded_batch,
+                NetworkRunnerOptions opts = {});
+
+  /// Folds one slice into the resident partials. \p first starts every
+  /// layer's chain as a plain GEMM; otherwise the partial accumulates in
+  /// place (Z region doubles as Y). Slices MUST arrive in shard order --
+  /// that fixed order is the bit-exactness contract.
+  NetworkStats accumulate(const NetworkRunner::SliceBackward& grads,
+                          bool first);
+
+  /// The reduced real (m x n) per-layer gradients; call after the last
+  /// accumulate().
+  std::vector<core::MatrixF16> gradients() const;
+
+  /// Bytes of one full resident partial-gradient set -- what a shard ships
+  /// to the reduce cluster (the cost model's per-hop payload).
+  uint64_t gradient_bytes() const { return gradient_bytes_; }
+
+  /// L2 bytes the accumulator layout needs (dims as in
+  /// NetworkRunner::training_l2_bytes; always <= that training layout for
+  /// the same dims/batch, so training-sized pools fit it).
+  static uint64_t l2_bytes(const std::vector<uint32_t>& dims, uint32_t batch);
+
+ private:
+  Cluster& cl_;
+  RedmuleDriver& drv_;
+  NetworkRunnerOptions opts_;
+  struct LayerSlot {
+    uint32_t m = 0;   ///< real output rows
+    uint32_t n = 0;   ///< real input cols
+    uint32_t dw = 0;  ///< resident partial, (m x pad_even(n))
+  };
+  std::vector<LayerSlot> layers_;
+  uint32_t dy_addr_ = 0;     ///< scratch, (max m x max_padded_batch)
+  uint32_t act_t_addr_ = 0;  ///< scratch, (max_padded_batch x max pad_even(n))
+  uint32_t max_padded_batch_ = 0;
+  uint64_t gradient_bytes_ = 0;
 };
 
 }  // namespace redmule::cluster

@@ -1,9 +1,10 @@
 // Contracts of the public workload API (api/workload.hpp) and the async
 // submission service (api/service.hpp):
 //
-//  - EQUIVALENCE: per-job z_hash/stats via api::Service are bit-identical to
-//    the legacy sim::BatchRunner path for equivalent specs, across >= 2
-//    thread counts, both priority orders, and cluster reuse on/off.
+//  - EQUIVALENCE: per-job z_hash/stats via the async api::Service are
+//    bit-identical to the serial Service::run_one reference for equivalent
+//    specs, across >= 2 thread counts, both priority orders, and cluster
+//    reuse on/off.
 //  - ERROR TAXONOMY: oversized TCDM/L2 requests, invalid geometry, and a
 //    throwing workload produce typed errors, never poison the worker's
 //    pooled clusters, and leave subsequent jobs deterministic.
@@ -25,7 +26,6 @@
 
 #include "api/workload.hpp"
 #include "common/rng.hpp"
-#include "sim/batch_runner.hpp"
 
 using namespace redmule;
 using api::ErrorCode;
@@ -39,57 +39,18 @@ using api::WorkloadResult;
 
 namespace {
 
-// The cross-path scenario set: monolithic GEMMs (plain + accumulate +
+// The equivalence scenario set: monolithic GEMMs (plain + accumulate +
 // non-default geometry), a tiled job that really tiles on the small base
-// TCDM below, and a small network training step. Spec strings and the
-// equivalent legacy BatchJob records are kept in lockstep.
-struct Scenario {
-  std::string spec;
-  sim::BatchJob legacy;
-};
-
-std::vector<Scenario> scenarios() {
-  std::vector<Scenario> s;
-  {
-    sim::BatchJob j;
-    j.shape = {"24x24x24", 24, 24, 24};
-    j.geometry = {4, 8, 3};
-    j.seed = split_seed(99, 0);
-    s.push_back({"gemm:m=24,n=24,k=24,geom=4x8x3,seed=" + std::to_string(j.seed),
-                 j});
-  }
-  {
-    sim::BatchJob j;
-    j.shape = {"16x8x24", 16, 8, 24};
-    j.geometry = {2, 4, 3};
-    j.accumulate = true;
-    j.seed = split_seed(99, 1);
-    s.push_back({"gemm:m=16,n=8,k=24,geom=2x4x3,acc=1,seed=" +
-                     std::to_string(j.seed),
-                 j});
-  }
-  {
-    sim::BatchJob j;
-    j.shape = {"48x48x48", 48, 48, 48};
-    j.geometry = {4, 8, 3};
-    j.tiled = true;
-    j.seed = split_seed(99, 2);
-    s.push_back(
-        {"tiled:m=48,n=48,k=48,geom=4x8x3,seed=" + std::to_string(j.seed), j});
-  }
-  {
-    sim::BatchJob j;
-    j.network = true;
-    j.net.input_dim = 24;
-    j.net.hidden = {12, 6, 12};
-    j.net.batch = 2;
-    j.geometry = {4, 8, 3};
-    j.seed = split_seed(99, 3);
-    s.push_back({"network:in=24,hidden=12-6-12,batch=2,geom=4x8x3,seed=" +
-                     std::to_string(j.seed),
-                 j});
-  }
-  return s;
+// TCDM below, and a small network training step.
+std::vector<std::string> scenarios() {
+  return {
+      "gemm:m=24,n=24,k=24,geom=4x8x3,seed=" + std::to_string(split_seed(99, 0)),
+      "gemm:m=16,n=8,k=24,geom=2x4x3,acc=1,seed=" +
+          std::to_string(split_seed(99, 1)),
+      "tiled:m=48,n=48,k=48,geom=4x8x3,seed=" + std::to_string(split_seed(99, 2)),
+      "network:in=24,hidden=12-6-12,batch=2,geom=4x8x3,seed=" +
+          std::to_string(split_seed(99, 3)),
+  };
 }
 
 /// Small-TCDM base so the tiled scenario streams through real tiles.
@@ -105,11 +66,6 @@ struct Outcome {
 };
 
 Outcome outcome_of(const WorkloadResult& r) {
-  return {r.stats.cycles,  r.stats.advance_cycles, r.stats.stall_cycles,
-          r.stats.macs,    r.stats.fma_ops,        r.z_hash};
-}
-
-Outcome outcome_of(const sim::BatchResult& r) {
   return {r.stats.cycles,  r.stats.advance_cycles, r.stats.stall_cycles,
           r.stats.macs,    r.stats.fma_ops,        r.z_hash};
 }
@@ -164,23 +120,19 @@ class TagWorkload : public Workload {
 
 }  // namespace
 
-// --- Equivalence with the legacy path ---------------------------------------
+// --- Equivalence with the serial reference ----------------------------------
 
-TEST(ApiService, MatchesLegacyBatchRunnerAcrossThreadsPrioritiesAndReuse) {
+TEST(ApiService, MatchesSerialReferenceAcrossThreadsPrioritiesAndReuse) {
   const auto scen = scenarios();
 
-  // Legacy reference: the BatchJob path through BatchRunner::run.
-  sim::BatchConfig legacy_cfg;
-  legacy_cfg.n_threads = 1;
-  legacy_cfg.keep_outputs = true;
-  legacy_cfg.base = small_base();
-  sim::BatchRunner legacy(legacy_cfg);
-  std::vector<sim::BatchJob> jobs;
-  for (const Scenario& s : scen) jobs.push_back(s.legacy);
-  const auto ref = legacy.run(jobs);
-  ASSERT_EQ(ref.size(), scen.size());
-  for (size_t i = 0; i < ref.size(); ++i)
-    ASSERT_TRUE(ref[i].ok) << i << ": " << ref[i].error;
+  // Serial reference: each spec on its own fresh cluster via run_one.
+  std::vector<WorkloadResult> ref;
+  ref.reserve(scen.size());
+  for (const std::string& spec : scen) {
+    auto w = WorkloadRegistry::global().create(spec);
+    ref.push_back(Service::run_one(*w, small_base()));
+    ASSERT_TRUE(ref.back().ok()) << spec << ": " << ref.back().error.to_string();
+  }
 
   for (const unsigned threads : {1u, 2u, 4u}) {
     for (const bool reuse : {true, false}) {
@@ -196,8 +148,8 @@ TEST(ApiService, MatchesLegacyBatchRunnerAcrossThreadsPrioritiesAndReuse) {
           SubmitOptions opts;
           opts.priority = ascending ? static_cast<int>(i)
                                     : static_cast<int>(scen.size() - i);
-          handles.push_back(service.submit(
-              WorkloadRegistry::global().create(scen[i].spec), opts));
+          handles.push_back(
+              service.submit(WorkloadRegistry::global().create(scen[i]), opts));
         }
         for (size_t i = 0; i < handles.size(); ++i) {
           WorkloadResult r = handles[i].get();
@@ -215,18 +167,6 @@ TEST(ApiService, MatchesLegacyBatchRunnerAcrossThreadsPrioritiesAndReuse) {
         }
       }
     }
-  }
-}
-
-TEST(ApiService, RunOneMatchesServicePath) {
-  for (const Scenario& s : scenarios()) {
-    auto w1 = WorkloadRegistry::global().create(s.spec);
-    const WorkloadResult one = Service::run_one(*w1, small_base());
-    ASSERT_TRUE(one.ok()) << s.spec << ": " << one.error.to_string();
-    const sim::BatchResult legacy =
-        sim::BatchRunner::run_one(s.legacy, small_base());
-    ASSERT_TRUE(legacy.ok) << legacy.error;
-    EXPECT_EQ(outcome_of(one), outcome_of(legacy)) << s.spec;
   }
 }
 

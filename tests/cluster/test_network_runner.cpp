@@ -14,7 +14,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/driver.hpp"
 #include "core/golden.hpp"
-#include "sim/batch_runner.hpp"
+#include "api/service.hpp"
 #include "workloads/network.hpp"
 
 namespace redmule::cluster {
@@ -386,47 +386,46 @@ TEST(NetworkRunner, SizingHelpersCoverTheRun) {
   }
 }
 
-// --- Batch-runner integration ----------------------------------------------
+// --- Service integration -----------------------------------------------------
 
-TEST(NetworkRunner, BatchJobsDeterministicAcrossThreadsAndReuse) {
-  std::vector<sim::BatchJob> jobs;
+TEST(NetworkRunner, BatchedTrainingJobsDeterministicAcrossThreadsAndReuse) {
+  std::vector<std::string> specs;
   for (size_t i = 0; i < 4; ++i) {
-    sim::BatchJob j;
-    j.network = true;
-    j.net = reduced_ae(i % 2 == 0 ? 4 : 3);  // even and odd batch
-    j.seed = split_seed(91, i);
-    jobs.push_back(j);
+    const workloads::AutoencoderConfig net = reduced_ae(i % 2 == 0 ? 4 : 3);
+    specs.push_back("network:in=" + std::to_string(net.input_dim) +
+                    ",hidden=16-8-16,batch=" + std::to_string(net.batch) +
+                    ",seed=" + std::to_string(split_seed(91, i)));
   }
 
-  sim::BatchConfig cfg;
-  cfg.n_threads = 1;
-  cfg.keep_outputs = true;
-  sim::BatchRunner serial(cfg);
-  const auto ref = serial.run(jobs);
-  for (size_t i = 0; i < ref.size(); ++i) {
-    ASSERT_TRUE(ref[i].ok) << ref[i].error;
-    const auto one = sim::BatchRunner::run_one(jobs[i]);
-    ASSERT_TRUE(one.ok) << one.error;
-    EXPECT_EQ(ref[i].z_hash, one.z_hash) << "job " << i;
-    EXPECT_EQ(ref[i].stats.cycles, one.stats.cycles) << "job " << i;
+  // Serial reference: each training job on its own fresh cluster.
+  std::vector<api::WorkloadResult> ref;
+  for (const std::string& spec : specs) {
+    auto w = api::WorkloadRegistry::global().create(spec);
+    ref.push_back(api::Service::run_one(*w));
+    ASSERT_TRUE(ref.back().ok()) << ref.back().error.to_string();
   }
 
+  api::ServiceConfig cfg;
   cfg.n_threads = 2;
-  sim::BatchRunner threaded(cfg);
+  cfg.keep_outputs = true;
+  api::Service threaded(cfg);
   for (int rep = 0; rep < 2; ++rep) {  // second rep runs on reused clusters
-    const auto got = threaded.run(jobs);
-    for (size_t i = 0; i < got.size(); ++i) {
-      ASSERT_TRUE(got[i].ok) << got[i].error;
-      EXPECT_EQ(got[i].z_hash, ref[i].z_hash) << "rep " << rep << " job " << i;
-      EXPECT_EQ(got[i].stats.cycles, ref[i].stats.cycles);
-      EXPECT_EQ(got[i].stats.fma_ops, ref[i].stats.fma_ops);
-      ASSERT_EQ(got[i].z.rows(), ref[i].z.rows());
-      EXPECT_EQ(std::memcmp(got[i].z.data(), ref[i].z.data(),
-                            got[i].z.size_bytes()),
-                0);
+    std::vector<api::JobHandle> handles;
+    for (const std::string& spec : specs)
+      handles.push_back(
+          threaded.submit(api::WorkloadRegistry::global().create(spec)));
+    for (size_t i = 0; i < handles.size(); ++i) {
+      api::WorkloadResult got = handles[i].get();
+      ASSERT_TRUE(got.ok()) << got.error.to_string();
+      EXPECT_EQ(got.z_hash, ref[i].z_hash) << "rep " << rep << " job " << i;
+      EXPECT_EQ(got.stats.cycles, ref[i].stats.cycles);
+      EXPECT_EQ(got.stats.fma_ops, ref[i].stats.fma_ops);
+      ASSERT_EQ(got.z.rows(), ref[i].z.rows());
+      EXPECT_EQ(
+          std::memcmp(got.z.data(), ref[i].z.data(), got.z.size_bytes()), 0);
     }
   }
-  EXPECT_GT(threaded.last_batch_stats().cluster_reuses, 0u);
+  EXPECT_GT(threaded.stats().cluster_reuses, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,2 @@
+// Fixture: shard orchestrates clusters through api; it never reaches serve.
+#include "serve/server.hpp"

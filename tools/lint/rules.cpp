@@ -103,7 +103,7 @@ class TypedErrorsRule final : public Rule {
 const std::set<std::string>& determinism_modules() {
   static const std::set<std::string> m = {"common", "core",  "fp16",      "isa",
                                           "mem",    "model", "sim",       "workloads",
-                                          "cluster"};
+                                          "cluster", "shard"};
   return m;
 }
 
@@ -255,9 +255,11 @@ class DeterminismRule final : public Rule {
 /// intended architecture from docs/ARCHITECTURE.md: common is the base;
 /// sim's clocking/trace/run-control infrastructure sits below the memory
 /// and compute hierarchy; cluster composes the hardware; workloads lower
-/// math onto it; api is the typed public surface; serve speaks only api.
-/// Notable non-edges enforced here: core -> cluster, api -> sim (the old
-/// CI grep), serve -> anything but api/common.
+/// math onto it; api is the typed public surface; shard orchestrates
+/// multi-cluster execution through api's pool engine; serve speaks only
+/// api. Notable non-edges enforced here: core -> cluster, api -> sim (the
+/// old CI grep), api -> shard (registration is shard-side), serve ->
+/// anything but api/common.
 const std::map<std::string, std::set<std::string>>& module_map() {
   static const std::map<std::string, std::set<std::string>> m = {
       {"common", {}},
@@ -270,6 +272,7 @@ const std::map<std::string, std::set<std::string>>& module_map() {
       {"workloads", {"common", "core", "fp16"}},
       {"cluster", {"common", "core", "isa", "mem", "sim", "workloads"}},
       {"api", {"common", "core", "cluster", "workloads"}},
+      {"shard", {"common", "core", "cluster", "workloads", "api"}},
       {"serve", {"common", "api"}},
   };
   return m;
