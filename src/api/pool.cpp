@@ -4,6 +4,25 @@
 
 namespace redmule::api {
 
+std::shared_ptr<const state::ClusterImage> TemplateCache::find(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> l(m_);
+  const auto it = images_.find(key);
+  return it != images_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const state::ClusterImage> TemplateCache::insert(
+    const std::string& key, std::shared_ptr<const state::ClusterImage> img) {
+  std::lock_guard<std::mutex> l(m_);
+  const auto [it, inserted] = images_.emplace(key, std::move(img));
+  return it->second;  // first writer wins; losers fork the canonical image
+}
+
+size_t TemplateCache::size() const {
+  std::lock_guard<std::mutex> l(m_);
+  return images_.size();
+}
+
 ClusterPool::Acquired ClusterPool::acquire(const cluster::ClusterConfig& cfg) {
   ++jobs_run_;
   const uint64_t key = pool_key(cfg);
@@ -18,11 +37,43 @@ ClusterPool::Acquired ClusterPool::acquire(const cluster::ClusterConfig& cfg) {
   return {pool_.back().cl.get(), true};
 }
 
+ClusterPool::Acquired ClusterPool::acquire_template(
+    const cluster::ClusterConfig& cfg, const std::string& key,
+    const StageFn& stage) {
+  Acquired acq = acquire(cfg);
+  // Fold the resolved config into the cache key: equal caller keys on
+  // differently-sized clusters stage different bit patterns (layouts depend
+  // on the config) and must never share an image.
+  const std::string full_key = key + "#cfg" + std::to_string(pool_key(cfg));
+  if (std::shared_ptr<const state::ClusterImage> img =
+          templates_->find(full_key)) {
+    state::restore(*acq.cl, *img);
+    ++template_forks_;
+    acq.forked = true;
+    return acq;
+  }
+  ++template_misses_;
+  stage(*acq.cl);
+  std::shared_ptr<const state::ClusterImage> img =
+      templates_->insert(full_key, std::make_shared<const state::ClusterImage>(
+                                       state::snapshot(*acq.cl)));
+  // Every provisioning runs through restore() -- including the staging one,
+  // which restores the canonical image it may have lost the publish race to.
+  // That uniformity is also the enforced restore-equals-snapshot invariant:
+  // re-snapshotting the restored cluster must reproduce the published
+  // fingerprint (and, across a lost race, proves staging was deterministic).
+  state::restore(*acq.cl, *img);
+  REDMULE_REQUIRE(state::snapshot(*acq.cl).fingerprint == img->fingerprint,
+                  "template restore did not reproduce its snapshot");
+  return acq;
+}
+
 PoolWorkers::PoolWorkers(unsigned n_threads) {
   n_threads_ = n_threads != 0
                    ? n_threads
                    : std::max(1u, std::thread::hardware_concurrency());
   pools_.resize(n_threads_);
+  for (ClusterPool& p : pools_) p.set_template_cache(&templates_);
   threads_.reserve(n_threads_);
   for (unsigned i = 0; i < n_threads_; ++i)
     threads_.emplace_back([this, i] { loop(i); });

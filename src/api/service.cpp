@@ -79,6 +79,7 @@ Service::~Service() {
 JobHandle Service::submit(std::unique_ptr<Workload> workload, SubmitOptions opts) {
   Pending job;
   job.keep_outputs = opts.keep_output.value_or(cfg_.keep_outputs);
+  job.warm = opts.warm_start.value_or(workload && workload->warm_by_default());
   job.deadline = opts.deadline.value_or(cfg_.default_deadline);
   job.max_retries = opts.max_retries;
   job.fault_plan = opts.fault_plan;
@@ -274,9 +275,9 @@ void Service::run_next(ClusterPool& pool) {
   ++active_;
   l.unlock();
 
-  uint64_t constructed = 0, reused = 0;
+  PoolCounters counters;
   unsigned attempt = 0;
-  WorkloadResult res = execute(pool, job, 0, constructed, reused);
+  WorkloadResult res = execute(pool, job, 0, counters);
   // Bounded retry: only the transient kEngineFault class re-runs. Every
   // attempt re-executes from the spec on a reset cluster, so a retried
   // success is bit-identical to a never-faulted run. A raised cancel flag
@@ -288,7 +289,7 @@ void Service::run_next(ClusterPool& pool) {
     if (cfg_.retry_backoff_ms != 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(
           cfg_.retry_backoff_ms << (attempt - 1)));
-    res = execute(pool, job, static_cast<int32_t>(attempt), constructed, reused);
+    res = execute(pool, job, static_cast<int32_t>(attempt), counters);
   }
   const bool ok = res.ok();
   const uint64_t cycles = res.stats.cycles;
@@ -308,8 +309,10 @@ void Service::run_next(ClusterPool& pool) {
     ++stats_.failed;
     if (res.error.code == ErrorCode::kCancelled) ++stats_.cancelled;
   }
-  stats_.clusters_constructed += constructed;
-  stats_.cluster_reuses += reused;
+  stats_.clusters_constructed += counters.constructed;
+  stats_.cluster_reuses += counters.reused;
+  stats_.template_forks += counters.template_forks;
+  stats_.template_misses += counters.template_misses;
   running_.erase(job.id);
   l.unlock();
 
@@ -321,7 +324,7 @@ void Service::run_next(ClusterPool& pool) {
 }
 
 WorkloadResult Service::execute(ClusterPool& pool, Pending& job, int32_t attempt,
-                                uint64_t& constructed, uint64_t& reused) {
+                                PoolCounters& counters) {
   return guarded([&]() -> WorkloadResult {
     Workload& work = *job.work;
     if (Error err = work.validate()) {
@@ -343,16 +346,37 @@ WorkloadResult Service::execute(ClusterPool& pool, Pending& job, int32_t attempt
     ctx.fault_plan = job.fault_plan;
     ctx.attempt = attempt;
     if (!cfg_.reuse_clusters) {
-      // Baseline mode: pay full construction/destruction per job.
+      // Baseline mode: pay full construction/destruction per job. Nothing
+      // persists to fork from, so warm requests degrade to cold runs.
       cluster::Cluster cl(cfg);
-      ++constructed;
+      ++counters.constructed;
       return work.run(cl, ctx);
+    }
+    const std::string tkey = job.warm ? work.template_key() : std::string();
+    if (!tkey.empty()) {
+      // Snapshot/fork provisioning: the first job of this template stages
+      // and publishes the image, every later one forks it (COW page-table
+      // copy) and runs only the per-job half. Bit-identical to the cold
+      // path by the restore-equals-snapshot invariant.
+      const ClusterPool::Acquired acq =
+          pool.acquire_template(cfg, tkey, [&work](cluster::Cluster& cl) {
+            work.stage_template(cl);
+          });
+      if (acq.constructed)
+        ++counters.constructed;
+      else
+        ++counters.reused;
+      if (acq.forked)
+        ++counters.template_forks;
+      else
+        ++counters.template_misses;
+      return work.run_staged(*acq.cl, ctx);
     }
     const ClusterPool::Acquired acq = pool.acquire(cfg);
     if (acq.constructed)
-      ++constructed;
+      ++counters.constructed;
     else
-      ++reused;
+      ++counters.reused;
     return work.run(*acq.cl, ctx);
   });
 }

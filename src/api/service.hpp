@@ -117,6 +117,14 @@ struct SubmitOptions {
   /// Deterministic fault plan threaded into the run (not owned; must outlive
   /// the job). Test/chaos harness hook -- see sim/fault_plan.hpp.
   const sim::FaultPlan* fault_plan = nullptr;
+  /// Snapshot/fork warm start. Unset: the workload decides
+  /// (Workload::warm_by_default, the spec-string warm=1 opt-in). true forces
+  /// the template path for template-capable workloads (ignored -- cold run --
+  /// for workloads with an empty template_key, and in the
+  /// reuse_clusters=false baseline mode, where nothing persists to fork
+  /// from); false forces a cold run. Purely a provisioning choice: results
+  /// are bit-identical either way.
+  std::optional<bool> warm_start;
   /// Invoked on the worker thread right before the future is fulfilled,
   /// for jobs that actually EXECUTED (ok or failed). Jobs that never start
   /// -- cancelled, dropped at service destruction, or rejected null
@@ -143,6 +151,11 @@ struct ServiceStats {
   uint64_t macs = 0;        ///< sum of per-job useful MACs (ok jobs)
   uint64_t clusters_constructed = 0;
   uint64_t cluster_reuses = 0;  ///< jobs served by a reset() pooled instance
+  /// Warm-start provisioning: jobs served by COW-forking a cached template
+  /// image vs jobs that staged + published the template themselves. Their
+  /// sum counts the executions that took the template path at all.
+  uint64_t template_forks = 0;
+  uint64_t template_misses = 0;
 };
 
 /// Move-only handle to one submitted job: its id (for cancel()) and the
@@ -258,6 +271,7 @@ class Service {
     uint64_t group = 0;
     std::unique_ptr<Workload> work;
     bool keep_outputs = false;
+    bool warm = false;  ///< resolved SubmitOptions::warm_start
     Deadline deadline{};
     unsigned max_retries = 0;
     const sim::FaultPlan* fault_plan = nullptr;
@@ -274,8 +288,14 @@ class Service {
   /// pool. Exactly one token is posted per admitted job, so tokens can only
   /// no-op when the queue shrank through another path.
   void run_next(ClusterPool& pool);
+  struct PoolCounters {
+    uint64_t constructed = 0;
+    uint64_t reused = 0;
+    uint64_t template_forks = 0;
+    uint64_t template_misses = 0;
+  };
   WorkloadResult execute(ClusterPool& pool, Pending& job, int32_t attempt,
-                         uint64_t& constructed, uint64_t& reused);
+                         PoolCounters& counters);
   static void finish(Pending& job, WorkloadResult res);
 
   ServiceConfig cfg_;

@@ -52,23 +52,6 @@ std::string shape_tag(const workloads::GemmShape& s) {
 
 }  // namespace
 
-const char* error_code_name(ErrorCode code) {
-  switch (code) {
-    case ErrorCode::kNone: return "None";
-    case ErrorCode::kBadConfig: return "BadConfig";
-    case ErrorCode::kCapacity: return "Capacity";
-    case ErrorCode::kTimeout: return "Timeout";
-    case ErrorCode::kEngineFault: return "EngineFault";
-    case ErrorCode::kCancelled: return "Cancelled";
-  }
-  return "Unknown";
-}
-
-std::string Error::to_string() const {
-  if (code == ErrorCode::kNone) return "";
-  return std::string(error_code_name(code)) + ": " + message;
-}
-
 cluster::ClusterConfig resolve_cluster_config(const cluster::ClusterConfig& base,
                                               const ClusterRequirements& reqs) {
   try {
@@ -277,20 +260,54 @@ Error NetworkTrainingWorkload::validate() const {
   return {};
 }
 
+std::string NetworkTrainingWorkload::template_key() const {
+  std::string k = name();  // dims + batch
+  k += "/geom";
+  k += std::to_string(spec_.geometry.h) + "x" +
+       std::to_string(spec_.geometry.l) + "x" + std::to_string(spec_.geometry.p);
+  k += "/seed" + std::to_string(spec_.seed);
+  return k;
+}
+
+void NetworkTrainingWorkload::stage_template(cluster::Cluster& cluster) const {
+  cluster::RedmuleDriver drv(cluster);
+  Xoshiro256 rng(spec_.seed);
+  workloads::NetworkGraph net =
+      workloads::NetworkGraph::autoencoder(spec_.net, rng);
+  cluster::NetworkRunner runner(cluster, drv);
+  runner.stage_training_template(net, spec_.net.batch);
+}
+
 WorkloadResult NetworkTrainingWorkload::run(cluster::Cluster& cluster,
                                             RunContext& ctx) {
+  return run_impl(cluster, ctx, /*staged=*/false);
+}
+
+WorkloadResult NetworkTrainingWorkload::run_staged(cluster::Cluster& cluster,
+                                                   RunContext& ctx) {
+  return run_impl(cluster, ctx, /*staged=*/true);
+}
+
+WorkloadResult NetworkTrainingWorkload::run_impl(cluster::Cluster& cluster,
+                                                 RunContext& ctx, bool staged) {
   // Weights then the input batch are drawn from the workload's RNG stream,
-  // so (net config, seed) fully determine the outcome regardless of worker,
-  // order, or cluster reuse.
+  // so (net config, seed, input_seed) fully determine the outcome regardless
+  // of worker, order, cluster reuse, or warm-start forking.
   ScopedRunControl control(cluster, ctx);
   cluster::RedmuleDriver drv(cluster);
   Xoshiro256 rng(spec_.seed);
   workloads::NetworkGraph net =
       workloads::NetworkGraph::autoencoder(spec_.net, rng);
-  const auto x =
-      workloads::random_matrix(net.input_dim(), spec_.net.batch, rng);
+  const auto x = [&] {
+    if (spec_.input_seed == 0)  // legacy: continue the weight stream
+      return workloads::random_matrix(net.input_dim(), spec_.net.batch, rng);
+    Xoshiro256 input_rng(spec_.input_seed);
+    return workloads::random_matrix(net.input_dim(), spec_.net.batch,
+                                    input_rng);
+  }();
   cluster::NetworkRunner runner(cluster, drv);
-  auto r = runner.training_step(net, x, x, spec_.lr);
+  auto r = staged ? runner.training_step_staged(net, x, x, spec_.lr)
+                  : runner.training_step(net, x, x, spec_.lr);
   WorkloadResult res;
   res.stats.cycles = r.stats.total_cycles;
   res.stats.macs = r.stats.macs;
@@ -487,6 +504,8 @@ void register_builtins(WorkloadRegistry& reg) {
     spec.geometry = args.geometry("geom", core::Geometry{});
     spec.seed = args.u64("seed", 1);
     spec.lr = args.num("lr", spec.lr);
+    spec.input_seed = args.u64("input_seed", 0);
+    spec.warm = args.flag("warm", false);
     (void)args.str("name", "");  // accepted for symmetry, unused
     args.require_all_consumed("network");
     return std::make_unique<NetworkTrainingWorkload>(std::move(spec));

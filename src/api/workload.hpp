@@ -55,6 +55,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/check.hpp"
+#include "common/errors.hpp"
 #include "common/matrix.hpp"
 #include "core/config.hpp"
 #include "core/engine.hpp"
@@ -64,41 +65,12 @@
 namespace redmule::api {
 
 // --- Error taxonomy ---------------------------------------------------------
-
-enum class ErrorCode : uint8_t {
-  kNone = 0,     ///< success
-  kBadConfig,    ///< the workload spec itself is invalid (rejected up front)
-  kCapacity,     ///< valid spec, but exceeds the growable TCDM/L2/address space
-  kTimeout,      ///< the simulation ran past its deadlock guard
-  kEngineFault,  ///< the simulation threw mid-run (internal failure)
-  kCancelled,    ///< the job was cancelled before it started executing
-};
-
-const char* error_code_name(ErrorCode code);
-
-/// A typed error value. `code == kNone` means "no error"; every failure
-/// carries both the machine-readable code and a human-readable message.
-struct Error {
-  ErrorCode code = ErrorCode::kNone;
-  std::string message;
-
-  explicit operator bool() const { return code != ErrorCode::kNone; }
-  /// "BadConfig: ..." -- the legacy stringly-typed rendering.
-  std::string to_string() const;
-};
-
-/// Exception form of api::Error, for the throwing layers underneath the
-/// result-returning surface. Derives from redmule::Error so existing
-/// catch sites keep working during the migration.
-class TypedError : public redmule::Error {
- public:
-  TypedError(ErrorCode code, const std::string& what)
-      : redmule::Error(what), code_(code) {}
-  ErrorCode code() const { return code_; }
-
- private:
-  ErrorCode code_;
-};
+//
+// ErrorCode / Error / TypedError / error_code_name now live in
+// common/errors.hpp (still namespace redmule::api) so layers below the
+// public API -- e.g. state::snapshot's typed refusal of a mid-flight
+// cluster -- can throw classified failures without a layering cycle.
+// Including this header keeps exposing them unchanged.
 
 // --- The workload contract --------------------------------------------------
 
@@ -205,6 +177,43 @@ class Workload {
   /// Executes on \p cluster, which is in the reset-fresh state and sized
   /// per requirements(). Returns stats + output hash (+ outputs on request).
   virtual WorkloadResult run(cluster::Cluster& cluster, RunContext& ctx) = 0;
+
+  // --- Snapshot/fork warm-start surface (optional) ---------------------------
+  //
+  // A workload whose runs share an expensive job-invariant staging phase
+  // (e.g. a training step's weights) can split it off: stage_template()
+  // writes exactly that state on a reset cluster, template_key() names the
+  // resulting bits, and run_staged() executes over a cluster already holding
+  // them. The pool stages once per key, snapshots the staged cluster, and
+  // provisions every later job by COW-forking the image
+  // (ClusterPool::acquire_template) -- bit-identical to a cold run by the
+  // restore-equals-snapshot invariant, so warm-starting can never change a
+  // result, only host wall-clock.
+
+  /// Identity of the bits stage_template() writes; empty (the default) means
+  /// the workload does not support warm-start templates. The key must cover
+  /// every spec field staging depends on -- and nothing per-job (a key that
+  /// varies per job defeats the cache; one that under-covers corrupts it).
+  virtual std::string template_key() const { return {}; }
+  /// Stages the job-invariant state on a reset-fresh cluster sized per
+  /// requirements(); the cluster must be quiescent (snapshot-able) after.
+  /// Only called when template_key() is non-empty.
+  virtual void stage_template(cluster::Cluster& cluster) const {
+    (void)cluster;
+    throw TypedError(ErrorCode::kBadConfig,
+                     name() + " does not support warm-start templates");
+  }
+  /// run() over a cluster already holding the staged template (directly, or
+  /// restored from its snapshot image). The default forwards to run(), which
+  /// is correct only when run() re-stages everything itself; template-capable
+  /// workloads override this to skip the staged half.
+  virtual WorkloadResult run_staged(cluster::Cluster& cluster, RunContext& ctx) {
+    return run(cluster, ctx);
+  }
+  /// Whether submission should take the warm-start path when the caller's
+  /// SubmitOptions leave it unspecified (the spec-string opt-in: specs carry
+  /// a warm flag the workload surfaces here).
+  virtual bool warm_by_default() const { return false; }
 };
 
 /// RAII: arms a sim::RunControl on \p cluster from a RunContext and
@@ -292,6 +301,16 @@ struct NetworkTrainingSpec {
   core::Geometry geometry{};
   uint64_t seed = 1;
   double lr = 0.01;  ///< the legacy batch path's fixed learning rate
+  /// Seed of the input-batch draw. 0 (the legacy default) continues the
+  /// weight RNG stream -- the exact historical bit pattern. Nonzero draws
+  /// the input from its own Xoshiro256 stream, so jobs sharing (net,
+  /// geometry, seed) -- and therefore one warm-start template -- still vary
+  /// their data per job.
+  uint64_t input_seed = 0;
+  /// Opt-in (spec key warm=1): submit through the snapshot/fork template
+  /// path by default, skipping weight staging after the first job of this
+  /// (net, geometry, seed, batch) template. Never changes any result bit.
+  bool warm = false;
 };
 
 class NetworkTrainingWorkload : public Workload {
@@ -304,9 +323,21 @@ class NetworkTrainingWorkload : public Workload {
   Error validate() const override;
   WorkloadResult run(cluster::Cluster& cluster, RunContext& ctx) override;
 
+  /// Warm-start surface: the template is the fully staged training layout
+  /// (weights both orientations + zeroed gradient/activation regions) for
+  /// the seed-drawn network; the key covers exactly its inputs -- dims,
+  /// batch, geometry, weight seed -- and neither input_seed nor lr, which
+  /// only affect the per-job half.
+  std::string template_key() const override;
+  void stage_template(cluster::Cluster& cluster) const override;
+  WorkloadResult run_staged(cluster::Cluster& cluster, RunContext& ctx) override;
+  bool warm_by_default() const override { return spec_.warm; }
+
   const NetworkTrainingSpec& spec() const { return spec_; }
 
  private:
+  WorkloadResult run_impl(cluster::Cluster& cluster, RunContext& ctx,
+                          bool staged);
   NetworkTrainingSpec spec_;
 };
 
@@ -354,6 +385,7 @@ inline constexpr size_t kMaxSpecBytes = 4096;
 ///   gemm:    m=,n=,k= [,geom=HxLxP] [,seed=] [,acc=0|1] [,name=]
 ///   tiled:   same keys as gemm (L2-resident tiled pipeline)
 ///   network: batch= [,in=] [,hidden=a-b-c] [,geom=HxLxP] [,seed=] [,lr=]
+///            [,input_seed=] [,warm=0|1]  (warm-start template opt-in)
 ///
 /// create() throws TypedError(kBadConfig) for unknown kinds, malformed
 /// values, or unconsumed (typo'd) keys. Untrusted-input hardening, enforced

@@ -43,11 +43,18 @@ class Cluster {
   mem::DmaEngine& dma() { return *dma_; }
   core::RedmuleEngine& redmule() { return *redmule_; }
   isa::RiscvCore& core(unsigned i) { return *cores_.at(i); }
+  const mem::Tcdm& tcdm() const { return *tcdm_; }
+  const mem::Hci& hci() const { return *hci_; }
+  const mem::L2Memory& l2() const { return *l2_; }
+  const mem::DmaEngine& dma() const { return *dma_; }
+  const core::RedmuleEngine& redmule() const { return *redmule_; }
+  const isa::RiscvCore& core(unsigned i) const { return *cores_.at(i); }
   unsigned n_cores() const { return cfg_.n_cores; }
   /// Base address of RedMulE's memory-mapped register file (cores use plain
   /// lw/sw against it; see isa/kernels.hpp redmule_offload_kernel).
   uint32_t redmule_periph_base() const { return cfg_.periph_base; }
   sim::Simulator& sim() { return sim_; }
+  const sim::Simulator& sim() const { return sim_; }
 
   /// Arms (nullptr = disarms) a RunControl on this cluster: the simulator
   /// polls it at its deterministic checkpoint cadence, runner loops poll it

@@ -223,6 +223,34 @@ AccLayout build_acc_layout(const std::vector<LayerGeom>& geoms, uint32_t bp,
   return lay;
 }
 
+/// Shape checks shared by every training entry point (mirrored in
+/// workloads::reference_training_step).
+void check_training_net(const NetworkGraph& net) {
+  const size_t n_layers = net.n_layers();
+  REDMULE_REQUIRE(n_layers >= 1, "empty network");
+  REDMULE_REQUIRE(!net.has_conv(), "training requires a pure linear chain");
+  REDMULE_REQUIRE(!net.layer(n_layers - 1).relu,
+                  "training expects a linear output layer (no final ReLU)");
+  // Bias gradients are not part of the training lowering (the autoencoder
+  // has none); training a biased layer would silently freeze its bias, so
+  // reject the configuration outright.
+  for (const workloads::NetworkLayer& l : net.layers())
+    REDMULE_REQUIRE(l.bias.empty(), "training does not support bias layers");
+}
+
+/// The training layout for (geoms, batch) on this L2, capacity-checked.
+Layout training_layout_checked(const mem::L2Memory& l2,
+                               const std::vector<LayerGeom>& geoms,
+                               uint32_t batch) {
+  const Layout lay =
+      build_layout(geoms, batch, /*training=*/true, l2.config().base_addr);
+  if (lay.total_bytes > l2.config().size_bytes)
+    throw CapacityError("L2 too small for the network training layout (" +
+                        std::to_string(lay.total_bytes) + " bytes needed, " +
+                        std::to_string(l2.config().size_bytes) + " available)");
+  return lay;
+}
+
 }  // namespace
 
 NetworkRunner::NetworkRunner(Cluster& cluster, RedmuleDriver& driver,
@@ -319,38 +347,19 @@ NetworkRunner::ForwardResult NetworkRunner::forward(const NetworkGraph& net,
   return res;
 }
 
-NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
-                                                           const MatrixF16& x,
-                                                           const MatrixF16& target,
-                                                           double lr) {
-  const size_t n_layers = net.n_layers();
-  REDMULE_REQUIRE(n_layers >= 1, "empty network");
-  REDMULE_REQUIRE(!net.has_conv(), "training requires a pure linear chain");
-  REDMULE_REQUIRE(!net.layer(n_layers - 1).relu,
-                  "training expects a linear output layer (no final ReLU)");
-  // Bias gradients are not part of the training lowering (the autoencoder
-  // has none); training a biased layer would silently freeze its bias, so
-  // reject the configuration outright (mirrored in reference_training_step).
-  for (const workloads::NetworkLayer& l : net.layers())
-    REDMULE_REQUIRE(l.bias.empty(), "training does not support bias layers");
-  REDMULE_REQUIRE(x.rows() == net.input_dim(), "input dimension mismatch");
-  const uint32_t batch = static_cast<uint32_t>(x.cols());
+void NetworkRunner::stage_training_template(const NetworkGraph& net,
+                                            uint32_t batch) {
+  check_training_net(net);
   REDMULE_REQUIRE(batch >= 1, "batch must be positive");
-  REDMULE_REQUIRE(target.rows() == net.output_dim() && target.cols() == batch,
-                  "target shape mismatch");
   const uint32_t bp = pad_even(batch);
-
   auto& l2 = cl_.l2();
   const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
-  const Layout lay =
-      build_layout(geoms, batch, /*training=*/true, l2.config().base_addr);
-  if (lay.total_bytes > l2.config().size_bytes)
-    throw CapacityError("L2 too small for the network training layout (" +
-                        std::to_string(lay.total_bytes) + " bytes needed, " +
-                        std::to_string(l2.config().size_bytes) + " available)");
+  const Layout lay = training_layout_checked(l2, geoms, batch);
 
-  // --- Stage: weights (both orientations) padded, everything else zeroed ---
-  write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
+  // Weights in both orientations, padded per the lowering contract; the
+  // gradient and activation regions zeroed. All through the zero-time L2
+  // backdoor over disjoint regions, so splitting this off from the
+  // execution half is invisible in simulated cycles and every staged bit.
   for (size_t l = 0; l < geoms.size(); ++l) {
     const LayerGeom& g = geoms[l];
     const LayerAddrs& a = lay.layers[l];
@@ -361,6 +370,33 @@ NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
     zero_region(l2, a.pre, pad_even(g.out_vec), bp);
     if (g.relu) zero_region(l2, a.act, pad_even(g.out_vec), bp);
   }
+}
+
+NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
+                                                           const MatrixF16& x,
+                                                           const MatrixF16& target,
+                                                           double lr) {
+  stage_training_template(net, static_cast<uint32_t>(x.cols()));
+  return training_step_staged(net, x, target, lr);
+}
+
+NetworkRunner::TrainingResult NetworkRunner::training_step_staged(
+    NetworkGraph& net, const MatrixF16& x, const MatrixF16& target, double lr) {
+  const size_t n_layers = net.n_layers();
+  check_training_net(net);
+  REDMULE_REQUIRE(x.rows() == net.input_dim(), "input dimension mismatch");
+  const uint32_t batch = static_cast<uint32_t>(x.cols());
+  REDMULE_REQUIRE(batch >= 1, "batch must be positive");
+  REDMULE_REQUIRE(target.rows() == net.output_dim() && target.cols() == batch,
+                  "target shape mismatch");
+  const uint32_t bp = pad_even(batch);
+
+  auto& l2 = cl_.l2();
+  const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
+  const Layout lay = training_layout_checked(l2, geoms, batch);
+
+  // --- Stage the per-job input; the template staged everything else --------
+  write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
 
   TrainingResult res;
   res.stats.macs = net.training_macs(batch);
@@ -463,13 +499,18 @@ NetworkRunner::TrainingResult NetworkRunner::training_step(NetworkGraph& net,
 
 NetworkRunner::TrainingSliceResult NetworkRunner::training_slice(
     const NetworkGraph& net, const MatrixF16& x, const MatrixF16& target) {
+  // The template also zeroes the dW regions a slice never touches; on the
+  // reset cluster those regions already read zero, and the zero-write path
+  // does not even materialize pages, so staging the full template here is
+  // bit- and cycle-invisible versus the historical slice-only staging.
+  stage_training_template(net, static_cast<uint32_t>(x.cols()));
+  return training_slice_staged(net, x, target);
+}
+
+NetworkRunner::TrainingSliceResult NetworkRunner::training_slice_staged(
+    const NetworkGraph& net, const MatrixF16& x, const MatrixF16& target) {
   const size_t n_layers = net.n_layers();
-  REDMULE_REQUIRE(n_layers >= 1, "empty network");
-  REDMULE_REQUIRE(!net.has_conv(), "training requires a pure linear chain");
-  REDMULE_REQUIRE(!net.layer(n_layers - 1).relu,
-                  "training expects a linear output layer (no final ReLU)");
-  for (const workloads::NetworkLayer& l : net.layers())
-    REDMULE_REQUIRE(l.bias.empty(), "training does not support bias layers");
+  check_training_net(net);
   REDMULE_REQUIRE(x.rows() == net.input_dim(), "input dimension mismatch");
   const uint32_t batch = static_cast<uint32_t>(x.cols());
   REDMULE_REQUIRE(batch >= 1, "batch must be positive");
@@ -483,23 +524,9 @@ NetworkRunner::TrainingSliceResult NetworkRunner::training_slice(
   // the captured dW operands -- are bit-identical to the monolithic run.
   auto& l2 = cl_.l2();
   const std::vector<LayerGeom> geoms = geoms_from_graph(net, batch);
-  const Layout lay =
-      build_layout(geoms, batch, /*training=*/true, l2.config().base_addr);
-  if (lay.total_bytes > l2.config().size_bytes)
-    throw CapacityError("L2 too small for the network training layout (" +
-                        std::to_string(lay.total_bytes) + " bytes needed, " +
-                        std::to_string(l2.config().size_bytes) + " available)");
+  const Layout lay = training_layout_checked(l2, geoms, batch);
 
   write_mat(l2, lay.input, pad_to(x, pad_even(geoms.front().in_vec), bp));
-  for (size_t l = 0; l < geoms.size(); ++l) {
-    const LayerGeom& g = geoms[l];
-    const LayerAddrs& a = lay.layers[l];
-    write_mat(l2, a.weight, pad_to(net.layer(l).weight, g.m, pad_even(g.n)));
-    write_mat(l2, a.wt,
-              pad_to(net.layer(l).weight.transposed(), g.n, pad_even(g.m)));
-    zero_region(l2, a.pre, pad_even(g.out_vec), bp);
-    if (g.relu) zero_region(l2, a.act, pad_even(g.out_vec), bp);
-  }
 
   TrainingSliceResult res;
   res.grads.batch = batch;

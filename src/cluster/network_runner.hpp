@@ -92,8 +92,29 @@ class NetworkRunner {
   /// One full training step on the cluster: forward, MSE gradient vs
   /// \p target, backward dX/dW chains, and -- when \p lr is nonzero -- the
   /// FP16 SGD update applied to \p net's (host) weights. Linear chains only.
+  /// Equivalent to stage_training_template() followed by
+  /// training_step_staged() -- bit-identical, same simulated cycles.
   TrainingResult training_step(workloads::NetworkGraph& net, const MatrixF16& x,
                                const MatrixF16& target, double lr);
+
+  /// Stages the per-network half of the training layout: every layer's
+  /// weights in both orientations plus the zeroed gradient/activation
+  /// regions. All writes go through the zero-simulated-time L2 backdoor and
+  /// touch regions disjoint from the per-job input, so splitting staging
+  /// from execution is invisible in cycles and in every staged bit. After
+  /// this the cluster is quiescent and snapshot-able: state::snapshot() of
+  /// the staged cluster is the warm-start template image the pool's
+  /// COW fork path (api::ClusterPool::acquire_template) clones per job.
+  void stage_training_template(const workloads::NetworkGraph& net,
+                               uint32_t batch);
+
+  /// The execution half of training_step(): stages only the per-job input
+  /// and runs forward/backward/update over an L2 already holding the
+  /// template staged by stage_training_template() (directly, or restored
+  /// from its snapshot image). \p net must match the staged template.
+  TrainingResult training_step_staged(workloads::NetworkGraph& net,
+                                      const MatrixF16& x,
+                                      const MatrixF16& target, double lr);
 
   /// Captured backward operands of one batch slice: for every layer, the
   /// exact padded L2 bit patterns the training_step dW GEMMs would read.
@@ -124,6 +145,14 @@ class NetworkRunner {
   TrainingSliceResult training_slice(const workloads::NetworkGraph& net,
                                      const MatrixF16& x,
                                      const MatrixF16& target);
+
+  /// The execution half of training_slice(), over a template staged by
+  /// stage_training_template(net, slice padded batch) -- directly or
+  /// restored from its snapshot. Shard workers fork the staged image once
+  /// per slice instead of re-staging every layer's weights.
+  TrainingSliceResult training_slice_staged(const workloads::NetworkGraph& net,
+                                            const MatrixF16& x,
+                                            const MatrixF16& target);
 
   /// L2 bytes the training-step layout needs for a linear chain with the
   /// given dimension sequence (ReLU between layers, no bias -- the

@@ -1,0 +1,74 @@
+/// \file errors.hpp
+/// \brief The typed error taxonomy of the public API.
+///
+/// Lives in src/common (not src/api) so that lower layers -- notably
+/// src/state, whose snapshot() must refuse a mid-flight cluster with a typed
+/// kBadConfig -- can throw classified failures without depending on the
+/// public-API layer above them. The names stay in namespace redmule::api:
+/// this is the api taxonomy, hoisted, and every existing call site keeps
+/// compiling unchanged (api/workload.hpp re-exports it by inclusion).
+///
+/// The classification contract (see docs/ARCHITECTURE.md): BadConfig = the
+/// spec/request itself is invalid; Capacity = valid but exceeds what the
+/// target can be grown to; Timeout = a budget expired; EngineFault = an
+/// internal failure mid-run (the one transient class the service may retry);
+/// Cancelled = the job was cancelled. Classification is by exception *type*,
+/// thrown at the source, never by message text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace redmule::api {
+
+enum class ErrorCode : uint8_t {
+  kNone = 0,     ///< success
+  kBadConfig,    ///< the workload spec itself is invalid (rejected up front)
+  kCapacity,     ///< valid spec, but exceeds the growable TCDM/L2/address space
+  kTimeout,      ///< the simulation ran past its deadlock guard
+  kEngineFault,  ///< the simulation threw mid-run (internal failure)
+  kCancelled,    ///< the job was cancelled before it started executing
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "None";
+    case ErrorCode::kBadConfig: return "BadConfig";
+    case ErrorCode::kCapacity: return "Capacity";
+    case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kEngineFault: return "EngineFault";
+    case ErrorCode::kCancelled: return "Cancelled";
+  }
+  return "Unknown";
+}
+
+/// A typed error value. `code == kNone` means "no error"; every failure
+/// carries both the machine-readable code and a human-readable message.
+struct Error {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+
+  explicit operator bool() const { return code != ErrorCode::kNone; }
+  /// "BadConfig: ..." -- the legacy stringly-typed rendering.
+  std::string to_string() const {
+    if (code == ErrorCode::kNone) return "";
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+/// Exception form of api::Error, for the throwing layers underneath the
+/// result-returning surface. Derives from redmule::Error so existing
+/// catch sites keep working during the migration.
+class TypedError : public redmule::Error {
+ public:
+  TypedError(ErrorCode code, const std::string& what)
+      : redmule::Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace redmule::api

@@ -36,7 +36,7 @@ void RedmuleEngine::reg_write(uint32_t offset, uint32_t value) {
   const bool triggered = regfile_.write(offset, value);
   if (offset == kRegSoftClear) {
     // Abort any running job and clear all state.
-    state_ = State::kIdle;
+    state_ = Fsm::kIdle;
     datapath_.reset();
     xbuf_.reset();
     ybuf_.reset();
@@ -50,7 +50,7 @@ void RedmuleEngine::reg_write(uint32_t offset, uint32_t value) {
 }
 
 void RedmuleEngine::reset() {
-  state_ = State::kIdle;
+  state_ = Fsm::kIdle;
   regfile_.reset();
   datapath_.reset();
   xbuf_.reset();
@@ -72,6 +72,26 @@ void RedmuleEngine::reset() {
   }
   cur_stats_ = JobStats{};
   last_stats_ = JobStats{};
+}
+
+RedmuleEngine::State RedmuleEngine::save_state() const {
+  REDMULE_REQUIRE(is_idle(), "engine snapshot requires an idle accelerator");
+  State s;
+  s.regfile = regfile_;
+  s.cur_stats = cur_stats_;
+  s.last_stats = last_stats_;
+  s.done_event = done_event_;
+  s.streamer = streamer_.save_state();
+  return s;
+}
+
+void RedmuleEngine::restore_state(const State& s) {
+  reset();
+  regfile_ = s.regfile;
+  cur_stats_ = s.cur_stats;
+  last_stats_ = s.last_stats;
+  done_event_ = s.done_event;
+  streamer_.restore_state(s.streamer);
 }
 
 bool RedmuleEngine::take_done_event() {
@@ -99,7 +119,7 @@ void RedmuleEngine::start_job() {
   }
   cur_stats_ = JobStats{};
   cur_stats_.macs = job_.macs();
-  state_ = State::kRunning;
+  state_ = Fsm::kRunning;
 }
 
 void RedmuleEngine::finish_job() {
@@ -108,7 +128,7 @@ void RedmuleEngine::finish_job() {
   last_stats_ = cur_stats_;
   regfile_.on_job_finished();
   done_event_ = true;
-  state_ = State::kIdle;
+  state_ = Fsm::kIdle;
 }
 
 bool RedmuleEngine::try_advance() {
@@ -227,7 +247,7 @@ bool RedmuleEngine::try_advance() {
 }
 
 void RedmuleEngine::tick() {
-  if (state_ == State::kRunning) {
+  if (state_ == Fsm::kRunning) {
     ++cur_stats_.cycles;
     if (ac_ < total_span_ + geom_.j_slots()) {
       if (try_advance())

@@ -51,7 +51,7 @@ class RedmuleEngine : public sim::Clocked {
   void reg_write(uint32_t offset, uint32_t value);
   uint32_t reg_read(uint32_t offset) const { return regfile_.read(offset); }
 
-  bool busy() const { return state_ == State::kRunning; }
+  bool busy() const { return state_ == Fsm::kRunning; }
   /// Event line toward the cluster event unit; cleared by the reader.
   bool take_done_event();
 
@@ -82,6 +82,24 @@ class RedmuleEngine : public sim::Clocked {
   /// wiring and survives.
   void reset();
 
+  // --- Snapshot surface (state/snapshot.hpp) --------------------------------
+  /// Persistent engine state at quiescence: the register file (programmed
+  /// job registers *and* the hwpe-ctrl job-id/finished counters), the job
+  /// statistics, the pending done event, and the streamer's cumulative
+  /// counters. Everything else -- datapath, buffers, schedule scratch -- is
+  /// rebuilt by start_job() and drained at job end, so restore_state()
+  /// reconstructs it with reset() and installs the persistent side.
+  struct State {
+    RegFile regfile;
+    JobStats cur_stats;
+    JobStats last_stats;
+    bool done_event = false;
+    Streamer::State streamer;
+  };
+  /// Requires is_idle(): a running engine is mid-schedule, not capturable.
+  State save_state() const;
+  void restore_state(const State& s);
+
   // --- Clocked ---------------------------------------------------------------
   void tick() override;
   void commit() override;
@@ -89,11 +107,11 @@ class RedmuleEngine : public sim::Clocked {
   /// the only way to wake up is an external reg_write(), so tick()/commit()
   /// are no-ops until then (see sim::Clocked::is_idle contract).
   bool is_idle() const override {
-    return state_ == State::kIdle && streamer_.idle();
+    return state_ == Fsm::kIdle && streamer_.idle();
   }
 
  private:
-  enum class State { kIdle, kRunning };
+  enum class Fsm { kIdle, kRunning };
 
   /// Decoded schedule step for one column (phase-1 scratch; lives in the
   /// engine so the hot loop never allocates).
@@ -121,7 +139,7 @@ class RedmuleEngine : public sim::Clocked {
   ZBuffer zbuf_;
   Streamer streamer_;
 
-  State state_ = State::kIdle;
+  Fsm state_ = Fsm::kIdle;
   Job job_;
   std::optional<Tiling> tiling_;
   uint64_t ac_ = 0;          ///< array schedule counter (advance steps)

@@ -55,6 +55,30 @@ class Streamer {
   /// path; the buffers it feeds are reset by the engine.
   void reset();
 
+  // --- Snapshot surface (state/snapshot.hpp) --------------------------------
+  /// At idle everything but the cumulative statistics is at its constructed
+  /// value (job/iterators are rebuilt by start(), nothing is in flight), so
+  /// the counters are the whole persistent state.
+  struct State {
+    uint64_t issued_loads = 0;
+    uint64_t issued_stores = 0;
+    uint64_t retry_cycles = 0;
+    uint64_t idle_port_cycles = 0;
+  };
+  /// Requires idle().
+  State save_state() const {
+    REDMULE_REQUIRE(idle(), "streamer snapshot requires a drained streamer");
+    return State{issued_loads_, issued_stores_, retry_cycles_,
+                 idle_port_cycles_};
+  }
+  void restore_state(const State& s) {
+    reset();
+    issued_loads_ = s.issued_loads;
+    issued_stores_ = s.issued_stores;
+    retry_cycles_ = s.retry_cycles;
+    idle_port_cycles_ = s.idle_port_cycles;
+  }
+
  private:
   enum class Kind { kWLoad, kXLoad, kYLoad, kZStore };
 

@@ -90,6 +90,37 @@ void RiscvCore::reset() {
   stats_ = CoreStats{};
 }
 
+RiscvCore::State RiscvCore::save_state() const {
+  REDMULE_REQUIRE(halted_, "core snapshot requires a halted core");
+  REDMULE_ASSERT(!pending_.active);
+  State s;
+  s.prog = prog_;
+  s.pc = pc_;
+  s.x = x_;
+  s.f = f_;
+  s.ready = ready_;
+  s.loops = loops_;
+  s.stall_cycles_left = stall_cycles_left_;
+  s.halted = halted_;
+  s.now = now_;
+  s.stats = stats_;
+  return s;
+}
+
+void RiscvCore::restore_state(const State& s) {
+  reset();
+  prog_ = s.prog;
+  pc_ = s.pc;
+  x_ = s.x;
+  f_ = s.f;
+  ready_ = s.ready;
+  loops_ = s.loops;
+  stall_cycles_left_ = s.stall_cycles_left;
+  halted_ = s.halted;
+  now_ = s.now;
+  stats_ = s.stats;
+}
+
 void RiscvCore::set_reg(uint8_t reg, uint32_t value) {
   REDMULE_ASSERT(reg < 32);
   if (reg != 0) x_[reg] = value;

@@ -128,6 +128,30 @@ class RiscvCore : public sim::Clocked {
   uint64_t now_ = 0;
 
   CoreStats stats_;
+
+ public:
+  // --- Snapshot surface (state/snapshot.hpp) --------------------------------
+  // Declared after the private members so the nested struct can use the
+  // private HwLoop type; external holders treat it as an opaque value.
+  /// Full architectural state of a halted core: program, pc, register files,
+  /// scoreboard, hardware loops and statistics. A halted core has no pending
+  /// memory access (a pending grant stalls retirement of the halt), so the
+  /// transient side is empty by construction.
+  struct State {
+    Program prog;
+    uint32_t pc = 0;
+    std::array<uint32_t, 32> x{};
+    std::array<fp16::Float16, 32> f{};
+    std::array<uint64_t, 64> ready{};
+    std::array<HwLoop, 2> loops{};
+    unsigned stall_cycles_left = 0;
+    bool halted = true;
+    uint64_t now = 0;
+    CoreStats stats;
+  };
+  /// Requires halted(): a running core is mid-pipeline and not capturable.
+  State save_state() const;
+  void restore_state(const State& s);
 };
 
 }  // namespace redmule::isa

@@ -106,6 +106,42 @@ class DmaEngine : public sim::Clocked {
     injected_stall_cycles_ = 0;
   }
 
+  // --- Snapshot surface (state/snapshot.hpp) --------------------------------
+  /// Persistent DMA state at quiescence: the transfer-id sequence and
+  /// completion tracking (a restored driver must see its old ids as done)
+  /// plus the cumulative statistics. Queued/active transfers and in-flight
+  /// beats are empty at idle by definition, so restore_state() rebuilds the
+  /// transient side with reset() and installs the rest.
+  struct State {
+    uint64_t next_id = 0;
+    uint64_t done_floor = 0;
+    std::set<uint64_t> done_sparse;
+    uint64_t busy_cycles = 0;
+    uint64_t stall_cycles = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t injected_stall_cycles = 0;
+  };
+  /// Requires idle(): a DMA with queued or active transfers cannot be
+  /// captured (its in-flight beats reference the live interconnect).
+  State save_state() const {
+    REDMULE_REQUIRE(idle(), "DMA snapshot requires a drained engine");
+    return State{next_id_,      done_floor_, done_sparse_,
+                 busy_cycles_,  stall_cycles_, bytes_in_,
+                 bytes_out_,    injected_stall_cycles_};
+  }
+  void restore_state(const State& s) {
+    reset();
+    next_id_ = s.next_id;
+    done_floor_ = s.done_floor;
+    done_sparse_ = s.done_sparse;
+    busy_cycles_ = s.busy_cycles;
+    stall_cycles_ = s.stall_cycles;
+    bytes_in_ = s.bytes_in;
+    bytes_out_ = s.bytes_out;
+    injected_stall_cycles_ = s.injected_stall_cycles;
+  }
+
  private:
   struct Active {
     uint64_t id = 0;

@@ -247,4 +247,28 @@ void Hci::reset() {
   reset_stats();
 }
 
+Hci::State Hci::save_state() const {
+  REDMULE_REQUIRE(is_idle(), "HCI snapshot requires a quiescent interconnect");
+  State s;
+  s.bank_rr = bank_rr_;
+  s.log_grants = log_grants_;
+  s.log_conflict_stalls = log_conflict_stalls_;
+  s.shallow_grants = shallow_grants_;
+  s.shallow_stalls = shallow_stalls_;
+  s.rotation_events = rotation_events_;
+  return s;
+}
+
+void Hci::restore_state(const State& s) {
+  REDMULE_REQUIRE(s.bank_rr.size() == bank_rr_.size(),
+                  "HCI state bank-count mismatch");
+  reset();
+  bank_rr_ = s.bank_rr;
+  log_grants_ = s.log_grants;
+  log_conflict_stalls_ = s.log_conflict_stalls;
+  shallow_grants_ = s.shallow_grants;
+  shallow_stalls_ = s.shallow_stalls;
+  rotation_events_ = s.rotation_events;
+}
+
 }  // namespace redmule::mem

@@ -121,6 +121,24 @@ class Hci : public sim::Clocked {
   /// streaks, and statistics. Part of the cluster reset path.
   void reset();
 
+  // --- Snapshot surface (state/snapshot.hpp) --------------------------------
+  /// Persistent interconnect state at quiescence: the per-bank round-robin
+  /// pointers (they carry arbitration history across jobs) and the cumulative
+  /// statistics. Transient state -- requests, staged/visible results,
+  /// rotation streaks -- is provably clear at idle (see is_idle()), so
+  /// restore_state() reconstructs it with reset() and installs the rest.
+  struct State {
+    std::vector<unsigned> bank_rr;
+    uint64_t log_grants = 0;
+    uint64_t log_conflict_stalls = 0;
+    uint64_t shallow_grants = 0;
+    uint64_t shallow_stalls = 0;
+    uint64_t rotation_events = 0;
+  };
+  /// Requires is_idle(): a mid-flight interconnect has no capturable state.
+  State save_state() const;
+  void restore_state(const State& s);
+
  private:
   /// Bank set [first, first + count) mod n_banks touched by a shallow request.
   struct BankSpan {

@@ -1,29 +1,112 @@
 #include "mem/l2.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace redmule::mem {
 
+namespace {
+
+bool all_zero(const uint8_t* p, uint32_t len) {
+  for (uint32_t i = 0; i < len; ++i)
+    if (p[i] != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+uint64_t L2Memory::State::resident_bytes() const {
+  uint64_t n = 0;
+  for (const auto& p : pages)
+    if (p) n += kPageBytes;
+  return n;
+}
+
 L2Memory::L2Memory(L2Config cfg) : cfg_(cfg) {
   REDMULE_REQUIRE(cfg.size_bytes > 0, "L2 cannot be empty");
   REDMULE_REQUIRE(cfg.bytes_per_cycle > 0, "L2 bandwidth must be positive");
-  bytes_.assign(cfg.size_bytes, 0);
+  pages_.resize((static_cast<uint64_t>(cfg.size_bytes) + kPageBytes - 1) /
+                kPageBytes);
+}
+
+L2Memory::Page* L2Memory::writable_page(size_t page_idx) {
+  std::shared_ptr<Page>& slot = pages_[page_idx];
+  if (!slot) {
+    slot = std::make_shared<Page>();
+    slot->fill(0);
+  } else if (slot.use_count() != 1) {
+    // Shared with a snapshot image: copy before the write lands (COW).
+    slot = std::make_shared<Page>(*slot);
+  }
+  return slot.get();
 }
 
 void L2Memory::write(uint32_t addr, const void* src, uint32_t len) {
   REDMULE_REQUIRE(contains(addr, len), "write outside L2");
-  std::memcpy(bytes_.data() + (addr - cfg_.base_addr), src, len);
-  dirty_ = true;
+  const auto* s = static_cast<const uint8_t*>(src);
+  uint32_t off = addr - cfg_.base_addr;
+  while (len > 0) {
+    const size_t page_idx = off / kPageBytes;
+    const uint32_t in_page = off % kPageBytes;
+    const uint32_t chunk = std::min(len, kPageBytes - in_page);
+    // Zeros written over an absent page are already there: skipping the
+    // materialization keeps staging's zero_region passes from densifying
+    // the memory (and from forcing needless page copies after a fork).
+    if (pages_[page_idx] || !all_zero(s, chunk))
+      std::memcpy(writable_page(page_idx)->data() + in_page, s, chunk);
+    s += chunk;
+    off += chunk;
+    len -= chunk;
+  }
 }
 
 void L2Memory::read(uint32_t addr, void* dst, uint32_t len) const {
   REDMULE_REQUIRE(contains(addr, len), "read outside L2");
-  std::memcpy(dst, bytes_.data() + (addr - cfg_.base_addr), len);
+  auto* d = static_cast<uint8_t*>(dst);
+  uint32_t off = addr - cfg_.base_addr;
+  while (len > 0) {
+    const size_t page_idx = off / kPageBytes;
+    const uint32_t in_page = off % kPageBytes;
+    const uint32_t chunk = std::min(len, kPageBytes - in_page);
+    const Page* page = pages_[page_idx].get();
+    if (page)
+      std::memcpy(d, page->data() + in_page, chunk);
+    else
+      std::memset(d, 0, chunk);
+    d += chunk;
+    off += chunk;
+    len -= chunk;
+  }
 }
 
 void L2Memory::fill(uint8_t byte) {
-  std::memset(bytes_.data(), byte, bytes_.size());
-  dirty_ = byte != 0;  // all-zero is exactly the freshly-constructed state
+  if (byte == 0) {
+    reset();  // all-zero is exactly the freshly-constructed (pageless) state
+    return;
+  }
+  for (auto& slot : pages_) {
+    if (!slot || slot.use_count() != 1) slot = std::make_shared<Page>();
+    slot->fill(byte);
+  }
+}
+
+void L2Memory::reset() {
+  for (auto& slot : pages_) slot.reset();
+}
+
+L2Memory::State L2Memory::save_state() const { return State{pages_}; }
+
+void L2Memory::restore_state(const State& s) {
+  REDMULE_REQUIRE(s.pages.size() == pages_.size(),
+                  "L2 state capacity mismatch");
+  pages_ = s.pages;
+}
+
+uint64_t L2Memory::resident_bytes() const {
+  uint64_t n = 0;
+  for (const auto& p : pages_)
+    if (p) n += kPageBytes;
+  return n;
 }
 
 }  // namespace redmule::mem

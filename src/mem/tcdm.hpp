@@ -56,6 +56,18 @@ class Tcdm {
   /// zero). Part of the cluster reset path used by pooled batch workers.
   void reset() { fill(0); }
 
+  // --- Snapshot surface (state/snapshot.hpp) --------------------------------
+  /// The TCDM is pure storage, so its snapshot is the word array verbatim.
+  struct State {
+    std::vector<uint32_t> words;
+  };
+  State save_state() const { return State{words_}; }
+  void restore_state(const State& s) {
+    REDMULE_REQUIRE(s.words.size() == words_.size(),
+                    "TCDM state capacity mismatch");
+    words_ = s.words;
+  }
+
  private:
   uint32_t word_index(uint32_t addr) const {
     REDMULE_ASSERT(contains(addr, 4));

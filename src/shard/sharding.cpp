@@ -133,17 +133,39 @@ ShardedTrainingResult ShardExecutor::run(cluster::Cluster& reduce_cluster,
       ts.push_back(col_slice(target, s.begin, s.count));
     }
     const cluster::ClusterConfig cfg = reduce_cluster.config();
+    // Snapshot/fork provisioning of the slice templates: slices of equal
+    // batch share one staged-weights image, so weight staging runs once per
+    // distinct slice width instead of once per slice. The key covers
+    // everything stage_training_template writes: the network identity (dims
+    // + a hash over every weight bit -- the caller's net is arbitrary, not
+    // seed-derived) and the slice's real and padded batch, which size the
+    // whole training layout.
+    uint64_t weight_hash = 0xcbf29ce484222325ULL;
+    std::string net_tag = "shard-slice/";
+    for (size_t l = 0; l < net.n_layers(); ++l) {
+      weight_hash = api::hash_fold(weight_hash, net.layer(l).weight);
+      net_tag += std::to_string(net.layer(l).out_dim()) + "-";
+    }
+    net_tag += "w" + std::to_string(weight_hash);
     std::mutex m;
     std::condition_variable cv;
     uint32_t done = 0;
     for (uint32_t k = 0; k < n_slices; ++k) {
       engine_->post([&, k](api::ClusterPool& pool) {
         try {
-          const api::ClusterPool::Acquired acq = pool.acquire(cfg);
+          const uint32_t slice_batch = slices[k].count;
+          const std::string tkey = net_tag + "/B" + std::to_string(slice_batch) +
+                                   "p" + std::to_string(pad_even(slice_batch));
+          const api::ClusterPool::Acquired acq = pool.acquire_template(
+              cfg, tkey, [&](cluster::Cluster& cl) {
+                cluster::RedmuleDriver d(cl);
+                NetworkRunner r(cl, d, opts_.runner);
+                r.stage_training_template(net, slice_batch);
+              });
           api::ScopedRunControl control(*acq.cl, ctx);
           cluster::RedmuleDriver drv(*acq.cl);
           NetworkRunner runner(*acq.cl, drv, opts_.runner);
-          slots[k].result = runner.training_slice(net, xs[k], ts[k]);
+          slots[k].result = runner.training_slice_staged(net, xs[k], ts[k]);
           if (opts_.phase1_done_hook) opts_.phase1_done_hook(k);
         } catch (...) {
           slots[k].error = std::current_exception();

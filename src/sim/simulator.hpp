@@ -93,6 +93,22 @@ class Simulator {
   /// can change any state until external input arrives.
   bool quiescent() const;
 
+  // --- Snapshot surface (state/snapshot.hpp) --------------------------------
+  /// Kernel counters; the module list and skipping mode are wiring/config.
+  struct State {
+    uint64_t cycle = 0;
+    uint64_t skipped_module_ticks = 0;
+    uint64_t fast_forwarded_cycles = 0;
+  };
+  State save_state() const {
+    return State{cycle_, skipped_module_ticks_, fast_forwarded_cycles_};
+  }
+  void restore_state(const State& s) {
+    cycle_ = s.cycle;
+    skipped_module_ticks_ = s.skipped_module_ticks;
+    fast_forwarded_cycles_ = s.fast_forwarded_cycles;
+  }
+
   /// Master switch for idle skipping and quiescence fast-forward. On by
   /// default; turning it off restores the naive tick-everything loop (used
   /// by the architectural-invisibility tests and the kernel bench).

@@ -381,6 +381,139 @@ TEST(ApiService, NullWorkloadIsBadConfig) {
   EXPECT_EQ(r.error.code, ErrorCode::kBadConfig);
 }
 
+// --- Warm-start (snapshot/fork) provisioning ---------------------------------
+
+namespace {
+
+std::string network_spec(uint64_t seed, bool warm, uint64_t input_seed = 0) {
+  std::string s = "network:in=24,hidden=12-6-12,batch=2,geom=4x8x3,seed=" +
+                  std::to_string(seed);
+  if (input_seed != 0) s += ",input_seed=" + std::to_string(input_seed);
+  if (warm) s += ",warm=1";
+  return s;
+}
+
+}  // namespace
+
+TEST(ApiWarmStart, WarmJobsMatchColdOracleAndCountForks) {
+  const uint64_t seed = split_seed(77, 0);
+  // Cold oracle: the identical job without the warm flag, on a fresh cluster.
+  auto oracle_w = WorkloadRegistry::global().create(network_spec(seed, false));
+  const WorkloadResult oracle = Service::run_one(*oracle_w, small_base());
+  ASSERT_TRUE(oracle.ok()) << oracle.error.to_string();
+
+  ServiceConfig cfg;
+  cfg.n_threads = 1;  // deterministic fork/miss accounting
+  cfg.reuse_clusters = true;
+  cfg.base = small_base();
+  Service service(cfg);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 3; ++i)
+    handles.push_back(
+        service.submit(WorkloadRegistry::global().create(network_spec(seed, true))));
+  for (JobHandle& h : handles) {
+    const WorkloadResult r = h.get();
+    ASSERT_TRUE(r.ok()) << r.error.to_string();
+    EXPECT_EQ(outcome_of(r), outcome_of(oracle))
+        << "warm (forked) job must be bit-identical to the cold oracle";
+  }
+
+  const api::ServiceStats st = service.stats();
+  EXPECT_EQ(st.template_misses, 1u) << "first warm job stages the template";
+  EXPECT_EQ(st.template_forks, 2u) << "later identical jobs fork the image";
+}
+
+TEST(ApiWarmStart, SubmitOptionsOverrideTheSpecFlag) {
+  const uint64_t seed = split_seed(77, 1);
+  auto oracle_w = WorkloadRegistry::global().create(network_spec(seed, false));
+  const WorkloadResult oracle = Service::run_one(*oracle_w, small_base());
+  ASSERT_TRUE(oracle.ok());
+
+  ServiceConfig cfg;
+  cfg.n_threads = 1;
+  cfg.reuse_clusters = true;
+  cfg.base = small_base();
+  Service service(cfg);
+
+  // warm_start=true forces the template path on a cold spec...
+  SubmitOptions force_on;
+  force_on.warm_start = true;
+  const WorkloadResult forced = service
+      .submit(WorkloadRegistry::global().create(network_spec(seed, false)),
+              force_on)
+      .get();
+  ASSERT_TRUE(forced.ok());
+  EXPECT_EQ(outcome_of(forced), outcome_of(oracle));
+  EXPECT_EQ(service.stats().template_misses, 1u);
+
+  // ...and warm_start=false forces a warm spec back onto the cold path.
+  SubmitOptions force_off;
+  force_off.warm_start = false;
+  const WorkloadResult cold = service
+      .submit(WorkloadRegistry::global().create(network_spec(seed, true)),
+              force_off)
+      .get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(outcome_of(cold), outcome_of(oracle));
+  const api::ServiceStats st = service.stats();
+  EXPECT_EQ(st.template_misses, 1u) << "cold-forced job must not touch the cache";
+  EXPECT_EQ(st.template_forks, 0u);
+}
+
+TEST(ApiWarmStart, InputSeedVariantsShareOneTemplate) {
+  // Jobs that differ only in input data (input_seed) share the staged-weights
+  // image: one miss, then forks -- and each job still matches its own cold
+  // oracle, so the shared template changes nothing in the bits.
+  const uint64_t seed = split_seed(77, 2);
+  std::vector<WorkloadResult> oracles;
+  for (const uint64_t in_seed : {3u, 4u, 5u}) {
+    auto w = WorkloadRegistry::global().create(
+        network_spec(seed, false, in_seed));
+    oracles.push_back(Service::run_one(*w, small_base()));
+    ASSERT_TRUE(oracles.back().ok());
+  }
+  EXPECT_NE(oracles[0].z_hash, oracles[1].z_hash)
+      << "different input_seed must produce different data";
+
+  ServiceConfig cfg;
+  cfg.n_threads = 1;
+  cfg.reuse_clusters = true;
+  cfg.base = small_base();
+  Service service(cfg);
+  std::vector<JobHandle> handles;
+  for (const uint64_t in_seed : {3u, 4u, 5u})
+    handles.push_back(service.submit(
+        WorkloadRegistry::global().create(network_spec(seed, true, in_seed))));
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const WorkloadResult r = handles[i].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(outcome_of(r), outcome_of(oracles[i])) << "input_seed job " << i;
+  }
+  const api::ServiceStats st = service.stats();
+  EXPECT_EQ(st.template_misses, 1u)
+      << "input_seed is not part of the template key";
+  EXPECT_EQ(st.template_forks, 2u);
+}
+
+TEST(ApiWarmStart, GemmWorkloadsHaveNoTemplateAndStayCold) {
+  // Workloads without a template_key must run the legacy path even when
+  // warm_start is forced on -- no crash, no cache traffic.
+  ServiceConfig cfg;
+  cfg.n_threads = 1;
+  cfg.reuse_clusters = true;
+  Service service(cfg);
+  SubmitOptions opts;
+  opts.warm_start = true;
+  const WorkloadResult r = service
+      .submit(WorkloadRegistry::global().create("gemm:m=16,n=16,k=16,seed=6"),
+              opts)
+      .get();
+  ASSERT_TRUE(r.ok());
+  const api::ServiceStats st = service.stats();
+  EXPECT_EQ(st.template_misses, 0u);
+  EXPECT_EQ(st.template_forks, 0u);
+}
+
 // --- Registry ----------------------------------------------------------------
 
 TEST(ApiRegistry, BuiltinKindsAndSpecRoundTrip) {

@@ -1,0 +1,168 @@
+/// Randomized-but-deterministic snapshot/fork soak: every round draws a
+/// training job (weight seed x input seed), a warm/cold coin, and sometimes
+/// a fault to inject, runs it through a real api::Service, and checks the
+/// provisioning contracts end to end:
+///
+///  - a warm (template-forked) job is bit-identical to the cold oracle of
+///    the same spec -- across pool reuse, worker interleaving, and fault
+///    injection (staging is zero-sim-time, so fault cycle points line up);
+///  - jobs sharing a weight seed share one image: the miss/fork counters
+///    add up to exactly the warm traffic, and misses stay bounded by the
+///    number of distinct templates;
+///  - a faulted warm job never poisons the template: the next warm job of
+///    the same spec still matches the oracle bit for bit.
+///
+/// Rounds are deterministic per seed; REDMULE_SNAPSHOT_SOAK_ROUNDS scales
+/// the soak for CI without touching the code.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/service.hpp"
+#include "api/workload.hpp"
+#include "common/rng.hpp"
+#include "sim/fault_plan.hpp"
+
+using namespace redmule;
+using api::ErrorCode;
+using api::Service;
+using api::ServiceConfig;
+using api::SubmitOptions;
+using api::WorkloadRegistry;
+using api::WorkloadResult;
+
+namespace {
+
+unsigned soak_rounds() {
+  const char* env = std::getenv("REDMULE_SNAPSHOT_SOAK_ROUNDS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 6;  // default smoke depth; CI raises it
+}
+
+cluster::ClusterConfig small_base() {
+  cluster::ClusterConfig base;
+  base.tcdm.words_per_bank = 256;  // 16 KiB
+  return base;
+}
+
+std::string spec_of(uint64_t weight_seed, uint64_t input_seed, bool warm) {
+  std::string s = "network:in=24,hidden=12-6-12,batch=2,geom=4x8x3,seed=" +
+                  std::to_string(weight_seed) +
+                  ",input_seed=" + std::to_string(input_seed);
+  if (warm) s += ",warm=1";
+  return s;
+}
+
+struct Outcome {
+  uint64_t cycles, advance, stall, macs, fma_ops, z_hash;
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome outcome_of(const WorkloadResult& r) {
+  return {r.stats.cycles,  r.stats.advance_cycles, r.stats.stall_cycles,
+          r.stats.macs,    r.stats.fma_ops,        r.z_hash};
+}
+
+}  // namespace
+
+TEST(ApiSnapshotSoak, WarmColdAndFaultedJobsStayBitIdenticalToOracles) {
+  const unsigned rounds = soak_rounds();
+  const std::vector<uint64_t> weight_seeds = {split_seed(0x5eed, 0),
+                                              split_seed(0x5eed, 1)};
+
+  // Cold oracles on fresh unpooled clusters, computed on first use.
+  std::map<std::pair<uint64_t, uint64_t>, Outcome> oracles;
+  const auto oracle_of = [&](uint64_t ws, uint64_t is) -> const Outcome& {
+    const auto key = std::make_pair(ws, is);
+    auto it = oracles.find(key);
+    if (it == oracles.end()) {
+      auto w = WorkloadRegistry::global().create(spec_of(ws, is, false));
+      WorkloadResult r = Service::run_one(*w, small_base());
+      EXPECT_TRUE(r.ok()) << r.error.to_string();
+      it = oracles.emplace(key, outcome_of(r)).first;
+    }
+    return it->second;
+  };
+
+  ServiceConfig cfg;
+  cfg.n_threads = 2;  // forks cross worker pools through the shared cache
+  cfg.reuse_clusters = true;
+  cfg.base = small_base();
+  Service service(cfg);
+
+  Xoshiro256 rng(split_seed(0x54a9, 2));
+  uint64_t warm_jobs = 0;
+  unsigned fired_faults = 0;
+  for (unsigned round = 0; round < rounds; ++round) {
+    const uint64_t ws = weight_seeds[rng.next_below(weight_seeds.size())];
+    const uint64_t is = 1 + rng.next_below(3);  // small set: inputs repeat
+    const bool warm = rng.next_below(4) != 0;   // mostly warm, some cold
+    const bool inject = rng.next_below(3) == 0;
+    const Outcome& oracle = oracle_of(ws, is);
+
+    sim::FaultPlan plan;
+    const auto kind =
+        static_cast<sim::FaultKind>(rng.next_below(3));
+    const uint64_t at_cycle = rng.next_below(oracle.cycles * 3 / 2 + 1);
+    if (inject)
+      plan.add({kind, at_cycle,
+                kind == sim::FaultKind::kDmaStall ? 64 + rng.next_below(1024) : 0,
+                /*attempt=*/-1});
+    SubmitOptions opts;
+    if (inject) opts.fault_plan = &plan;
+    if (warm) ++warm_jobs;
+    WorkloadResult r =
+        service.submit(WorkloadRegistry::global().create(spec_of(ws, is, warm)),
+                       opts)
+            .get();
+
+    const std::string ctx = "round " + std::to_string(round) +
+                            " warm=" + std::to_string(warm) +
+                            " inject=" + std::to_string(inject) +
+                            " ws=" + std::to_string(ws) +
+                            " is=" + std::to_string(is);
+    if (!inject || kind == sim::FaultKind::kDmaStall) {
+      ASSERT_TRUE(r.ok()) << ctx << ": " << r.error.to_string();
+      EXPECT_EQ(r.z_hash, oracle.z_hash) << ctx;
+      if (!inject) {
+        EXPECT_EQ(outcome_of(r), oracle) << ctx;
+      } else {
+        EXPECT_GE(r.stats.cycles, oracle.cycles) << ctx;
+        if (r.stats.cycles > oracle.cycles) ++fired_faults;
+      }
+    } else if (r.ok()) {
+      EXPECT_EQ(outcome_of(r), oracle) << ctx;  // fault landed past the end
+    } else {
+      EXPECT_EQ(r.error.code, ErrorCode::kEngineFault)
+          << ctx << ": " << r.error.to_string();
+      ++fired_faults;
+    }
+
+    // Template-poisoning probe: a fresh warm job of the same spec must still
+    // fork a pristine image, whatever the faulted run left behind.
+    ++warm_jobs;
+    WorkloadResult clean =
+        service.submit(WorkloadRegistry::global().create(spec_of(ws, is, true)))
+            .get();
+    ASSERT_TRUE(clean.ok()) << ctx << " (clean warm rerun)";
+    EXPECT_EQ(outcome_of(clean), oracle) << ctx << " (clean warm rerun)";
+  }
+
+  EXPECT_GT(fired_faults, 0u) << "the soak must actually exercise faults";
+
+  // Conservation: every warm job either staged (miss) or forked, and the
+  // number of distinct staged templates is bounded by distinct weight seeds
+  // (input_seed is excluded from the key) times the worker count -- two
+  // workers may race to first-stage the same key, but the published image is
+  // first-writer-wins either way.
+  const api::ServiceStats st = service.stats();
+  EXPECT_EQ(st.template_misses + st.template_forks, warm_jobs);
+  EXPECT_GE(st.template_misses, 1u);
+  EXPECT_LE(st.template_misses, weight_seeds.size() * cfg.n_threads);
+}

@@ -1,19 +1,27 @@
 // Cluster::reset() contract: a reused (reset) cluster instance is
 // observably bit-equal to a freshly constructed one -- back-to-back jobs,
 // jobs after an aborted mid-flight job, memories, counters, statistics.
+// The snapshot/fork provisioning path extends the same promise: a cluster
+// provisioned by restoring a template image must be bit-equal to one that
+// was freshly constructed and staged.
 #include <gtest/gtest.h>
 
 #include <cstring>
 
 #include "cluster/cluster.hpp"
 #include "cluster/driver.hpp"
+#include "cluster/network_runner.hpp"
+#include "common/errors.hpp"
 #include "common/rng.hpp"
 #include "core/regfile.hpp"
+#include "state/snapshot.hpp"
 #include "workloads/gemm.hpp"
+#include "workloads/network.hpp"
 
 using namespace redmule;
 using cluster::Cluster;
 using cluster::ClusterConfig;
+using cluster::NetworkRunner;
 using cluster::RedmuleDriver;
 
 namespace {
@@ -136,5 +144,147 @@ TEST(ClusterReset, RepeatedIdenticalJobsOnOneInstanceAreIdentical) {
     drv.reset();
     const JobOutcome again = run_job(cl, drv, 21, 24, 20, 40);
     expect_same(again, first, "repeat on reused instance");
+  }
+}
+
+// --- Snapshot/fork provisioning vs fresh staging -----------------------------
+
+namespace {
+
+// Fixed training problem for the fork-identity tests. The net is regenerated
+// per run (lr != 0 writes the SGD update back into the host-side weights, so
+// a shared NetworkGraph would leak state between runs).
+workloads::NetworkGraph fork_test_net() {
+  workloads::AutoencoderConfig acfg;
+  acfg.input_dim = 24;
+  acfg.hidden = {12, 6, 12};
+  acfg.batch = 2;
+  Xoshiro256 rng(split_seed(44, 0));
+  return workloads::NetworkGraph::autoencoder(acfg, rng);
+}
+
+core::MatrixF16 fork_test_input(const workloads::NetworkGraph& net) {
+  Xoshiro256 rng(split_seed(44, 1));
+  return workloads::random_matrix(net.input_dim(), 2, rng);
+}
+
+struct TrainingOutcome {
+  NetworkRunner::TrainingResult r;
+};
+
+// Runs the per-job half of a training step on \p cl, which must already hold
+// the staged template (either freshly staged or restored from an image).
+TrainingOutcome run_staged_training(Cluster& cl) {
+  RedmuleDriver drv(cl);
+  NetworkRunner runner(cl, drv);
+  workloads::NetworkGraph net = fork_test_net();
+  const auto x = fork_test_input(net);
+  return {runner.training_step_staged(net, x, x, 0.01)};
+}
+
+void expect_same_training(const TrainingOutcome& a, const TrainingOutcome& b,
+                          const char* what) {
+  EXPECT_EQ(a.r.stats.total_cycles, b.r.stats.total_cycles) << what;
+  EXPECT_EQ(a.r.stats.macs, b.r.stats.macs) << what;
+  EXPECT_EQ(a.r.mse, b.r.mse) << what;
+  ASSERT_EQ(a.r.out.size_bytes(), b.r.out.size_bytes());
+  EXPECT_EQ(std::memcmp(a.r.out.data(), b.r.out.data(), a.r.out.size_bytes()), 0)
+      << what;
+  ASSERT_EQ(a.r.dw.size(), b.r.dw.size());
+  for (size_t l = 0; l < a.r.dw.size(); ++l) {
+    ASSERT_EQ(a.r.dw[l].size_bytes(), b.r.dw[l].size_bytes());
+    EXPECT_EQ(std::memcmp(a.r.dw[l].data(), b.r.dw[l].data(),
+                          a.r.dw[l].size_bytes()),
+              0)
+        << what << " dw[" << l << "]";
+  }
+}
+
+// Leaves \p cl mid-job: register-file programming the way a core would,
+// trigger, then advance only part of the way (same recipe as the abort test).
+void abandon_job_mid_flight(Cluster& cl, RedmuleDriver& drv) {
+  Xoshiro256 rng(99);
+  const auto x = workloads::random_matrix(32, 32, rng);
+  const auto w = workloads::random_matrix(32, 32, rng);
+  const uint32_t xa = drv.place_matrix(x);
+  const uint32_t wa = drv.place_matrix(w);
+  const uint32_t za = drv.alloc(32 * 32 * 2);
+  auto& rm = cl.redmule();
+  rm.reg_write(core::kRegXPtr, xa);
+  rm.reg_write(core::kRegWPtr, wa);
+  rm.reg_write(core::kRegZPtr, za);
+  rm.reg_write(core::kRegM, 32);
+  rm.reg_write(core::kRegN, 32);
+  rm.reg_write(core::kRegK, 32);
+  rm.reg_write(core::kRegFlags, 0);
+  rm.reg_write(core::kRegTrigger, 0);
+  for (int i = 0; i < 200; ++i) cl.step();
+  ASSERT_TRUE(rm.busy());  // genuinely mid-job
+}
+
+}  // namespace
+
+TEST(ClusterReset, ForkedClusterMatchesFreshlyStagedCluster) {
+  // Oracle: a freshly constructed cluster, staged directly.
+  Cluster fresh{ClusterConfig{}};
+  {
+    RedmuleDriver drv(fresh);
+    NetworkRunner runner(fresh, drv);
+    const workloads::NetworkGraph net = fork_test_net();
+    runner.stage_training_template(net, 2);
+  }
+  const TrainingOutcome oracle = run_staged_training(fresh);
+
+  // Fork: stage a donor once, snapshot, restore onto a *used* cluster.
+  Cluster donor{ClusterConfig{}};
+  {
+    RedmuleDriver drv(donor);
+    NetworkRunner runner(donor, drv);
+    const workloads::NetworkGraph net = fork_test_net();
+    runner.stage_training_template(net, 2);
+  }
+  const state::ClusterImage img = state::snapshot(donor);
+
+  Cluster reused{ClusterConfig{}};
+  {
+    RedmuleDriver drv(reused);
+    (void)run_job(reused, drv, split_seed(44, 2), 16, 16, 16);  // prior history
+  }
+  state::restore(reused, img);
+  const TrainingOutcome forked = run_staged_training(reused);
+  expect_same_training(forked, oracle, "forked cluster vs freshly staged");
+}
+
+TEST(ClusterReset, RestoreAfterAbortedJobMatchesFreshlyStaged) {
+  Cluster fresh{ClusterConfig{}};
+  {
+    RedmuleDriver drv(fresh);
+    NetworkRunner runner(fresh, drv);
+    const workloads::NetworkGraph net = fork_test_net();
+    runner.stage_training_template(net, 2);
+  }
+  const state::ClusterImage img = state::snapshot(fresh);  // at the staged point
+  const TrainingOutcome oracle = run_staged_training(fresh);
+
+  // Abort a job mid-flight, then recover the cluster by restoring the
+  // template image: restore resets first, so it must work from any state.
+  Cluster cl{ClusterConfig{}};
+  RedmuleDriver drv(cl);
+  abandon_job_mid_flight(cl, drv);
+  state::restore(cl, img);
+  EXPECT_FALSE(cl.redmule().busy());
+  const TrainingOutcome recovered = run_staged_training(cl);
+  expect_same_training(recovered, oracle, "restore after abort vs fresh");
+}
+
+TEST(ClusterReset, MidFlightSnapshotIsRefusedWithTypedError) {
+  Cluster cl{ClusterConfig{}};
+  RedmuleDriver drv(cl);
+  abandon_job_mid_flight(cl, drv);
+  try {
+    (void)state::snapshot(cl);
+    FAIL() << "snapshot of a busy cluster must be refused";
+  } catch (const api::TypedError& e) {
+    EXPECT_EQ(e.code(), api::ErrorCode::kBadConfig);
   }
 }

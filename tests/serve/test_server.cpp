@@ -542,6 +542,39 @@ TEST(ServeDrain, StopIsImmediateAndIdempotent) {
   server.stop();  // second stop is a no-op
 }
 
+// --- Warm-start over the wire ------------------------------------------------
+
+TEST(ServeWarmStart, WarmSpecMatchesColdOracleThroughTheLoopback) {
+  // The warm=1 flag rides the spec string end to end: wire SUBMIT ->
+  // registry -> workload -> service template path. Results must be
+  // bit-identical to the cold run_one oracle, and the template counters must
+  // show one staging plus forks for the rest.
+  const std::string base_spec =
+      "network:in=24,hidden=12-6-12,batch=2,geom=4x8x3,seed=" +
+      std::to_string(split_seed(88, 0));
+  auto oracle_w = api::WorkloadRegistry::global().create(base_spec);
+  const api::WorkloadResult oracle = api::Service::run_one(*oracle_w);
+  ASSERT_TRUE(oracle.ok()) << oracle.error.to_string();
+
+  ServerConfig cfg = quick_config(fresh_address(), 1);
+  Server server(cfg);
+  server.start();
+  Client c(ClientConfig{server.address(), "warm", 20000});
+  for (int i = 0; i < 3; ++i) {
+    const Client::Outcome out = c.run(base_spec + ",warm=1");
+    ASSERT_TRUE(out.ok()) << "warm job " << i << ": " << out.message;
+    EXPECT_EQ(out.result.z_hash, oracle.z_hash) << "warm job " << i;
+    EXPECT_EQ(out.result.cycles, oracle.stats.cycles) << "warm job " << i;
+    EXPECT_EQ(out.result.advance_cycles, oracle.stats.advance_cycles);
+    EXPECT_EQ(out.result.stall_cycles, oracle.stats.stall_cycles);
+    EXPECT_EQ(out.result.macs, oracle.stats.macs);
+    EXPECT_EQ(out.result.fma_ops, oracle.stats.fma_ops);
+  }
+  const api::ServiceStats st = server.service().stats();
+  EXPECT_EQ(st.template_misses, 1u);
+  EXPECT_EQ(st.template_forks, 2u);
+}
+
 // --- Liveness ----------------------------------------------------------------
 
 TEST(ServeLiveness, IdleSessionIsReapedWithTypedTimeout) {

@@ -1,0 +1,3 @@
+// Fixture: state serializes the cluster hierarchy; it sits *below* the
+// public API and must never reach up into the serving layer.
+#include "serve/server.hpp"

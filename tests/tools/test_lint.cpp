@@ -78,7 +78,7 @@ TEST(Lint, DeterminismFixtureDetected) {
 
 TEST(Lint, LayeringFixtureDetected) {
   RunResult r = run_fixture("layering");
-  EXPECT_EQ(count_rule(r.findings, "layering"), 5u);
+  EXPECT_EQ(count_rule(r.findings, "layering"), 6u);
   EXPECT_TRUE(has_finding(r.findings, "layering", "core/bad_layer.cpp"))
       << "core -> cluster must be flagged";
   EXPECT_TRUE(has_finding(r.findings, "layering", "api/bad_api.cpp"))
@@ -89,6 +89,8 @@ TEST(Lint, LayeringFixtureDetected) {
       << "an undeclared module must be flagged";
   EXPECT_TRUE(has_finding(r.findings, "layering", "shard/bad_shard.cpp"))
       << "shard -> serve must be flagged";
+  EXPECT_TRUE(has_finding(r.findings, "layering", "state/bad_state.cpp"))
+      << "state -> serve must be flagged";
 }
 
 TEST(Lint, TrustBoundaryFixtureDetected) {

@@ -103,7 +103,7 @@ class TypedErrorsRule final : public Rule {
 const std::set<std::string>& determinism_modules() {
   static const std::set<std::string> m = {"common", "core",  "fp16",      "isa",
                                           "mem",    "model", "sim",       "workloads",
-                                          "cluster", "shard"};
+                                          "cluster", "shard", "state"};
   return m;
 }
 
@@ -271,7 +271,8 @@ const std::map<std::string, std::set<std::string>>& module_map() {
       {"model", {"common", "core"}},
       {"workloads", {"common", "core", "fp16"}},
       {"cluster", {"common", "core", "isa", "mem", "sim", "workloads"}},
-      {"api", {"common", "core", "cluster", "workloads"}},
+      {"state", {"common", "core", "isa", "mem", "sim", "cluster"}},
+      {"api", {"common", "core", "cluster", "workloads", "state"}},
       {"shard", {"common", "core", "cluster", "workloads", "api"}},
       {"serve", {"common", "api"}},
   };
